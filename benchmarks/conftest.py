@@ -1,0 +1,22 @@
+"""Benchmark configuration: in-tree imports plus shared fixtures and helpers.
+
+Every benchmark prints the rows/series of the table or figure it reproduces
+(paper scale is noted in EXPERIMENTS.md; the distances here are scaled down
+to laptop size, preserving the shape of the results).
+"""
+
+import pathlib
+import sys
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+@pytest.fixture(scope="session")
+def verifier():
+    from repro.verifier import VeriQEC
+
+    return VeriQEC()

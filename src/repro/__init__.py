@@ -1,0 +1,21 @@
+"""Veri-QEC reproduction: efficient formal verification of QEC programs.
+
+The package layers, bottom to top:
+
+* ``repro.utils``, ``repro.pauli``, ``repro.classical`` -- GF(2) linear
+  algebra, Pauli/stabilizer machinery and the classical expression language;
+* ``repro.smt`` -- the CDCL SAT solver and formula encoder standing in for
+  Z3/CVC5;
+* ``repro.codes``, ``repro.decoders`` -- the stabilizer-code suite of Table 3;
+* ``repro.lang``, ``repro.logic``, ``repro.semantics`` -- the QEC programming
+  language, the assertion logic, and the dense operational semantics;
+* ``repro.hoare``, ``repro.vc`` -- the proof system of Fig. 3 and the
+  verification-condition reduction of Section 5;
+* ``repro.verifier`` -- the Veri-QEC front end used by examples and benchmarks.
+"""
+
+from repro.verifier.veriqec import VeriQEC
+
+__version__ = "1.0.0"
+
+__all__ = ["VeriQEC", "__version__"]

@@ -1,0 +1,472 @@
+"""The classical expression language used in programs, assertions and VCs.
+
+The paper's Appendix A.1 fixes a small language of integer and boolean
+expressions (IExp / BExp); this module implements it as an immutable AST with
+evaluation under a classical memory, substitution (needed by the backward
+assignment rule) and free-variable collection.  Boolean and integer
+expressions are deliberately kept first-order and loop-free: everything a QEC
+verification condition needs is sums of 0/1 indicator variables, comparisons
+against small bounds, parities, and uninterpreted decoder outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Expr",
+    "IntExpr",
+    "BoolExpr",
+    "IntConst",
+    "IntVar",
+    "Add",
+    "BoolToInt",
+    "BoolConst",
+    "BoolVar",
+    "Not",
+    "And",
+    "Or",
+    "Xor",
+    "Implies",
+    "Iff",
+    "IntLe",
+    "IntEq",
+    "UFBool",
+    "bool_and",
+    "bool_or",
+    "sum_of",
+    "substitute",
+    "simplify",
+    "free_variables",
+    "all_bool_vars",
+]
+
+
+class Expr:
+    """Base class of all classical expressions."""
+
+    __slots__ = ()
+
+
+class IntExpr(Expr):
+    """Base class of integer-valued expressions."""
+
+    __slots__ = ()
+
+
+class BoolExpr(Expr):
+    """Base class of boolean-valued expressions."""
+
+    __slots__ = ()
+
+
+# ----------------------------------------------------------------------
+# Integer expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class IntConst(IntExpr):
+    value: int
+
+    def __repr__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class IntVar(IntExpr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Add(IntExpr):
+    terms: tuple[IntExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " + ".join(map(repr, self.terms)) + ")"
+
+
+@dataclass(frozen=True)
+class BoolToInt(IntExpr):
+    """Type coercion of Appendix A.1: true is 1, false is 0."""
+
+    operand: BoolExpr
+
+    def __repr__(self) -> str:
+        return f"int({self.operand!r})"
+
+
+# ----------------------------------------------------------------------
+# Boolean expressions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BoolConst(BoolExpr):
+    value: bool
+
+    def __repr__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class BoolVar(BoolExpr):
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Not(BoolExpr):
+    operand: BoolExpr
+
+    def __repr__(self) -> str:
+        return f"!{self.operand!r}"
+
+
+@dataclass(frozen=True)
+class And(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Or(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Xor(BoolExpr):
+    operands: tuple[BoolExpr, ...]
+
+    def __repr__(self) -> str:
+        return "(" + " ^ ".join(map(repr, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class Implies(BoolExpr):
+    antecedent: BoolExpr
+    consequent: BoolExpr
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r} -> {self.consequent!r})"
+
+
+@dataclass(frozen=True)
+class Iff(BoolExpr):
+    left: BoolExpr
+    right: BoolExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} <-> {self.right!r})"
+
+
+@dataclass(frozen=True)
+class IntLe(BoolExpr):
+    left: IntExpr
+    right: IntExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} <= {self.right!r})"
+
+
+@dataclass(frozen=True)
+class IntEq(BoolExpr):
+    left: IntExpr
+    right: IntExpr
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} == {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UFBool(BoolExpr):
+    """An uninterpreted boolean function application.
+
+    Decoder calls such as ``f_z,1(s1, s2, s3)`` are kept opaque in the VC and
+    constrained only through the decoder condition P_f, exactly as in §5.2.
+    The SAT encoder introduces one fresh variable per distinct application.
+    """
+
+    name: str
+    args: tuple[BoolExpr, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return f"{self.name}()"
+        return f"{self.name}(" + ", ".join(map(repr, self.args)) + ")"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+def bool_and(operands) -> BoolExpr:
+    """N-ary conjunction that folds constants and flattens nested Ands."""
+    flat: list[BoolExpr] = []
+    for op in operands:
+        if isinstance(op, BoolConst):
+            if not op.value:
+                return FALSE
+            continue
+        if isinstance(op, And):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return TRUE
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def bool_or(operands) -> BoolExpr:
+    """N-ary disjunction that folds constants and flattens nested Ors."""
+    flat: list[BoolExpr] = []
+    for op in operands:
+        if isinstance(op, BoolConst):
+            if op.value:
+                return TRUE
+            continue
+        if isinstance(op, Or):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return FALSE
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def sum_of(operands) -> IntExpr:
+    """Integer sum of expressions; booleans are coerced with :class:`BoolToInt`."""
+    terms: list[IntExpr] = []
+    for op in operands:
+        if isinstance(op, BoolExpr):
+            terms.append(BoolToInt(op))
+        elif isinstance(op, IntExpr):
+            terms.append(op)
+        else:
+            terms.append(IntConst(int(op)))
+    if not terms:
+        return IntConst(0)
+    if len(terms) == 1:
+        return terms[0]
+    return Add(tuple(terms))
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def evaluate(expr: Expr, memory) -> int | bool:
+    """Evaluate an expression in a classical memory (a mapping name -> value)."""
+    if isinstance(expr, IntConst):
+        return expr.value
+    if isinstance(expr, BoolConst):
+        return expr.value
+    if isinstance(expr, IntVar):
+        return int(memory[expr.name])
+    if isinstance(expr, BoolVar):
+        return bool(memory[expr.name])
+    if isinstance(expr, Add):
+        return sum(int(evaluate(t, memory)) for t in expr.terms)
+    if isinstance(expr, BoolToInt):
+        return int(bool(evaluate(expr.operand, memory)))
+    if isinstance(expr, Not):
+        return not evaluate(expr.operand, memory)
+    if isinstance(expr, And):
+        return all(evaluate(op, memory) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(evaluate(op, memory) for op in expr.operands)
+    if isinstance(expr, Xor):
+        return bool(sum(bool(evaluate(op, memory)) for op in expr.operands) % 2)
+    if isinstance(expr, Implies):
+        return (not evaluate(expr.antecedent, memory)) or bool(
+            evaluate(expr.consequent, memory)
+        )
+    if isinstance(expr, Iff):
+        return bool(evaluate(expr.left, memory)) == bool(evaluate(expr.right, memory))
+    if isinstance(expr, IntLe):
+        return int(evaluate(expr.left, memory)) <= int(evaluate(expr.right, memory))
+    if isinstance(expr, IntEq):
+        return int(evaluate(expr.left, memory)) == int(evaluate(expr.right, memory))
+    if isinstance(expr, UFBool):
+        key = (expr.name, tuple(bool(evaluate(a, memory)) for a in expr.args))
+        functions = memory.get("__functions__", {}) if hasattr(memory, "get") else {}
+        if expr.name in functions:
+            return bool(functions[expr.name](*key[1]))
+        raise KeyError(f"no interpretation provided for function {expr.name!r}")
+    raise TypeError(f"cannot evaluate expression of type {type(expr).__name__}")
+
+
+# ----------------------------------------------------------------------
+# Substitution and variable collection
+# ----------------------------------------------------------------------
+def substitute(expr: Expr, mapping: dict[str, Expr]) -> Expr:
+    """Simultaneously substitute variables by expressions (capture-free)."""
+    if isinstance(expr, (IntConst, BoolConst)):
+        return expr
+    if isinstance(expr, IntVar):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, BoolVar):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, Add):
+        return Add(tuple(substitute(t, mapping) for t in expr.terms))
+    if isinstance(expr, BoolToInt):
+        replaced = substitute(expr.operand, mapping)
+        if isinstance(replaced, IntExpr):
+            return replaced
+        return BoolToInt(replaced)
+    if isinstance(expr, Not):
+        return Not(substitute(expr.operand, mapping))
+    if isinstance(expr, And):
+        return And(tuple(substitute(op, mapping) for op in expr.operands))
+    if isinstance(expr, Or):
+        return Or(tuple(substitute(op, mapping) for op in expr.operands))
+    if isinstance(expr, Xor):
+        return Xor(tuple(substitute(op, mapping) for op in expr.operands))
+    if isinstance(expr, Implies):
+        return Implies(
+            substitute(expr.antecedent, mapping), substitute(expr.consequent, mapping)
+        )
+    if isinstance(expr, Iff):
+        return Iff(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, IntLe):
+        return IntLe(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, IntEq):
+        return IntEq(substitute(expr.left, mapping), substitute(expr.right, mapping))
+    if isinstance(expr, UFBool):
+        return UFBool(expr.name, tuple(substitute(a, mapping) for a in expr.args))
+    raise TypeError(f"cannot substitute in expression of type {type(expr).__name__}")
+
+
+def free_variables(expr: Expr) -> frozenset[str]:
+    """Names of all program variables occurring in the expression."""
+    if isinstance(expr, (IntConst, BoolConst)):
+        return frozenset()
+    if isinstance(expr, (IntVar, BoolVar)):
+        return frozenset({expr.name})
+    if isinstance(expr, Add):
+        return frozenset().union(*(free_variables(t) for t in expr.terms))
+    if isinstance(expr, (BoolToInt, Not)):
+        return free_variables(expr.operand)
+    if isinstance(expr, (And, Or, Xor)):
+        return frozenset().union(*(free_variables(op) for op in expr.operands))
+    if isinstance(expr, Implies):
+        return free_variables(expr.antecedent) | free_variables(expr.consequent)
+    if isinstance(expr, (Iff, IntLe, IntEq)):
+        return free_variables(expr.left) | free_variables(expr.right)
+    if isinstance(expr, UFBool):
+        if not expr.args:
+            return frozenset()
+        return frozenset().union(*(free_variables(a) for a in expr.args))
+    raise TypeError(f"cannot collect variables of type {type(expr).__name__}")
+
+
+def all_bool_vars(expr: Expr) -> frozenset[str]:
+    """Names of boolean variables only (used to size SAT encodings)."""
+    result: set[str] = set()
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, BoolVar):
+            result.add(node.name)
+        elif isinstance(node, (IntConst, BoolConst, IntVar)):
+            return
+        elif isinstance(node, Add):
+            for term in node.terms:
+                walk(term)
+        elif isinstance(node, (BoolToInt, Not)):
+            walk(node.operand)
+        elif isinstance(node, (And, Or, Xor)):
+            for op in node.operands:
+                walk(op)
+        elif isinstance(node, Implies):
+            walk(node.antecedent)
+            walk(node.consequent)
+        elif isinstance(node, (Iff, IntLe, IntEq)):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UFBool):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return frozenset(result)
+
+
+# ----------------------------------------------------------------------
+# Light-weight simplification
+# ----------------------------------------------------------------------
+def simplify(expr: Expr) -> Expr:
+    """Constant folding and flattening; keeps expressions readable in reports."""
+    if isinstance(expr, (IntConst, BoolConst, IntVar, BoolVar)):
+        return expr
+    if isinstance(expr, Add):
+        terms = [simplify(t) for t in expr.terms]
+        constant = sum(t.value for t in terms if isinstance(t, IntConst))
+        rest = [t for t in terms if not isinstance(t, IntConst)]
+        if constant or not rest:
+            rest.append(IntConst(constant))
+        return rest[0] if len(rest) == 1 else Add(tuple(rest))
+    if isinstance(expr, BoolToInt):
+        inner = simplify(expr.operand)
+        if isinstance(inner, BoolConst):
+            return IntConst(int(inner.value))
+        return BoolToInt(inner)
+    if isinstance(expr, Not):
+        inner = simplify(expr.operand)
+        if isinstance(inner, BoolConst):
+            return BoolConst(not inner.value)
+        if isinstance(inner, Not):
+            return inner.operand
+        return Not(inner)
+    if isinstance(expr, And):
+        return bool_and(simplify(op) for op in expr.operands)
+    if isinstance(expr, Or):
+        return bool_or(simplify(op) for op in expr.operands)
+    if isinstance(expr, Xor):
+        operands = [simplify(op) for op in expr.operands]
+        parity = sum(1 for op in operands if isinstance(op, BoolConst) and op.value) % 2
+        rest = [op for op in operands if not isinstance(op, BoolConst)]
+        if not rest:
+            return BoolConst(bool(parity))
+        if parity:
+            rest.append(BoolConst(True))
+        return rest[0] if len(rest) == 1 else Xor(tuple(rest))
+    if isinstance(expr, Implies):
+        antecedent = simplify(expr.antecedent)
+        consequent = simplify(expr.consequent)
+        if isinstance(antecedent, BoolConst):
+            return consequent if antecedent.value else TRUE
+        if isinstance(consequent, BoolConst) and consequent.value:
+            return TRUE
+        return Implies(antecedent, consequent)
+    if isinstance(expr, Iff):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, BoolConst):
+            return right if left.value else simplify(Not(right))
+        if isinstance(right, BoolConst):
+            return left if right.value else simplify(Not(left))
+        return Iff(left, right)
+    if isinstance(expr, IntLe):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, IntConst) and isinstance(right, IntConst):
+            return BoolConst(left.value <= right.value)
+        return IntLe(left, right)
+    if isinstance(expr, IntEq):
+        left, right = simplify(expr.left), simplify(expr.right)
+        if isinstance(left, IntConst) and isinstance(right, IntConst):
+            return BoolConst(left.value == right.value)
+        return IntEq(left, right)
+    if isinstance(expr, UFBool):
+        return UFBool(expr.name, tuple(simplify(a) for a in expr.args))
+    raise TypeError(f"cannot simplify expression of type {type(expr).__name__}")

@@ -1,0 +1,75 @@
+"""Classical memories (CMem): mappings from variable names to values."""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+__all__ = ["ClassicalMemory"]
+
+
+class ClassicalMemory(Mapping):
+    """An immutable classical state ``m : name -> value``.
+
+    The operational semantics threads these through programs; assignment
+    produces a new memory (``update``) so snapshots taken by the verifier and
+    the tests can never be mutated behind their back.  Values are integers or
+    booleans; an optional ``functions`` table provides interpretations for
+    uninterpreted decoder symbols when the semantics needs to execute them.
+    """
+
+    def __init__(self, values: dict | None = None, functions: dict | None = None):
+        self._values = dict(values or {})
+        self._functions = dict(functions or {})
+
+    # -- Mapping interface -------------------------------------------------
+    def __getitem__(self, name: str):
+        if name == "__functions__":
+            return self._functions
+        return self._values[name]
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, name, default=None):
+        if name == "__functions__":
+            return self._functions
+        return self._values.get(name, default)
+
+    # -- Updates -----------------------------------------------------------
+    def update(self, name: str, value) -> "ClassicalMemory":
+        """Return a new memory with ``name`` bound to ``value``."""
+        new_values = dict(self._values)
+        new_values[name] = value
+        return ClassicalMemory(new_values, self._functions)
+
+    def update_many(self, assignments: dict) -> "ClassicalMemory":
+        new_values = dict(self._values)
+        new_values.update(assignments)
+        return ClassicalMemory(new_values, self._functions)
+
+    def with_functions(self, functions: dict) -> "ClassicalMemory":
+        merged = dict(self._functions)
+        merged.update(functions)
+        return ClassicalMemory(self._values, merged)
+
+    @property
+    def functions(self) -> dict:
+        return dict(self._functions)
+
+    def as_dict(self) -> dict:
+        return dict(self._values)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ClassicalMemory):
+            return NotImplemented
+        return self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._values.items()))
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"ClassicalMemory({body})"

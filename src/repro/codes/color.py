@@ -1,0 +1,75 @@
+"""Small error-detection codes: [[8,3,2]], [[4,2,2]] and the iceberg family.
+
+The last block of Table 3 contains codes with distance 2 designed to
+implement non-Clifford gates cheaply and to *detect* (rather than correct)
+any single-qubit error.  The [[8,3,2]] 3D colour code lives on the vertices
+of a cube: one weight-8 X stabilizer and four independent face Z stabilizers.
+The [[4,2,2]] code and the [[2m, 2m-2, 2]] iceberg codes are the standard
+two-generator detection codes; they stand in for the triorthogonal /
+Campbell-Howard entries whose explicit check matrices are not reproducible
+offline (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from repro.codes.base import StabilizerCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["color_code_832", "error_detection_422", "iceberg_code"]
+
+
+def color_code_832() -> StabilizerCode:
+    """The [[8,3,2]] 3D colour code on the unit cube."""
+    num_qubits = 8  # vertex i has coordinates (bit0, bit1, bit2) of i
+
+    def face(predicate) -> dict[int, str]:
+        return {i: "Z" for i in range(num_qubits) if predicate(i)}
+
+    stabilizers = [
+        PauliOperator.from_label("X" * num_qubits),
+        PauliOperator.from_sparse(num_qubits, face(lambda i: (i >> 0) & 1 == 0)),
+        PauliOperator.from_sparse(num_qubits, face(lambda i: (i >> 1) & 1 == 0)),
+        PauliOperator.from_sparse(num_qubits, face(lambda i: (i >> 2) & 1 == 0)),
+        PauliOperator.from_label("Z" * num_qubits),
+    ]
+    return StabilizerCode(
+        "color-832",
+        stabilizers,
+        distance=2,
+        metadata={"family": "CSS", "detection_only": True, "z_distance": 2, "x_distance": 4},
+    )
+
+
+def error_detection_422() -> StabilizerCode:
+    """The [[4,2,2]] error-detecting code."""
+    stabilizers = [
+        PauliOperator.from_label("XXXX"),
+        PauliOperator.from_label("ZZZZ"),
+    ]
+    logical_xs = [PauliOperator.from_label("XXII"), PauliOperator.from_label("XIXI")]
+    logical_zs = [PauliOperator.from_label("ZIZI"), PauliOperator.from_label("ZZII")]
+    return StabilizerCode(
+        "detection-422",
+        stabilizers,
+        logical_xs=logical_xs,
+        logical_zs=logical_zs,
+        distance=2,
+        metadata={"family": "CSS", "detection_only": True},
+    )
+
+
+def iceberg_code(num_logical: int) -> StabilizerCode:
+    """The ``[[2k + 2, 2k, 2]]`` iceberg code (two weight-(2k+2) stabilizers)."""
+    if num_logical < 1 or num_logical % 2 != 0:
+        raise ValueError("the iceberg code encodes an even number of logical qubits")
+    num_qubits = num_logical + 2
+    stabilizers = [
+        PauliOperator.from_label("X" * num_qubits),
+        PauliOperator.from_label("Z" * num_qubits),
+    ]
+    return StabilizerCode(
+        f"iceberg-{num_qubits}",
+        stabilizers,
+        distance=2,
+        metadata={"family": "CSS", "detection_only": True},
+    )

@@ -1,0 +1,50 @@
+"""The perfect [[5,1,3]] code and a [[6,1,3]] extension.
+
+The five-qubit code is the smallest code correcting an arbitrary single-qubit
+error.  The six-qubit entry of Table 3 is reproduced here as the one-qubit
+extension of the perfect code (a valid, degenerate [[6,1,3]] stabilizer
+code); the original Calderbank-Rains-Shor-Sloane generators are not available
+offline, and the extension exercises exactly the same verification path.
+"""
+
+from __future__ import annotations
+
+from repro.codes.base import StabilizerCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["five_qubit_code", "six_qubit_code"]
+
+_FIVE_QUBIT_GENERATORS = ["XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"]
+
+
+def five_qubit_code() -> StabilizerCode:
+    """The cyclic [[5,1,3]] perfect code."""
+    stabilizers = [PauliOperator.from_label(label) for label in _FIVE_QUBIT_GENERATORS]
+    logical_x = PauliOperator.from_label("XXXXX")
+    logical_z = PauliOperator.from_label("ZZZZZ")
+    return StabilizerCode(
+        "five-qubit",
+        stabilizers,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+        distance=3,
+        metadata={"family": "non-CSS", "perfect": True},
+    )
+
+
+def six_qubit_code() -> StabilizerCode:
+    """A [[6,1,3]] code: the five-qubit code with one ancilla qubit adjoined."""
+    stabilizers = [
+        PauliOperator.from_label(label + "I") for label in _FIVE_QUBIT_GENERATORS
+    ]
+    stabilizers.append(PauliOperator.from_label("IIIIIZ"))
+    logical_x = PauliOperator.from_label("XXXXXI")
+    logical_z = PauliOperator.from_label("ZZZZZI")
+    return StabilizerCode(
+        "six-qubit",
+        stabilizers,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+        distance=3,
+        metadata={"family": "non-CSS", "note": "one-qubit extension of the [[5,1,3]] code"},
+    )

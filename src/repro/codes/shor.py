@@ -1,0 +1,37 @@
+"""The [[9,1,3]] Shor code."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["shor_code"]
+
+
+def shor_code() -> CSSCode:
+    """Concatenation of the 3-qubit bit-flip and phase-flip repetition codes."""
+    z_checks = np.zeros((6, 9), dtype=np.uint8)
+    row = 0
+    for block in range(3):
+        for offset in range(2):
+            z_checks[row, 3 * block + offset] = 1
+            z_checks[row, 3 * block + offset + 1] = 1
+            row += 1
+    x_checks = np.zeros((2, 9), dtype=np.uint8)
+    x_checks[0, 0:6] = 1
+    x_checks[1, 3:9] = 1
+    logical_z = PauliOperator.from_label("XXXXXXXXX")  # placeholder, replaced below
+    # Logical operators: Z_L = Z1 Z4 Z7 (one Z per block), X_L = X1 X2 X3.
+    logical_z = PauliOperator.from_sparse(9, {0: "Z", 3: "Z", 6: "Z"})
+    logical_x = PauliOperator.from_sparse(9, {0: "X", 1: "X", 2: "X"})
+    return CSSCode(
+        "shor",
+        x_check_matrix=x_checks,
+        z_check_matrix=z_checks,
+        distance=3,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+        metadata={"family": "CSS", "concatenated": True},
+    )

@@ -1,0 +1,37 @@
+"""The [[7,1,3]] Steane code (the paper's running example, Section 2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.css import CSSCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["steane_code", "STEANE_CHECK_MATRIX"]
+
+# Columns are qubits 1..7; row i is the binary check of the [7,4,3] Hamming code.
+# These supports reproduce g1 = X1 X3 X5 X7, g2 = X2 X3 X6 X7, g3 = X4 X5 X6 X7
+# (and the same supports for the Z-type generators g4, g5, g6).
+STEANE_CHECK_MATRIX = np.array(
+    [
+        [1, 0, 1, 0, 1, 0, 1],
+        [0, 1, 1, 0, 0, 1, 1],
+        [0, 0, 0, 1, 1, 1, 1],
+    ],
+    dtype=np.uint8,
+)
+
+
+def steane_code() -> CSSCode:
+    """The self-dual CSS [[7,1,3]] code with the paper's generators and logicals."""
+    logical_x = PauliOperator.from_label("X" * 7)
+    logical_z = PauliOperator.from_label("Z" * 7)
+    return CSSCode(
+        "steane",
+        x_check_matrix=STEANE_CHECK_MATRIX,
+        z_check_matrix=STEANE_CHECK_MATRIX,
+        distance=3,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+        metadata={"family": "CSS", "self_dual": True},
+    )

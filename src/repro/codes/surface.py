@@ -1,0 +1,118 @@
+"""Rotated surface codes and the XZZX variant (Section 7.1, Fig. 5).
+
+The rotated surface code of distance ``d`` places one data qubit on every
+vertex of a ``d x d`` grid (indexed left-to-right, top-to-bottom as in the
+paper's Fig. 5).  Weight-4 stabilizers sit on the interior faces in a
+checkerboard colouring and weight-2 stabilizers on alternating boundary
+faces: Z-type checks touch the top/bottom boundary, X-type checks the
+left/right boundary.  As in the paper's Fig. 5 the logical X operator runs
+horizontally along the top row and the logical Z vertically along the left
+column.
+
+The XZZX variant is obtained by conjugating every other qubit with a
+Hadamard, which turns each plaquette into an X-Z-Z-X check while keeping the
+code parameters.
+"""
+
+from __future__ import annotations
+
+from repro.codes.base import StabilizerCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["rotated_surface_code", "xzzx_surface_code", "surface_code_plaquettes"]
+
+
+def surface_code_plaquettes(rows: int, cols: int) -> tuple[list[list[int]], list[list[int]]]:
+    """Return (x_plaquettes, z_plaquettes) as lists of data-qubit indices."""
+
+    def qubit(r: int, c: int) -> int:
+        return r * cols + c
+
+    x_plaquettes: list[list[int]] = []
+    z_plaquettes: list[list[int]] = []
+    for face_row in range(rows + 1):
+        for face_col in range(cols + 1):
+            corners = [
+                (face_row - 1, face_col - 1),
+                (face_row - 1, face_col),
+                (face_row, face_col - 1),
+                (face_row, face_col),
+            ]
+            support = [
+                qubit(r, c) for r, c in corners if 0 <= r < rows and 0 <= c < cols
+            ]
+            is_z_face = (face_row + face_col) % 2 == 1
+            if len(support) == 4:
+                (z_plaquettes if is_z_face else x_plaquettes).append(support)
+            elif len(support) == 2:
+                on_top_bottom = face_row == 0 or face_row == rows
+                on_left_right = face_col == 0 or face_col == cols
+                if on_top_bottom and is_z_face:
+                    z_plaquettes.append(support)
+                elif on_left_right and not is_z_face:
+                    x_plaquettes.append(support)
+    return x_plaquettes, z_plaquettes
+
+
+def rotated_surface_code(distance: int, cols: int | None = None) -> StabilizerCode:
+    """The rotated surface code on a ``distance x distance`` grid.
+
+    A rectangular ``distance x cols`` grid is also supported (used by the
+    XZZX benchmark with different X and Z distances); the code distance is
+    then ``min(distance, cols)``.
+    """
+    rows = distance
+    cols = cols if cols is not None else distance
+    if rows < 2 or cols < 2:
+        raise ValueError("surface codes need at least a 2x2 grid")
+    num_qubits = rows * cols
+    x_plaquettes, z_plaquettes = surface_code_plaquettes(rows, cols)
+    stabilizers = [
+        PauliOperator.from_sparse(num_qubits, {q: "X" for q in support})
+        for support in x_plaquettes
+    ] + [
+        PauliOperator.from_sparse(num_qubits, {q: "Z" for q in support})
+        for support in z_plaquettes
+    ]
+    # Logical X: the top row (horizontal); logical Z: the left column (vertical).
+    logical_x = PauliOperator.from_sparse(num_qubits, {c: "X" for c in range(cols)})
+    logical_z = PauliOperator.from_sparse(
+        num_qubits, {r * cols: "Z" for r in range(rows)}
+    )
+    return StabilizerCode(
+        f"surface-{rows}x{cols}",
+        stabilizers,
+        logical_xs=[logical_x],
+        logical_zs=[logical_z],
+        distance=min(rows, cols),
+        metadata={"family": "CSS", "rows": rows, "cols": cols},
+    )
+
+
+def xzzx_surface_code(distance: int, cols: int | None = None) -> StabilizerCode:
+    """The XZZX surface code: the rotated code conjugated by H on odd qubits."""
+    base = rotated_surface_code(distance, cols)
+    rows = base.metadata["rows"]
+    cols = base.metadata["cols"]
+
+    def hadamard_twist(op: PauliOperator) -> PauliOperator:
+        x_bits = list(op.x)
+        z_bits = list(op.z)
+        for r in range(rows):
+            for c in range(cols):
+                index = r * cols + c
+                if (r + c) % 2 == 1:
+                    x_bits[index], z_bits[index] = z_bits[index], x_bits[index]
+        return PauliOperator(tuple(x_bits), tuple(z_bits), op.phase)
+
+    stabilizers = [hadamard_twist(gen) for gen in base.stabilizers]
+    logical_xs = [hadamard_twist(op) for op in base.logical_xs]
+    logical_zs = [hadamard_twist(op) for op in base.logical_zs]
+    return StabilizerCode(
+        f"xzzx-{rows}x{cols}",
+        stabilizers,
+        logical_xs=logical_xs,
+        logical_zs=logical_zs,
+        distance=base.distance,
+        metadata={"family": "XZZX", "rows": rows, "cols": cols},
+    )

@@ -1,0 +1,5 @@
+"""Decoders: executable lookup decoding and the symbolic decoder condition."""
+
+from repro.decoders.lookup import LookupDecoder
+
+__all__ = ["LookupDecoder"]

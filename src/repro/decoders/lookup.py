@@ -1,0 +1,66 @@
+"""A minimum-weight lookup-table decoder for small stabilizer codes.
+
+The verifier never executes a decoder — it reasons about every decoder
+satisfying the condition ``P_f`` — but the Stim-comparison benchmark and the
+simulation-based tests need a concrete one.  The table is built
+breadth-first over error weights, so the stored correction for each syndrome
+is of minimum weight, i.e. it satisfies ``P_f`` by construction.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations, product
+
+from repro.codes.base import StabilizerCode
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["LookupDecoder"]
+
+
+class LookupDecoder:
+    """Syndrome-indexed table of minimum-weight corrections."""
+
+    def __init__(self, code: StabilizerCode, max_weight: int | None = None, paulis: str = "XYZ"):
+        self.code = code
+        if max_weight is None:
+            max_weight = (code.distance - 1) // 2 if code.distance else 1
+        self.max_weight = max_weight
+        self.paulis = paulis
+        self._table: dict[tuple[int, ...], PauliOperator] = {}
+        self._build()
+
+    def _build(self) -> None:
+        identity = PauliOperator.identity(self.code.num_qubits)
+        self._table[self.code.syndrome(identity)] = identity
+        for weight in range(1, self.max_weight + 1):
+            for qubits in combinations(range(self.code.num_qubits), weight):
+                for kinds in product(self.paulis, repeat=weight):
+                    error = PauliOperator.from_sparse(
+                        self.code.num_qubits, dict(zip(qubits, kinds))
+                    )
+                    syndrome = self.code.syndrome(error)
+                    if syndrome not in self._table:
+                        self._table[syndrome] = error
+
+    # ------------------------------------------------------------------
+    @property
+    def table_size(self) -> int:
+        return len(self._table)
+
+    def decode(self, syndrome: tuple[int, ...]) -> PauliOperator | None:
+        """The stored minimum-weight correction, or ``None`` for unknown syndromes."""
+        return self._table.get(tuple(syndrome))
+
+    def correct(self, error: PauliOperator) -> PauliOperator | None:
+        """Residual operator ``correction * error`` for a given error."""
+        correction = self.decode(self.code.syndrome(error))
+        if correction is None:
+            return None
+        return correction * error
+
+    def corrects(self, error: PauliOperator) -> bool:
+        """Whether decoding the error's syndrome removes its logical effect."""
+        residual = self.correct(error)
+        if residual is None:
+            return False
+        return not self.code.is_logical_error(residual) and self.code.group.commutes_with(residual)

@@ -1,0 +1,6 @@
+"""Correctness formulas and the proof system of Fig. 3."""
+
+from repro.hoare.triple import HoareTriple
+from repro.hoare.wp import weakest_precondition
+
+__all__ = ["HoareTriple", "weakest_precondition"]

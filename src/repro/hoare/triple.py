@@ -1,0 +1,35 @@
+"""Hoare triples (correctness formulas) for QEC programs (Definition 4.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classical.expr import BoolConst, BoolExpr
+from repro.lang.ast import Statement
+from repro.logic.assertion import Assertion
+
+__all__ = ["HoareTriple"]
+
+
+@dataclass(frozen=True)
+class HoareTriple:
+    """``{precondition ∧ classical_constraint} program {postcondition}``.
+
+    The classical constraint ``P_c`` (for example ``sum of error indicators
+    <= 1``) is kept separate from the quantum part of the precondition
+    because the verification-condition reduction treats it as the antecedent
+    of the final classical entailment (Section 5.1).
+    """
+
+    precondition: Assertion
+    program: Statement
+    postcondition: Assertion
+    classical_constraint: BoolExpr = field(default_factory=lambda: BoolConst(True))
+    name: str = "correctness formula"
+
+    def __repr__(self) -> str:
+        return (
+            f"HoareTriple({self.name}: "
+            f"{{{self.classical_constraint!r} ∧ {self.precondition!r}}} ... "
+            f"{{{self.postcondition!r}}})"
+        )

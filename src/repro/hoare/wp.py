@@ -1,0 +1,146 @@
+"""The weakest-(liberal-)precondition calculator implementing Fig. 3.
+
+``weakest_precondition`` walks a loop-free program backwards and applies the
+backward rules of the proof system:
+
+* (Skip), (Seq) — structural;
+* (Assign) — substitution of classical variables, including inside the
+  symbolic phases of Pauli expressions;
+* (U-X) ... (U-iSWAP), (U-T) — the gate substitutions, realised as backward
+  conjugation of Pauli expressions;
+* derived rules for ``[b] q *= U`` with Pauli ``U`` — a conditional phase
+  flip on the anti-commuting atoms;
+* (Meas) — ``(P ∧ A[0/x]) ∨ (¬P ∧ A[1/x])`` with ``¬P`` the flipped-phase
+  atom;
+* (Init) — ``(Z_i ∧ A) ∨ (-Z_i ∧ A[-Y_i/Y_i, -Z_i/Z_i])``;
+* (If) — ``(¬b ∧ A0) ∨ (b ∧ A1)``.
+
+While loops are rejected (the logic needs a user-provided invariant; the QEC
+programs of the evaluation are loop-free), matching Theorem A.11's scope.
+"""
+
+from __future__ import annotations
+
+from repro.classical.expr import BoolConst, IntConst, Not, UFBool, BoolVar
+from repro.classical.parity import ParityExpr
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Seq,
+    Skip,
+    Statement,
+    Unitary,
+    While,
+)
+from repro.logic.assertion import (
+    AndAssertion,
+    Assertion,
+    BoolAssertion,
+    OrAssertion,
+    PauliAssertion,
+    pauli_atom,
+)
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["weakest_precondition", "decoder_output_expr"]
+
+
+def decoder_output_expr(function: str, output_index: int, arguments: tuple[str, ...]) -> UFBool:
+    """The uninterpreted expression standing for output ``i`` of a decoder call."""
+    return UFBool(f"{function}[{output_index}]", tuple(BoolVar(a) for a in arguments))
+
+
+def weakest_precondition(program: Statement, postcondition: Assertion) -> Assertion:
+    """The weakest liberal precondition of a loop-free program."""
+    if isinstance(program, Skip):
+        return postcondition
+    if isinstance(program, Seq):
+        assertion = postcondition
+        for statement in reversed(program.statements):
+            assertion = weakest_precondition(statement, assertion)
+        return assertion
+    if isinstance(program, Unitary):
+        return postcondition.apply_gate(program.gate, program.qubits, "backward")
+    if isinstance(program, ConditionalPauli):
+        condition = ParityExpr.from_bool_expr(program.condition)
+        return postcondition.apply_conditional_pauli(program.qubit, program.pauli, condition)
+    if isinstance(program, ConditionalGate):
+        # The general (If) rule: (¬b ∧ A) ∨ (b ∧ A[U-substitution]).
+        transformed = postcondition.apply_gate(program.gate, program.qubits, "backward")
+        return OrAssertion(
+            (
+                AndAssertion((BoolAssertion(Not(program.condition)), postcondition)),
+                AndAssertion((BoolAssertion(program.condition), transformed)),
+            )
+        )
+    if isinstance(program, Assign):
+        return postcondition.substitute_classical({program.name: program.expr})
+    if isinstance(program, AssignDecoder):
+        mapping = {
+            target: decoder_output_expr(program.function, index + 1, program.arguments)
+            for index, target in enumerate(program.targets)
+        }
+        return postcondition.substitute_classical(mapping)
+    if isinstance(program, Measure):
+        zero_branch = postcondition.substitute_classical({program.target: BoolConst(False)})
+        one_branch = postcondition.substitute_classical({program.target: BoolConst(True)})
+        atom = PauliAssertion(PauliExpr.atom(program.observable, program.phase))
+        return OrAssertion(
+            (
+                AndAssertion((atom, zero_branch)),
+                AndAssertion((atom.negated(), one_branch)),
+            )
+        )
+    if isinstance(program, InitQubit):
+        num_qubits = _infer_num_qubits(postcondition)
+        z_atom = pauli_atom(PauliOperator.from_sparse(num_qubits, {program.qubit: "Z"}))
+        flipped = postcondition.apply_conditional_pauli(
+            program.qubit, "X", ParityExpr.one()
+        )
+        return OrAssertion(
+            (
+                AndAssertion((z_atom, postcondition)),
+                AndAssertion((z_atom.negated(), flipped)),
+            )
+        )
+    if isinstance(program, If):
+        then_wp = weakest_precondition(program.then_branch, postcondition)
+        else_wp = weakest_precondition(program.else_branch, postcondition)
+        return OrAssertion(
+            (
+                AndAssertion((BoolAssertion(Not(program.condition)), else_wp)),
+                AndAssertion((BoolAssertion(program.condition), then_wp)),
+            )
+        )
+    if isinstance(program, While):
+        raise NotImplementedError(
+            "while loops need a user-provided invariant; the QEC programs of the "
+            "evaluation are loop-free (Theorem A.11)"
+        )
+    raise TypeError(f"unknown statement type {type(program).__name__}")
+
+
+def _infer_num_qubits(assertion: Assertion) -> int:
+    """Find the system size from the first Pauli atom of an assertion."""
+    if isinstance(assertion, PauliAssertion):
+        return assertion.expr.num_qubits
+    if isinstance(assertion, (AndAssertion, OrAssertion)):
+        for part in assertion.parts:
+            try:
+                return _infer_num_qubits(part)
+            except ValueError:
+                continue
+    if hasattr(assertion, "operand"):
+        return _infer_num_qubits(assertion.operand)
+    if hasattr(assertion, "antecedent"):
+        try:
+            return _infer_num_qubits(assertion.antecedent)
+        except ValueError:
+            return _infer_num_qubits(assertion.consequent)
+    raise ValueError("cannot infer the number of qubits from a purely classical assertion")

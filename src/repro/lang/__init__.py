@@ -1,0 +1,37 @@
+"""The QEC programming language: abstract syntax, parser and sugar."""
+
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Program,
+    Seq,
+    Skip,
+    Statement,
+    Unitary,
+    While,
+    sequence,
+)
+from repro.lang.parser import parse_program
+
+__all__ = [
+    "Statement",
+    "Skip",
+    "InitQubit",
+    "Unitary",
+    "Assign",
+    "AssignDecoder",
+    "Measure",
+    "ConditionalPauli",
+    "ConditionalGate",
+    "If",
+    "While",
+    "Seq",
+    "Program",
+    "sequence",
+    "parse_program",
+]

@@ -1,0 +1,189 @@
+"""Abstract syntax of the QEC programming language (Section 4.1).
+
+The command set Prog is::
+
+    S ::= skip | q_i := |0> | q_i *= U1 | q_i q_j *= U2
+        | x := e | x := meas[P] | S # S
+        | if b then S else S end | while b do S end
+
+plus the syntactic sugar ``[b] q_i *= U`` for conditional (error) gates and
+decoder calls ``x_1,...,x_n := f(s_1,...,s_m)`` whose outputs stay
+uninterpreted in verification conditions.  Statements are immutable
+dataclasses; ``Seq`` flattens nested sequences so a program is just a list of
+basic commands, which is what the weakest-precondition calculator walks
+backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classical.expr import BoolExpr, Expr
+from repro.classical.parity import ParityExpr
+from repro.pauli.pauli import PauliOperator
+
+__all__ = [
+    "Statement",
+    "Skip",
+    "InitQubit",
+    "Unitary",
+    "Assign",
+    "AssignDecoder",
+    "Measure",
+    "ConditionalPauli",
+    "ConditionalGate",
+    "If",
+    "While",
+    "Seq",
+    "Program",
+    "sequence",
+]
+
+SINGLE_QUBIT_GATES = ("X", "Y", "Z", "H", "S", "SDG", "T", "TDG")
+TWO_QUBIT_GATES = ("CNOT", "CZ", "ISWAP")
+
+
+class Statement:
+    """Base class of program statements."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Skip(Statement):
+    """The empty program."""
+
+
+@dataclass(frozen=True)
+class InitQubit(Statement):
+    """``q_i := |0>`` — reset one qubit to the ground state."""
+
+    qubit: int
+
+
+@dataclass(frozen=True)
+class Unitary(Statement):
+    """``q_i *= U1`` or ``q_i q_j *= U2`` for the Clifford+T gate set."""
+
+    gate: str
+    qubits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        name = self.gate.upper()
+        object.__setattr__(self, "gate", name)
+        object.__setattr__(self, "qubits", tuple(self.qubits))
+        if name in SINGLE_QUBIT_GATES:
+            expected = 1
+        elif name in TWO_QUBIT_GATES:
+            expected = 2
+        else:
+            raise ValueError(f"unsupported gate {self.gate!r}")
+        if len(self.qubits) != expected:
+            raise ValueError(f"gate {name} expects {expected} qubit(s)")
+        if expected == 2 and self.qubits[0] == self.qubits[1]:
+            raise ValueError("two-qubit gates need distinct qubits")
+
+
+@dataclass(frozen=True)
+class Assign(Statement):
+    """Classical assignment ``x := e``."""
+
+    name: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class AssignDecoder(Statement):
+    """Decoder call ``x_1, ..., x_n := f(s_1, ..., s_m)``.
+
+    The decoder stays an uninterpreted function in verification conditions;
+    its outputs are only constrained through the decoder condition ``P_f``.
+    """
+
+    targets: tuple[str, ...]
+    function: str
+    arguments: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Measure(Statement):
+    """``x := meas[P]`` — projective measurement of a Pauli observable.
+
+    ``phase`` allows observables of the form ``(-1)^phi P`` (e.g. measuring a
+    flipped stabilizer); the outcome bit is stored in ``target``.
+    """
+
+    target: str
+    observable: PauliOperator
+    phase: ParityExpr = field(default_factory=ParityExpr.zero)
+
+
+@dataclass(frozen=True)
+class ConditionalPauli(Statement):
+    """``[b] q_i *= U`` with ``U`` a Pauli: apply the error when ``b`` holds."""
+
+    condition: BoolExpr
+    qubit: int
+    pauli: str
+
+    def __post_init__(self) -> None:
+        if self.pauli.upper() not in ("X", "Y", "Z"):
+            raise ValueError("conditional Pauli statements only take X, Y or Z")
+        object.__setattr__(self, "pauli", self.pauli.upper())
+
+
+@dataclass(frozen=True)
+class ConditionalGate(Statement):
+    """``[b] q *= U`` for a non-Pauli U (H or T errors of the case study)."""
+
+    condition: BoolExpr
+    gate: str
+    qubits: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class If(Statement):
+    """``if b then S1 else S0 end``."""
+
+    condition: BoolExpr
+    then_branch: Statement
+    else_branch: Statement
+
+
+@dataclass(frozen=True)
+class While(Statement):
+    """``while b do S end`` (supported by the semantics; wp needs an invariant)."""
+
+    condition: BoolExpr
+    body: Statement
+
+
+@dataclass(frozen=True)
+class Seq(Statement):
+    """Sequential composition ``S1 # S2 # ...``; nested sequences are flattened."""
+
+    statements: tuple[Statement, ...]
+
+    def __post_init__(self) -> None:
+        flattened: list[Statement] = []
+        for statement in self.statements:
+            if isinstance(statement, Seq):
+                flattened.extend(statement.statements)
+            elif isinstance(statement, Skip):
+                continue
+            else:
+                flattened.append(statement)
+        object.__setattr__(self, "statements", tuple(flattened))
+
+
+Program = Statement
+
+
+def sequence(*statements: Statement) -> Statement:
+    """Compose statements, flattening nested sequences and dropping skips."""
+    seq = Seq(tuple(statements))
+    if not seq.statements:
+        return Skip()
+    if len(seq.statements) == 1:
+        return seq.statements[0]
+    return seq

@@ -1,0 +1,415 @@
+"""A tokenizer and recursive-descent parser for the textual QEC language.
+
+The concrete syntax mirrors the paper's program listings (Table 1, Fig. 9/10)
+closely enough to write them down directly::
+
+    for i in 1..7 do q[i] *= H end;
+    for i in 1..7 do [e[i]] q[i] *= Y end;
+    for i in 1..6 do s[i] := meas[g[i]] end      -- with named observables
+    s[1] := meas[X1 X3 X5 X7];
+    z[1], z[2], z[3] := f_z(s[1], s[2], s[3]);
+    if b then q[2] *= X else skip end
+
+Qubit and variable indices are 1-based in the surface syntax (as in the
+paper) and converted to 0-based indices in the AST.  ``for`` loops with
+constant bounds are unrolled at parse time; the loop variable may appear in
+index arithmetic (``q[i+7]``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.classical.expr import (
+    And,
+    BoolConst,
+    BoolExpr,
+    BoolVar,
+    IntConst,
+    IntEq,
+    IntLe,
+    IntVar,
+    Not,
+    Or,
+    Xor,
+    sum_of,
+)
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Skip,
+    Statement,
+    Unitary,
+    While,
+    sequence,
+)
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["parse_program", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text."""
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<number>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\|0>|:=|\*=|\.\.|<=|==|&&|\|\||[\[\](),;+^!<>|])
+  | (?P<skipchar>[ \t\r\n]+)
+  | (?P<comment>--[^\n]*|\#[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_PATTERN.match(source, position)
+        if match is None:
+            raise ParseError(f"unexpected character {source[position]!r} at offset {position}")
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("skipchar", "comment"):
+            continue
+        tokens.append(Token(kind, match.group(), match.start()))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token], num_qubits: int, observables: dict | None):
+        self.tokens = tokens
+        self.index = 0
+        self.num_qubits = num_qubits
+        self.observables = observables or {}
+        self.loop_bindings: dict[str, int] = {}
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def peek_text(self) -> str | None:
+        token = self.peek()
+        return token.text if token else None
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self.index += 1
+        return token
+
+    def expect(self, text: str) -> Token:
+        token = self.advance()
+        if token.text != text:
+            raise ParseError(f"expected {text!r} but found {token.text!r}")
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek_text() == text:
+            self.advance()
+            return True
+        return False
+
+    # -- program ---------------------------------------------------------
+    def parse_program(self) -> Statement:
+        statements = [self.parse_statement()]
+        while self.accept(";"):
+            if self.peek() is None or self.peek_text() in ("end", "else"):
+                break
+            statements.append(self.parse_statement())
+        return sequence(*statements)
+
+    def parse_block(self) -> Statement:
+        statements = [self.parse_statement()]
+        while self.accept(";"):
+            if self.peek() is None or self.peek_text() in ("end", "else"):
+                break
+            statements.append(self.parse_statement())
+        return sequence(*statements)
+
+    # -- statements ------------------------------------------------------
+    def parse_statement(self) -> Statement:
+        text = self.peek_text()
+        if text == "skip":
+            self.advance()
+            return Skip()
+        if text == "for":
+            return self.parse_for()
+        if text == "if":
+            return self.parse_if()
+        if text == "while":
+            return self.parse_while()
+        if text == "[":
+            return self.parse_conditional_gate()
+        if text == "q":
+            return self.parse_qubit_statement()
+        return self.parse_assignment()
+
+    def parse_for(self) -> Statement:
+        self.expect("for")
+        loop_var = self.advance().text
+        self.expect("in")
+        low = self.parse_index_expression()
+        self.expect("..")
+        high = self.parse_index_expression()
+        self.expect("do")
+        body_start = self.index
+        statements = []
+        for value in range(low, high + 1):
+            self.index = body_start
+            previous = self.loop_bindings.get(loop_var)
+            self.loop_bindings[loop_var] = value
+            statements.append(self.parse_block())
+            if previous is None:
+                del self.loop_bindings[loop_var]
+            else:
+                self.loop_bindings[loop_var] = previous
+        self.expect("end")
+        return sequence(*statements)
+
+    def parse_if(self) -> Statement:
+        self.expect("if")
+        condition = self.parse_bool_expression()
+        self.expect("then")
+        then_branch = self.parse_block()
+        else_branch: Statement = Skip()
+        if self.accept("else"):
+            else_branch = self.parse_block()
+        self.expect("end")
+        return If(condition, then_branch, else_branch)
+
+    def parse_while(self) -> Statement:
+        self.expect("while")
+        condition = self.parse_bool_expression()
+        self.expect("do")
+        body = self.parse_block()
+        self.expect("end")
+        return While(condition, body)
+
+    def parse_conditional_gate(self) -> Statement:
+        self.expect("[")
+        condition = self.parse_bool_expression()
+        self.expect("]")
+        statement = self.parse_qubit_statement()
+        if isinstance(statement, Unitary):
+            if statement.gate in ("X", "Y", "Z"):
+                return ConditionalPauli(condition, statement.qubits[0], statement.gate)
+            return ConditionalGate(condition, statement.gate, statement.qubits)
+        raise ParseError("a conditional statement must guard a unitary application")
+
+    def parse_qubit_statement(self) -> Statement:
+        qubits = [self.parse_qubit_reference()]
+        while self.accept(","):
+            qubits.append(self.parse_qubit_reference())
+        operator = self.advance().text
+        if operator == ":=":
+            self.expect("|0>")
+            if len(qubits) != 1:
+                raise ParseError("initialisation resets one qubit at a time")
+            return InitQubit(qubits[0])
+        if operator == "*=":
+            gate = self.advance().text.upper()
+            return Unitary(gate, tuple(qubits))
+        raise ParseError(f"unexpected operator {operator!r} after qubit reference")
+
+    def parse_assignment(self) -> Statement:
+        targets = [self.parse_variable_name()]
+        while self.accept(","):
+            targets.append(self.parse_variable_name())
+        self.expect(":=")
+        if self.peek_text() == "meas":
+            self.advance()
+            self.expect("[")
+            observable = self.parse_observable()
+            self.expect("]")
+            if len(targets) != 1:
+                raise ParseError("a measurement assigns exactly one variable")
+            return Measure(targets[0], observable)
+        # Either a decoder call f(args) or a plain classical expression.
+        checkpoint = self.index
+        token = self.peek()
+        if token is not None and token.kind == "name" and self._looks_like_call():
+            function = self.advance().text
+            self.expect("(")
+            arguments = [self.parse_variable_name()]
+            while self.accept(","):
+                arguments.append(self.parse_variable_name())
+            self.expect(")")
+            return AssignDecoder(tuple(targets), function, tuple(arguments))
+        self.index = checkpoint
+        if len(targets) != 1:
+            raise ParseError("multi-target assignment requires a decoder call")
+        return Assign(targets[0], self.parse_bool_expression())
+
+    def _looks_like_call(self) -> bool:
+        return (
+            self.index + 1 < len(self.tokens)
+            and self.tokens[self.index + 1].text == "("
+        )
+
+    # -- references and expressions ---------------------------------------
+    def parse_qubit_reference(self) -> int:
+        self.expect("q")
+        self.expect("[")
+        index = self.parse_index_expression()
+        self.expect("]")
+        if not 1 <= index <= self.num_qubits:
+            raise ParseError(f"qubit index {index} out of range 1..{self.num_qubits}")
+        return index - 1
+
+    def parse_variable_name(self) -> str:
+        token = self.advance()
+        if token.kind != "name":
+            raise ParseError(f"expected a variable name, found {token.text!r}")
+        name = token.text
+        if self.accept("["):
+            index = self.parse_index_expression()
+            self.expect("]")
+            name = f"{name}_{index}"
+        return name
+
+    def parse_index_expression(self) -> int:
+        value = self.parse_index_atom()
+        while self.peek_text() == "+":
+            self.advance()
+            value += self.parse_index_atom()
+        return value
+
+    def parse_index_atom(self) -> int:
+        token = self.advance()
+        if token.kind == "number":
+            return int(token.text)
+        if token.kind == "name":
+            if token.text in self.loop_bindings:
+                return self.loop_bindings[token.text]
+            raise ParseError(f"unbound index variable {token.text!r}")
+        raise ParseError(f"expected an index, found {token.text!r}")
+
+    def parse_observable(self) -> PauliOperator:
+        # Either a named observable g[i] registered by the caller, or an
+        # inline product such as "X1 X3 X5 X7".
+        if self.peek_text() in ("g",) and self.peek_text() not in ("X", "Y", "Z"):
+            self.advance()
+            self.expect("[")
+            index = self.parse_index_expression()
+            self.expect("]")
+            key = f"g_{index}"
+            if key not in self.observables:
+                raise ParseError(f"unknown named observable {key!r}")
+            return self.observables[key]
+        operator = PauliOperator.identity(self.num_qubits)
+        found = False
+        while True:
+            token = self.peek()
+            if token is None or token.kind != "name":
+                break
+            match = re.fullmatch(r"([XYZ])(\d+)", token.text)
+            if match is None:
+                break
+            self.advance()
+            pauli, qubit = match.group(1), int(match.group(2))
+            if not 1 <= qubit <= self.num_qubits:
+                raise ParseError(f"qubit index {qubit} out of range in observable")
+            operator = operator * PauliOperator.from_sparse(self.num_qubits, {qubit - 1: pauli})
+            found = True
+        if not found:
+            raise ParseError("empty measurement observable")
+        return operator
+
+    def parse_bool_expression(self) -> BoolExpr:
+        return self.parse_or()
+
+    def parse_or(self) -> BoolExpr:
+        left = self.parse_and()
+        while self.peek_text() in ("||", "|"):
+            self.advance()
+            left = Or((left, self.parse_and()))
+        return left
+
+    def parse_and(self) -> BoolExpr:
+        left = self.parse_xor()
+        while self.peek_text() == "&&":
+            self.advance()
+            left = And((left, self.parse_xor()))
+        return left
+
+    def parse_xor(self) -> BoolExpr:
+        left = self.parse_comparison()
+        while self.peek_text() == "^":
+            self.advance()
+            left = Xor((left, self.parse_comparison()))
+        return left
+
+    def parse_comparison(self) -> BoolExpr:
+        left = self.parse_atom()
+        if self.peek_text() in ("<=", "=="):
+            operator = self.advance().text
+            right = self.parse_atom()
+            left_int = self._to_int(left)
+            right_int = self._to_int(right)
+            return IntLe(left_int, right_int) if operator == "<=" else IntEq(left_int, right_int)
+        if isinstance(left, (IntConst, IntVar)):
+            raise ParseError("integer expression used where a boolean is required")
+        return left
+
+    @staticmethod
+    def _to_int(expr):
+        if isinstance(expr, BoolExpr):
+            return sum_of([expr])
+        return expr
+
+    def parse_atom(self):
+        if self.accept("!"):
+            return Not(self.parse_atom())
+        if self.accept("("):
+            inner = self.parse_bool_expression()
+            self.expect(")")
+            return inner
+        token = self.advance()
+        if token.kind == "number":
+            return IntConst(int(token.text))
+        if token.kind == "name":
+            if token.text == "true":
+                return BoolConst(True)
+            if token.text == "false":
+                return BoolConst(False)
+            name = token.text
+            if self.accept("["):
+                index = self.parse_index_expression()
+                self.expect("]")
+                name = f"{name}_{index}"
+            return BoolVar(name)
+        raise ParseError(f"unexpected token {token.text!r} in expression")
+
+
+def parse_program(
+    source: str, num_qubits: int, observables: dict[str, PauliOperator] | None = None
+) -> Statement:
+    """Parse a textual QEC program into the AST.
+
+    ``observables`` lets the caller bind names like ``g_1`` to concrete Pauli
+    operators so syndrome-measurement loops can be written as
+    ``for i in 1..6 do s[i] := meas[g[i]] end``.
+    """
+    parser = _Parser(tokenize(source), num_qubits, observables)
+    program = parser.parse_program()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing input starting at {parser.peek().text!r}")
+    return program

@@ -1,0 +1,41 @@
+"""The hybrid classical-quantum assertion logic (Section 3)."""
+
+from repro.logic.assertion import (
+    AndAssertion,
+    Assertion,
+    BoolAssertion,
+    ImpliesAssertion,
+    NotAssertion,
+    OrAssertion,
+    PauliAssertion,
+    conjunction,
+    disjunction,
+    pauli_atom,
+    stabilizer_assertion,
+)
+from repro.logic.subspace import (
+    join_projectors,
+    meet_projectors,
+    projector_from_stabilizers,
+    sasaki_implies,
+    subspace_contains,
+)
+
+__all__ = [
+    "Assertion",
+    "BoolAssertion",
+    "PauliAssertion",
+    "NotAssertion",
+    "AndAssertion",
+    "OrAssertion",
+    "ImpliesAssertion",
+    "conjunction",
+    "disjunction",
+    "pauli_atom",
+    "stabilizer_assertion",
+    "projector_from_stabilizers",
+    "meet_projectors",
+    "join_projectors",
+    "sasaki_implies",
+    "subspace_contains",
+]

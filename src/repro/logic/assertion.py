@@ -1,0 +1,262 @@
+"""The assertion language AExp and its quantum-logic semantics (Definition 3.2).
+
+An assertion is built from boolean expressions and Pauli expressions with the
+connectives interpreted point-wise over classical memories into subspaces of
+the global Hilbert space: conjunction is intersection, disjunction is the
+span of the union, negation is the orthocomplement and implication the Sasaki
+arrow.  ``to_projector`` realises that semantics exactly on small systems
+(the ground truth used by the soundness tests and the semantic VC fallback),
+while the verification-condition generator works with the syntactic structure
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classical.expr import BoolExpr, Expr, evaluate, simplify, substitute
+from repro.classical.parity import ParityExpr
+from repro.logic.subspace import (
+    complement_projector,
+    join_projectors,
+    meet_projectors,
+    sasaki_implies,
+    state_satisfies,
+)
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+
+__all__ = [
+    "Assertion",
+    "BoolAssertion",
+    "PauliAssertion",
+    "NotAssertion",
+    "AndAssertion",
+    "OrAssertion",
+    "ImpliesAssertion",
+    "conjunction",
+    "disjunction",
+    "pauli_atom",
+    "stabilizer_assertion",
+]
+
+
+class Assertion:
+    """Base class of assertions."""
+
+    __slots__ = ()
+
+    # -- structural operations used by the wp calculus ---------------------
+    def substitute_classical(self, mapping: dict[str, Expr]) -> "Assertion":
+        raise NotImplementedError
+
+    def apply_gate(self, gate: str, qubits: tuple[int, ...], direction: str = "backward") -> "Assertion":
+        raise NotImplementedError
+
+    def apply_conditional_pauli(self, qubit: int, pauli: str, condition: ParityExpr) -> "Assertion":
+        raise NotImplementedError
+
+    # -- semantics ----------------------------------------------------------
+    def to_projector(self, memory, num_qubits: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def satisfied_by(self, state: np.ndarray, memory, num_qubits: int) -> bool:
+        """Whether a (pure or mixed) quantum state satisfies the assertion at ``memory``."""
+        return state_satisfies(state, self.to_projector(memory, num_qubits))
+
+
+@dataclass(frozen=True)
+class BoolAssertion(Assertion):
+    """A classical assertion embedded as the full or null subspace."""
+
+    expr: BoolExpr
+
+    def substitute_classical(self, mapping):
+        return BoolAssertion(simplify(substitute(self.expr, mapping)))
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return self
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return self
+
+    def to_projector(self, memory, num_qubits):
+        dim = 2 ** num_qubits
+        if evaluate(self.expr, memory):
+            return np.eye(dim, dtype=complex)
+        return np.zeros((dim, dim), dtype=complex)
+
+    def __repr__(self) -> str:
+        return f"{self.expr!r}"
+
+
+@dataclass(frozen=True)
+class PauliAssertion(Assertion):
+    """A Pauli expression interpreted as its +1 eigenspace."""
+
+    expr: PauliExpr
+
+    def substitute_classical(self, mapping):
+        return PauliAssertion(self.expr.substitute_classical(mapping))
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return PauliAssertion(self.expr.apply_gate(gate, qubits, direction))
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return PauliAssertion(self.expr.apply_conditional_pauli(qubit, pauli, condition))
+
+    def negated(self) -> "PauliAssertion":
+        """The orthocomplement, which for a Hermitian Pauli is the -1 eigenspace."""
+        return PauliAssertion(-self.expr)
+
+    def to_projector(self, memory, num_qubits):
+        operator = self.expr.evaluate_operator(memory)
+        dim = 2 ** num_qubits
+        if operator.shape != (dim, dim):
+            raise ValueError("Pauli expression acts on a different number of qubits")
+        # +1 eigenspace of a Hermitian operator with eigenvalues +/-1: (I + O)/2.
+        candidate = (np.eye(dim, dtype=complex) + operator) / 2
+        if np.allclose(candidate @ candidate, candidate, atol=1e-9):
+            return candidate
+        # General case (e.g. sums of Paulis): project onto eigenvalue-1 eigenvectors.
+        values, vectors = np.linalg.eigh(operator)
+        basis = vectors[:, np.abs(values - 1.0) < 1e-9]
+        return basis @ basis.conj().T
+
+    def __repr__(self) -> str:
+        return f"⟦{self.expr!r}⟧"
+
+
+@dataclass(frozen=True)
+class NotAssertion(Assertion):
+    operand: Assertion
+
+    def substitute_classical(self, mapping):
+        return NotAssertion(self.operand.substitute_classical(mapping))
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return NotAssertion(self.operand.apply_gate(gate, qubits, direction))
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return NotAssertion(self.operand.apply_conditional_pauli(qubit, pauli, condition))
+
+    def to_projector(self, memory, num_qubits):
+        return complement_projector(self.operand.to_projector(memory, num_qubits))
+
+    def __repr__(self) -> str:
+        return f"¬({self.operand!r})"
+
+
+@dataclass(frozen=True)
+class AndAssertion(Assertion):
+    parts: tuple[Assertion, ...]
+
+    def substitute_classical(self, mapping):
+        return AndAssertion(tuple(p.substitute_classical(mapping) for p in self.parts))
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return AndAssertion(tuple(p.apply_gate(gate, qubits, direction) for p in self.parts))
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return AndAssertion(
+            tuple(p.apply_conditional_pauli(qubit, pauli, condition) for p in self.parts)
+        )
+
+    def to_projector(self, memory, num_qubits):
+        return meet_projectors([p.to_projector(memory, num_qubits) for p in self.parts])
+
+    def __repr__(self) -> str:
+        return " ∧ ".join(f"({p!r})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class OrAssertion(Assertion):
+    parts: tuple[Assertion, ...]
+
+    def substitute_classical(self, mapping):
+        return OrAssertion(tuple(p.substitute_classical(mapping) for p in self.parts))
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return OrAssertion(tuple(p.apply_gate(gate, qubits, direction) for p in self.parts))
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return OrAssertion(
+            tuple(p.apply_conditional_pauli(qubit, pauli, condition) for p in self.parts)
+        )
+
+    def to_projector(self, memory, num_qubits):
+        return join_projectors([p.to_projector(memory, num_qubits) for p in self.parts])
+
+    def __repr__(self) -> str:
+        return " ∨ ".join(f"({p!r})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class ImpliesAssertion(Assertion):
+    """Sasaki implication of assertions."""
+
+    antecedent: Assertion
+    consequent: Assertion
+
+    def substitute_classical(self, mapping):
+        return ImpliesAssertion(
+            self.antecedent.substitute_classical(mapping),
+            self.consequent.substitute_classical(mapping),
+        )
+
+    def apply_gate(self, gate, qubits, direction="backward"):
+        return ImpliesAssertion(
+            self.antecedent.apply_gate(gate, qubits, direction),
+            self.consequent.apply_gate(gate, qubits, direction),
+        )
+
+    def apply_conditional_pauli(self, qubit, pauli, condition):
+        return ImpliesAssertion(
+            self.antecedent.apply_conditional_pauli(qubit, pauli, condition),
+            self.consequent.apply_conditional_pauli(qubit, pauli, condition),
+        )
+
+    def to_projector(self, memory, num_qubits):
+        return sasaki_implies(
+            self.antecedent.to_projector(memory, num_qubits),
+            self.consequent.to_projector(memory, num_qubits),
+        )
+
+    def __repr__(self) -> str:
+        return f"({self.antecedent!r}) ⇒ ({self.consequent!r})"
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors
+# ----------------------------------------------------------------------
+def conjunction(parts) -> Assertion:
+    parts = tuple(parts)
+    if not parts:
+        raise ValueError("conjunction of no assertions")
+    if len(parts) == 1:
+        return parts[0]
+    return AndAssertion(parts)
+
+
+def disjunction(parts) -> Assertion:
+    parts = tuple(parts)
+    if not parts:
+        raise ValueError("disjunction of no assertions")
+    if len(parts) == 1:
+        return parts[0]
+    return OrAssertion(parts)
+
+
+def pauli_atom(operator: PauliOperator, phase: ParityExpr | None = None) -> PauliAssertion:
+    """The atomic assertion ``(-1)^phase operator``."""
+    return PauliAssertion(PauliExpr.atom(operator, phase or ParityExpr.zero()))
+
+
+def stabilizer_assertion(
+    operators: list[PauliOperator], phases: list[ParityExpr] | None = None
+) -> Assertion:
+    """Conjunction of Pauli atoms — the standard codespace assertion."""
+    phases = phases or [ParityExpr.zero()] * len(operators)
+    return conjunction(pauli_atom(op, phase) for op, phase in zip(operators, phases))

@@ -1,0 +1,109 @@
+"""Exact subspace (projector) arithmetic for small systems.
+
+The Birkhoff-von Neumann connectives of the assertion logic are operations on
+closed subspaces: meet is intersection, join is the span of the union,
+negation is the orthocomplement and implication is the Sasaki arrow
+(Appendix A.3).  These dense-matrix implementations are exponential in the
+number of qubits, so they are used only as the ground truth the symbolic
+machinery is tested against and as the semantic fallback for entailments the
+syntactic reduction does not cover.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pauli.pauli import PauliOperator
+
+__all__ = [
+    "projector_from_stabilizers",
+    "projector_onto_columns",
+    "meet_projectors",
+    "join_projectors",
+    "complement_projector",
+    "sasaki_implies",
+    "sasaki_projection",
+    "subspace_contains",
+    "state_satisfies",
+]
+
+_TOLERANCE = 1e-9
+
+
+def projector_from_stabilizers(operators: list[PauliOperator], num_qubits: int) -> np.ndarray:
+    """Projector onto the joint +1 eigenspace of the given Pauli operators."""
+    dim = 2 ** num_qubits
+    projector = np.eye(dim, dtype=complex)
+    for op in operators:
+        projector = projector @ (np.eye(dim, dtype=complex) + op.to_matrix()) / 2
+    # The product of commuting projectors is the projector onto the meet; for
+    # non-commuting inputs fall back to an eigenspace computation.
+    if np.allclose(projector @ projector, projector, atol=_TOLERANCE):
+        return _round(projector)
+    return meet_projectors([_round((np.eye(dim) + op.to_matrix()) / 2) for op in operators])
+
+
+def projector_onto_columns(matrix: np.ndarray) -> np.ndarray:
+    """Orthogonal projector onto the column space of ``matrix``.
+
+    Uses an SVD so rank deficiency is detected reliably regardless of the
+    column ordering (an unpivoted QR would miss columns whose pivots fall
+    outside the leading square block).
+    """
+    if matrix.size == 0:
+        return np.zeros((matrix.shape[0], matrix.shape[0]), dtype=complex)
+    left, singular_values, _ = np.linalg.svd(matrix, full_matrices=False)
+    basis = left[:, singular_values > _TOLERANCE * max(1.0, singular_values.max(initial=0.0))]
+    return _round(basis @ basis.conj().T)
+
+
+def meet_projectors(projectors: list[np.ndarray]) -> np.ndarray:
+    """Projector onto the intersection of the given subspaces."""
+    if not projectors:
+        raise ValueError("meet of an empty family is undefined without a dimension")
+    dim = projectors[0].shape[0]
+    # Intersection = orthocomplement of the span of the orthocomplements.
+    complements = [np.eye(dim, dtype=complex) - p for p in projectors]
+    span = join_projectors(complements) if complements else np.zeros((dim, dim), dtype=complex)
+    return _round(np.eye(dim, dtype=complex) - span)
+
+
+def join_projectors(projectors: list[np.ndarray]) -> np.ndarray:
+    """Projector onto the span of the union of the given subspaces."""
+    if not projectors:
+        raise ValueError("join of an empty family is undefined without a dimension")
+    stacked = np.concatenate(projectors, axis=1)
+    return projector_onto_columns(stacked)
+
+
+def complement_projector(projector: np.ndarray) -> np.ndarray:
+    return _round(np.eye(projector.shape[0], dtype=complex) - projector)
+
+
+def sasaki_implies(antecedent: np.ndarray, consequent: np.ndarray) -> np.ndarray:
+    """The Sasaki implication ``a ~> b = a^perp v (a ^ b)``."""
+    meet = meet_projectors([antecedent, consequent])
+    return join_projectors([complement_projector(antecedent), meet])
+
+
+def sasaki_projection(first: np.ndarray, second: np.ndarray) -> np.ndarray:
+    """The Sasaki projection ``a ⋒ b = a ^ (a^perp v b)``."""
+    return meet_projectors([first, join_projectors([complement_projector(first), second])])
+
+
+def subspace_contains(larger: np.ndarray, smaller: np.ndarray) -> bool:
+    """Whether the subspace of ``smaller`` is included in that of ``larger``."""
+    return np.allclose(larger @ smaller, smaller, atol=1e-7)
+
+
+def state_satisfies(state: np.ndarray, projector: np.ndarray) -> bool:
+    """Whether a pure state or density operator is supported inside the subspace."""
+    if state.ndim == 1:
+        return bool(np.allclose(projector @ state, state, atol=1e-7))
+    return bool(np.allclose(projector @ state @ projector, state, atol=1e-7))
+
+
+def _round(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=complex)
+    matrix[np.abs(matrix) < _TOLERANCE] = 0.0
+    return matrix

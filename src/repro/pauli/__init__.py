@@ -1,0 +1,18 @@
+"""Pauli operators, stabilizer groups, tableau simulation and symbolic Pauli expressions."""
+
+from repro.pauli.pauli import PauliOperator, pauli_from_label
+from repro.pauli.group import StabilizerGroup
+from repro.pauli.tableau import StabilizerTableau
+from repro.pauli.scalar import SqrtTwoRational
+from repro.pauli.expr import PauliExpr, PauliTerm, PhaseExpr
+
+__all__ = [
+    "PauliOperator",
+    "pauli_from_label",
+    "StabilizerGroup",
+    "StabilizerTableau",
+    "SqrtTwoRational",
+    "PauliExpr",
+    "PauliTerm",
+    "PhaseExpr",
+]

@@ -1,0 +1,187 @@
+"""Conjugation of Pauli operators by the Clifford gates of the language.
+
+Two directions are needed:
+
+* *backward* (``U^dagger P U``): exactly the substitutions used by the
+  weakest-precondition rules of Fig. 3 in the paper;
+* *forward* (``U P U^dagger``): Heisenberg evolution used by the stabilizer
+  tableau simulator.
+
+The backward tables are transcribed from the paper; the forward tables are
+derived from them by inverting the induced automorphism on the local Pauli
+group, so the two can never drift apart.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from itertools import product
+
+from repro.pauli.pauli import PauliOperator
+
+__all__ = [
+    "CLIFFORD_1Q",
+    "CLIFFORD_2Q",
+    "backward_images",
+    "forward_images",
+    "conjugate_pauli",
+]
+
+CLIFFORD_1Q = ("X", "Y", "Z", "H", "S", "SDG")
+CLIFFORD_2Q = ("CNOT", "CZ", "ISWAP")
+
+# A *local image* is a signed Pauli on the gate's qubits, written as
+# (sign, chars) with sign in {+1, -1} and chars a tuple of 'I'/'X'/'Y'/'Z'
+# per gate qubit.  The tables give the image of X and Z on each gate qubit
+# under U^dagger . U (the wp substitution of Fig. 3).
+LocalImage = tuple[int, tuple[str, ...]]
+
+_BACKWARD_1Q: dict[str, dict[str, LocalImage]] = {
+    "X": {"X": (1, ("X",)), "Z": (-1, ("Z",))},
+    "Y": {"X": (-1, ("X",)), "Z": (-1, ("Z",))},
+    "Z": {"X": (-1, ("X",)), "Z": (1, ("Z",))},
+    "H": {"X": (1, ("Z",)), "Z": (1, ("X",))},
+    # Rule (U-S): X -> -Y, Y -> X, Z -> Z.
+    "S": {"X": (-1, ("Y",)), "Z": (1, ("Z",))},
+    "SDG": {"X": (1, ("Y",)), "Z": (1, ("Z",))},
+}
+
+_BACKWARD_2Q: dict[str, dict[tuple[str, int], LocalImage]] = {
+    # Rule (U-CNOT): X_i -> X_i X_j, Y_i -> Y_i X_j, Y_j -> Z_i Y_j, Z_j -> Z_i Z_j.
+    "CNOT": {
+        ("X", 0): (1, ("X", "X")),
+        ("Z", 0): (1, ("Z", "I")),
+        ("X", 1): (1, ("I", "X")),
+        ("Z", 1): (1, ("Z", "Z")),
+    },
+    # Rule (U-CZ): X_i -> X_i Z_j, Y_i -> Y_i Z_j, X_j -> Z_i X_j, Y_j -> Z_i Y_j.
+    "CZ": {
+        ("X", 0): (1, ("X", "Z")),
+        ("Z", 0): (1, ("Z", "I")),
+        ("X", 1): (1, ("Z", "X")),
+        ("Z", 1): (1, ("I", "Z")),
+    },
+    # Rule (U-iSWAP): X_i -> Z_i Y_j, Y_i -> -Z_i X_j, Z_i -> Z_j,
+    #                 X_j -> Y_i Z_j, Y_j -> -X_i Z_j, Z_j -> Z_i.
+    "ISWAP": {
+        ("X", 0): (1, ("Z", "Y")),
+        ("Z", 0): (1, ("I", "Z")),
+        ("X", 1): (1, ("Y", "Z")),
+        ("Z", 1): (1, ("Z", "I")),
+    },
+}
+
+
+def _local_operator(image: LocalImage) -> PauliOperator:
+    sign, chars = image
+    op = PauliOperator.from_label("".join(chars))
+    if sign < 0:
+        op = -op
+    return op
+
+
+def _apply_local_map(images: dict, op: PauliOperator) -> PauliOperator:
+    """Apply a local substitution map to a Pauli on the gate's qubits."""
+    arity = op.num_qubits
+    result = PauliOperator((0,) * arity, (0,) * arity, op.phase)
+    for qubit in range(arity):
+        if op.x[qubit]:
+            key = "X" if arity == 1 else ("X", qubit)
+            result = result * _local_operator(images[key])
+        if op.z[qubit]:
+            key = "Z" if arity == 1 else ("Z", qubit)
+            result = result * _local_operator(images[key])
+    return result
+
+
+@lru_cache(maxsize=None)
+def backward_images(gate: str) -> dict:
+    """Local images of X/Z generators under ``U^dagger . U`` (wp direction)."""
+    name = gate.upper()
+    if name in _BACKWARD_1Q:
+        return dict(_BACKWARD_1Q[name])
+    if name in _BACKWARD_2Q:
+        return dict(_BACKWARD_2Q[name])
+    raise ValueError(f"{gate!r} is not a supported Clifford gate")
+
+
+@lru_cache(maxsize=None)
+def forward_images(gate: str) -> dict:
+    """Local images of X/Z generators under ``U . U^dagger`` (simulation direction).
+
+    Derived by inverting the backward map over the local Pauli group, so the
+    forward tables are automatically consistent with the wp rules.
+    """
+    name = gate.upper()
+    backward = backward_images(name)
+    arity = 1 if name in _BACKWARD_1Q else 2
+    generators: dict = {}
+    labels = ["X", "Z"] if arity == 1 else [("X", 0), ("Z", 0), ("X", 1), ("Z", 1)]
+    for key in labels:
+        if arity == 1:
+            target = PauliOperator.from_label(key)
+        else:
+            chars = ["I", "I"]
+            chars[key[1]] = key[0]
+            target = PauliOperator.from_label("".join(chars))
+        image = _find_preimage(backward, target, arity)
+        generators[key] = image
+    return generators
+
+
+def _find_preimage(backward: dict, target: PauliOperator, arity: int) -> LocalImage:
+    """Brute-force the signed local Pauli mapped onto ``target`` by ``backward``."""
+    paulis = ["I", "X", "Y", "Z"]
+    for chars in product(paulis, repeat=arity):
+        candidate = PauliOperator.from_label("".join(chars))
+        for sign in (1, -1):
+            signed = candidate if sign == 1 else -candidate
+            if _apply_local_map(backward, signed) == target:
+                return (sign, chars)
+    raise RuntimeError("backward conjugation map is not invertible (internal error)")
+
+
+def conjugate_pauli(
+    op: PauliOperator,
+    gate: str,
+    qubits: tuple[int, ...],
+    direction: str = "forward",
+) -> PauliOperator:
+    """Conjugate ``op`` by a Clifford ``gate`` acting on ``qubits``.
+
+    ``direction="forward"`` computes ``U op U^dagger``;
+    ``direction="backward"`` computes ``U^dagger op U`` (the wp substitution).
+    """
+    name = gate.upper()
+    if direction == "forward":
+        images = forward_images(name)
+    elif direction == "backward":
+        images = backward_images(name)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    arity = 1 if name in _BACKWARD_1Q else 2
+    if len(qubits) != arity:
+        raise ValueError(f"gate {name} acts on {arity} qubit(s), got {len(qubits)}")
+    if arity == 2 and qubits[0] == qubits[1]:
+        raise ValueError("two-qubit gates need distinct qubits")
+
+    n = op.num_qubits
+    result = PauliOperator((0,) * n, (0,) * n, op.phase)
+    for qubit in range(n):
+        for char, bit in (("X", op.x[qubit]), ("Z", op.z[qubit])):
+            if not bit:
+                continue
+            if qubit not in qubits:
+                factor = PauliOperator.from_sparse(n, {qubit: char})
+            else:
+                role = qubits.index(qubit)
+                key = char if arity == 1 else (char, role)
+                sign, chars = images[key]
+                terms = {
+                    qubits[r]: c for r, c in enumerate(chars) if c != "I"
+                }
+                factor = PauliOperator.from_sparse(n, terms)
+                if sign < 0:
+                    factor = -factor
+            result = result * factor
+    return result

@@ -1,0 +1,119 @@
+"""The ring Z[1/sqrt(2)] of scalar coefficients (SExp of the paper).
+
+Closure of Pauli expressions under the T gate requires coefficients of the
+form ``(a + b*sqrt(2)) / 2^t`` with integer ``a, b`` (Section 3.1).  The
+class below implements exact arithmetic in that ring with a canonical
+representation, so equality of coefficients is decidable and the symbolic
+Pauli-expression layer never loses precision.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SqrtTwoRational"]
+
+
+@dataclass(frozen=True)
+class SqrtTwoRational:
+    """The number ``(a + b*sqrt(2)) / 2**t`` in canonical form.
+
+    Canonical means ``t`` is as small as possible: either ``t == 0`` or not
+    both ``a`` and ``b`` are even.
+    """
+
+    a: int = 0
+    b: int = 0
+    t: int = 0
+
+    def __post_init__(self) -> None:
+        a, b, t = int(self.a), int(self.b), int(self.t)
+        if t < 0:
+            # Negative exponents mean multiplication by powers of two.
+            a *= 2 ** (-t)
+            b *= 2 ** (-t)
+            t = 0
+        while t > 0 and a % 2 == 0 and b % 2 == 0:
+            a //= 2
+            b //= 2
+            t -= 1
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+        object.__setattr__(self, "t", t)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def zero() -> "SqrtTwoRational":
+        return SqrtTwoRational(0, 0, 0)
+
+    @staticmethod
+    def one() -> "SqrtTwoRational":
+        return SqrtTwoRational(1, 0, 0)
+
+    @staticmethod
+    def from_int(value: int) -> "SqrtTwoRational":
+        return SqrtTwoRational(int(value), 0, 0)
+
+    @staticmethod
+    def sqrt2() -> "SqrtTwoRational":
+        return SqrtTwoRational(0, 1, 0)
+
+    @staticmethod
+    def inv_sqrt2() -> "SqrtTwoRational":
+        """1/sqrt(2) = sqrt(2)/2."""
+        return SqrtTwoRational(0, 1, 1)
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "SqrtTwoRational") -> "SqrtTwoRational":
+        other = _coerce(other)
+        t = max(self.t, other.t)
+        a = self.a * 2 ** (t - self.t) + other.a * 2 ** (t - other.t)
+        b = self.b * 2 ** (t - self.t) + other.b * 2 ** (t - other.t)
+        return SqrtTwoRational(a, b, t)
+
+    def __sub__(self, other: "SqrtTwoRational") -> "SqrtTwoRational":
+        return self + (-_coerce(other))
+
+    def __neg__(self) -> "SqrtTwoRational":
+        return SqrtTwoRational(-self.a, -self.b, self.t)
+
+    def __mul__(self, other) -> "SqrtTwoRational":
+        other = _coerce(other)
+        # (a1 + b1 r)(a2 + b2 r) = a1 a2 + 2 b1 b2 + (a1 b2 + a2 b1) r, r = sqrt(2).
+        a = self.a * other.a + 2 * self.b * other.b
+        b = self.a * other.b + self.b * other.a
+        return SqrtTwoRational(a, b, self.t + other.t)
+
+    __rmul__ = __mul__
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def is_one(self) -> bool:
+        return self == SqrtTwoRational.one()
+
+    def __float__(self) -> float:
+        return (self.a + self.b * math.sqrt(2.0)) / (2 ** self.t)
+
+    def __repr__(self) -> str:
+        if self.b == 0:
+            numerator = str(self.a)
+        elif self.a == 0:
+            numerator = f"{self.b}*sqrt2" if self.b != 1 else "sqrt2"
+        else:
+            numerator = f"({self.a} + {self.b}*sqrt2)"
+        if self.t == 0:
+            return numerator
+        return f"{numerator}/{2 ** self.t}"
+
+
+def _coerce(value) -> SqrtTwoRational:
+    if isinstance(value, SqrtTwoRational):
+        return value
+    if isinstance(value, int):
+        return SqrtTwoRational.from_int(value)
+    raise TypeError(f"cannot coerce {value!r} to SqrtTwoRational")

@@ -1,0 +1,5 @@
+"""Operational semantics of QEC programs (Section 4.1, Fig. 2)."""
+
+from repro.semantics.dense import DenseSimulator, GATE_MATRICES
+
+__all__ = ["DenseSimulator", "GATE_MATRICES"]

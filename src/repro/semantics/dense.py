@@ -1,0 +1,224 @@
+"""Dense-matrix operational semantics for classical-quantum programs.
+
+This executes the transition rules of Fig. 2 literally on state vectors /
+density operators, enumerating both branches of every measurement.  It is
+exponential in the number of qubits and is used as the executable ground
+truth against which the proof system (Fig. 3) is checked in the property
+based soundness tests — the role the Coq development plays in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classical.expr import evaluate
+from repro.classical.memory import ClassicalMemory
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Seq,
+    Skip,
+    Statement,
+    Unitary,
+    While,
+)
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["DenseSimulator", "GATE_MATRICES"]
+
+_SQRT2 = np.sqrt(2.0)
+GATE_MATRICES: dict[str, np.ndarray] = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+    "H": np.array([[1, 1], [1, -1]], dtype=complex) / _SQRT2,
+    "S": np.array([[1, 0], [0, 1j]], dtype=complex),
+    "SDG": np.array([[1, 0], [0, -1j]], dtype=complex),
+    "T": np.array([[1, 0], [0, np.exp(1j * np.pi / 4)]], dtype=complex),
+    "TDG": np.array([[1, 0], [0, np.exp(-1j * np.pi / 4)]], dtype=complex),
+    "CNOT": np.array(
+        [[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 0, 1], [0, 0, 1, 0]], dtype=complex
+    ),
+    "CZ": np.diag([1, 1, 1, -1]).astype(complex),
+    # The paper's iSWAP convention (matrix with -i entries).
+    "ISWAP": np.array(
+        [[1, 0, 0, 0], [0, 0, -1j, 0], [0, -1j, 0, 0], [0, 0, 0, 1]], dtype=complex
+    ),
+}
+
+
+class DenseSimulator:
+    """Execute programs on explicit density operators.
+
+    The output of :meth:`run` is a list of ``(memory, rho)`` pairs — the
+    classical-quantum state as a map from classical memories to partial
+    density operators, represented sparsely by its non-zero entries.
+    """
+
+    def __init__(self, num_qubits: int):
+        if num_qubits > 12:
+            raise ValueError("the dense simulator is meant for small systems only")
+        self.num_qubits = num_qubits
+        self.dim = 2 ** num_qubits
+
+    # ------------------------------------------------------------------
+    def initial_state(self, memory: ClassicalMemory | dict | None = None) -> list:
+        """The singleton classical-quantum state ``(m, |0...0><0...0|)``."""
+        rho = np.zeros((self.dim, self.dim), dtype=complex)
+        rho[0, 0] = 1.0
+        mem = memory if isinstance(memory, ClassicalMemory) else ClassicalMemory(memory or {})
+        return [(mem, rho)]
+
+    def state_from_vector(self, vector: np.ndarray, memory=None) -> list:
+        vector = np.asarray(vector, dtype=complex).reshape(-1)
+        rho = np.outer(vector, vector.conj())
+        mem = memory if isinstance(memory, ClassicalMemory) else ClassicalMemory(memory or {})
+        return [(mem, rho)]
+
+    # ------------------------------------------------------------------
+    def _lift(self, gate: str, qubits: tuple[int, ...]) -> np.ndarray:
+        matrix = GATE_MATRICES[gate.upper()]
+        if len(qubits) == 1:
+            operators = [np.eye(2, dtype=complex)] * self.num_qubits
+            operators[qubits[0]] = matrix
+            full = operators[0]
+            for op in operators[1:]:
+                full = np.kron(full, op)
+            return full
+        # Two-qubit gate: build by summing over computational components.
+        full = np.zeros((self.dim, self.dim), dtype=complex)
+        control, target = qubits
+        for a in range(2):
+            for b in range(2):
+                for c in range(2):
+                    for d in range(2):
+                        amplitude = matrix[2 * a + b, 2 * c + d]
+                        if amplitude == 0:
+                            continue
+                        ops = [np.eye(2, dtype=complex)] * self.num_qubits
+                        ops[control] = _ketbra(a, c)
+                        ops[target] = _ketbra(b, d)
+                        term = ops[0]
+                        for op in ops[1:]:
+                            term = np.kron(term, op)
+                        full += amplitude * term
+        return full
+
+    # ------------------------------------------------------------------
+    def run(self, program: Statement, state: list, max_loop_iterations: int = 64) -> list:
+        """Execute a program on a classical-quantum state."""
+        if isinstance(program, Skip):
+            return state
+        if isinstance(program, Seq):
+            current = state
+            for inner in program.statements:
+                current = self.run(inner, current, max_loop_iterations)
+            return current
+        if isinstance(program, Unitary):
+            unitary = self._lift(program.gate, program.qubits)
+            return [(m, unitary @ rho @ unitary.conj().T) for m, rho in state]
+        if isinstance(program, InitQubit):
+            return [(m, self._reset(rho, program.qubit)) for m, rho in state]
+        if isinstance(program, Assign):
+            return [
+                (m.update(program.name, evaluate(program.expr, m)), rho) for m, rho in state
+            ]
+        if isinstance(program, AssignDecoder):
+            return self._run_decoder(program, state)
+        if isinstance(program, ConditionalPauli):
+            return self._run_conditional(
+                Unitary(program.pauli, (program.qubit,)), program.condition, state
+            )
+        if isinstance(program, ConditionalGate):
+            return self._run_conditional(
+                Unitary(program.gate, program.qubits), program.condition, state
+            )
+        if isinstance(program, If):
+            true_states = [(m, r) for m, r in state if evaluate(program.condition, m)]
+            false_states = [(m, r) for m, r in state if not evaluate(program.condition, m)]
+            result = self.run(program.then_branch, true_states, max_loop_iterations)
+            result += self.run(program.else_branch, false_states, max_loop_iterations)
+            return _merge(result)
+        if isinstance(program, While):
+            remaining = state
+            finished: list = []
+            for _ in range(max_loop_iterations):
+                done = [(m, r) for m, r in remaining if not evaluate(program.condition, m)]
+                busy = [(m, r) for m, r in remaining if evaluate(program.condition, m)]
+                finished += done
+                if not busy:
+                    break
+                remaining = self.run(program.body, busy, max_loop_iterations)
+            return _merge(finished)
+        if isinstance(program, Measure):
+            return self._run_measure(program, state)
+        raise TypeError(f"unknown statement {type(program).__name__}")
+
+    # ------------------------------------------------------------------
+    def _run_conditional(self, unitary: Unitary, condition, state: list) -> list:
+        matrix = self._lift(unitary.gate, unitary.qubits)
+        result = []
+        for memory, rho in state:
+            if evaluate(condition, memory):
+                result.append((memory, matrix @ rho @ matrix.conj().T))
+            else:
+                result.append((memory, rho))
+        return result
+
+    def _run_decoder(self, statement: AssignDecoder, state: list) -> list:
+        result = []
+        for memory, rho in state:
+            functions = memory.get("__functions__", {})
+            if statement.function not in functions:
+                raise KeyError(
+                    f"the dense semantics needs an interpretation for decoder {statement.function!r}"
+                )
+            arguments = [bool(memory[a]) for a in statement.arguments]
+            outputs = functions[statement.function](*arguments)
+            assignments = {t: bool(v) for t, v in zip(statement.targets, outputs)}
+            result.append((memory.update_many(assignments), rho))
+        return result
+
+    def _run_measure(self, statement: Measure, state: list) -> list:
+        result = []
+        for memory, rho in state:
+            sign = (-1) ** statement.phase.evaluate(memory)
+            observable = sign * statement.observable.to_matrix()
+            plus = (np.eye(self.dim, dtype=complex) + observable) / 2
+            minus = (np.eye(self.dim, dtype=complex) - observable) / 2
+            for outcome, projector in ((False, plus), (True, minus)):
+                branch = projector @ rho @ projector
+                if np.trace(branch).real > 1e-12:
+                    result.append((memory.update(statement.target, outcome), branch))
+        return _merge(result)
+
+    def _reset(self, rho: np.ndarray, qubit: int) -> np.ndarray:
+        zero = PauliOperator.from_sparse(self.num_qubits, {qubit: "Z"}).to_matrix()
+        plus = (np.eye(self.dim, dtype=complex) + zero) / 2
+        minus = (np.eye(self.dim, dtype=complex) - zero) / 2
+        flip = self._lift("X", (qubit,))
+        return plus @ rho @ plus + flip @ (minus @ rho @ minus) @ flip.conj().T
+
+
+def _ketbra(i: int, j: int) -> np.ndarray:
+    matrix = np.zeros((2, 2), dtype=complex)
+    matrix[i, j] = 1.0
+    return matrix
+
+
+def _merge(states: list) -> list:
+    merged: dict = {}
+    order = []
+    for memory, rho in states:
+        key = memory
+        if key not in merged:
+            merged[key] = rho.copy()
+            order.append(key)
+        else:
+            merged[key] = merged[key] + rho
+    return [(memory, merged[memory]) for memory in order]

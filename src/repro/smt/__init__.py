@@ -1,0 +1,24 @@
+"""A self-contained SMT substrate: CNF, CDCL SAT solving and formula encoding.
+
+The paper discharges classical verification conditions with Z3/CVC5.  Those
+solvers are not available offline, so this package provides the equivalent
+machinery: a boolean formula encoder (Tseitin transformation, parity chains,
+sequential-counter cardinality constraints, bounded integer comparisons) and
+a CDCL SAT solver, plus a small front end mirroring the check-sat / model
+interface the verifier needs, including parallel task splitting.
+"""
+
+from repro.smt.cnf import CNF
+from repro.smt.solver import SATSolver, SolverResult
+from repro.smt.encoder import FormulaEncoder
+from repro.smt.interface import SMTCheck, check_formula, check_valid
+
+__all__ = [
+    "CNF",
+    "SATSolver",
+    "SolverResult",
+    "FormulaEncoder",
+    "SMTCheck",
+    "check_formula",
+    "check_valid",
+]

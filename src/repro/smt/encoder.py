@@ -1,0 +1,250 @@
+"""Encoding classical expressions into CNF.
+
+The verification conditions produced by the VC generator are boolean
+combinations of
+
+* boolean program variables (error indicators, syndromes, corrections),
+* parities (XOR chains) coming from phase bookkeeping,
+* cardinality constraints ``sum of indicators <= bound`` and comparisons
+  between two sums (the decoder condition P_f), and
+* uninterpreted decoder outputs ``f_z,i(s)``.
+
+Everything is reduced to CNF with a Tseitin transformation; sums are encoded
+with a bidirectional sequential counter producing unary "at least j" bits so
+that comparisons remain correct in any boolean context (negated, nested under
+implications, ...).
+"""
+
+from __future__ import annotations
+
+from repro.classical.expr import (
+    Add,
+    And,
+    BoolConst,
+    BoolExpr,
+    BoolToInt,
+    BoolVar,
+    Expr,
+    Iff,
+    Implies,
+    IntConst,
+    IntEq,
+    IntExpr,
+    IntLe,
+    IntVar,
+    Not,
+    Or,
+    UFBool,
+    Xor,
+)
+from repro.smt.cnf import CNF
+
+__all__ = ["FormulaEncoder"]
+
+
+class FormulaEncoder:
+    """Stateful encoder mapping :class:`BoolExpr` trees onto a CNF."""
+
+    def __init__(self) -> None:
+        self.cnf = CNF()
+        self._cache: dict[Expr, int] = {}
+        self._counter_cache: dict[tuple[int, ...], list[int]] = {}
+        self._constant_true: int | None = None
+
+    # ------------------------------------------------------------------
+    # Variables and constants
+    # ------------------------------------------------------------------
+    def variable(self, name: str) -> int:
+        """The CNF literal of a named boolean program variable."""
+        return self.cnf.var_for(("var", name))
+
+    def named_literals(self) -> dict[str, int]:
+        """Mapping from program variable names to CNF variables."""
+        result = {}
+        for key, var in self.cnf.named_variables().items():
+            if isinstance(key, tuple) and key and key[0] == "var":
+                result[key[1]] = var
+        return result
+
+    def true_literal(self) -> int:
+        if self._constant_true is None:
+            self._constant_true = self.cnf.new_var(("const", True))
+            self.cnf.add_clause([self._constant_true])
+        return self._constant_true
+
+    def false_literal(self) -> int:
+        return -self.true_literal()
+
+    # ------------------------------------------------------------------
+    # Gate helpers (all bidirectional)
+    # ------------------------------------------------------------------
+    def _mk_and(self, literals: list[int]) -> int:
+        literals = [lit for lit in literals if lit != self.true_literal()]
+        if any(lit == self.false_literal() for lit in literals):
+            return self.false_literal()
+        if not literals:
+            return self.true_literal()
+        if len(literals) == 1:
+            return literals[0]
+        output = self.cnf.new_var()
+        for lit in literals:
+            self.cnf.add_clause([-output, lit])
+        self.cnf.add_clause([output] + [-lit for lit in literals])
+        return output
+
+    def _mk_or(self, literals: list[int]) -> int:
+        literals = [lit for lit in literals if lit != self.false_literal()]
+        if any(lit == self.true_literal() for lit in literals):
+            return self.true_literal()
+        if not literals:
+            return self.false_literal()
+        if len(literals) == 1:
+            return literals[0]
+        output = self.cnf.new_var()
+        for lit in literals:
+            self.cnf.add_clause([-lit, output])
+        self.cnf.add_clause([-output] + list(literals))
+        return output
+
+    def _mk_xor2(self, a: int, b: int) -> int:
+        output = self.cnf.new_var()
+        self.cnf.add_clause([-output, a, b])
+        self.cnf.add_clause([-output, -a, -b])
+        self.cnf.add_clause([output, -a, b])
+        self.cnf.add_clause([output, a, -b])
+        return output
+
+    def _mk_xor(self, literals: list[int]) -> int:
+        if not literals:
+            return self.false_literal()
+        accumulator = literals[0]
+        for lit in literals[1:]:
+            accumulator = self._mk_xor2(accumulator, lit)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    # Boolean expression encoding
+    # ------------------------------------------------------------------
+    def encode(self, expr: BoolExpr) -> int:
+        """Return a CNF literal equivalent to ``expr``."""
+        if expr in self._cache:
+            return self._cache[expr]
+        literal = self._encode_uncached(expr)
+        self._cache[expr] = literal
+        return literal
+
+    def _encode_uncached(self, expr: BoolExpr) -> int:
+        if isinstance(expr, BoolConst):
+            return self.true_literal() if expr.value else self.false_literal()
+        if isinstance(expr, BoolVar):
+            return self.variable(expr.name)
+        if isinstance(expr, UFBool):
+            arg_literals = tuple(self.encode(arg) for arg in expr.args)
+            return self.cnf.var_for(("uf", expr.name, arg_literals))
+        if isinstance(expr, Not):
+            return -self.encode(expr.operand)
+        if isinstance(expr, And):
+            return self._mk_and([self.encode(op) for op in expr.operands])
+        if isinstance(expr, Or):
+            return self._mk_or([self.encode(op) for op in expr.operands])
+        if isinstance(expr, Xor):
+            return self._mk_xor([self.encode(op) for op in expr.operands])
+        if isinstance(expr, Implies):
+            return self._mk_or([-self.encode(expr.antecedent), self.encode(expr.consequent)])
+        if isinstance(expr, Iff):
+            return -self._mk_xor2(self.encode(expr.left), self.encode(expr.right))
+        if isinstance(expr, IntLe):
+            return self._encode_le(expr.left, expr.right)
+        if isinstance(expr, IntEq):
+            first = self._encode_le(expr.left, expr.right)
+            second = self._encode_le(expr.right, expr.left)
+            return self._mk_and([first, second])
+        raise TypeError(f"cannot encode expression of type {type(expr).__name__}")
+
+    def assert_formula(self, expr: BoolExpr) -> None:
+        """Constrain the CNF so that ``expr`` must hold."""
+        self.cnf.add_clause([self.encode(expr)])
+
+    # ------------------------------------------------------------------
+    # Integer sums and comparisons
+    # ------------------------------------------------------------------
+    def _flatten_sum(self, expr: IntExpr) -> tuple[list[int], int]:
+        """Flatten an integer expression into (boolean literals, constant offset)."""
+        if isinstance(expr, IntConst):
+            return [], expr.value
+        if isinstance(expr, BoolToInt):
+            return [self.encode(expr.operand)], 0
+        if isinstance(expr, Add):
+            literals: list[int] = []
+            constant = 0
+            for term in expr.terms:
+                term_literals, term_constant = self._flatten_sum(term)
+                literals.extend(term_literals)
+                constant += term_constant
+            return literals, constant
+        if isinstance(expr, IntVar):
+            raise TypeError(
+                f"free integer variable {expr.name!r} cannot be encoded; "
+                "QEC verification conditions only contain sums of 0/1 indicators"
+            )
+        raise TypeError(f"cannot flatten integer expression of type {type(expr).__name__}")
+
+    def _counter_at_least(self, literals: list[int], max_threshold: int) -> list[int]:
+        """Unary counter bits ``ge[j]`` (1-indexed) with ``ge[j] <-> sum >= j``.
+
+        The construction is the classic sequential counter, built out of the
+        bidirectional AND/OR gates above so the bits can be used under any
+        polarity.
+        """
+        key = tuple(literals)
+        cached = self._counter_cache.get(key, [])
+        threshold = min(max_threshold, len(literals))
+        if len(cached) >= threshold:
+            return cached[:threshold]
+        # (Re)build the full counter; reuse is common enough that building all
+        # thresholds once is cheaper than incremental extension.
+        previous: list[int] = []
+        for index, lit in enumerate(literals):
+            width = min(index + 1, len(literals))
+            current: list[int] = []
+            for j in range(1, width + 1):
+                at_least_without = previous[j - 1] if j - 1 < len(previous) else None
+                needs_previous = previous[j - 2] if j >= 2 else None
+                if j == 1:
+                    with_this = lit
+                else:
+                    if needs_previous is None:
+                        with_this = self.false_literal()
+                    else:
+                        with_this = self._mk_and([lit, needs_previous])
+                if at_least_without is None:
+                    current.append(with_this)
+                else:
+                    current.append(self._mk_or([at_least_without, with_this]))
+            previous = current
+        self._counter_cache[key] = previous
+        return previous[:threshold]
+
+    def _threshold_literal(self, counter: list[int], threshold: int) -> int:
+        """Literal for ``sum >= threshold`` given the counter bits."""
+        if threshold <= 0:
+            return self.true_literal()
+        if threshold > len(counter):
+            return self.false_literal()
+        return counter[threshold - 1]
+
+    def _encode_le(self, left: IntExpr, right: IntExpr) -> int:
+        left_literals, left_constant = self._flatten_sum(left)
+        right_literals, right_constant = self._flatten_sum(right)
+        delta = right_constant - left_constant
+        # sum(L) <= sum(R) + delta  <=>  for all j: sum(L) >= j  ->  sum(R) >= j - delta
+        left_counter = self._counter_at_least(left_literals, len(left_literals))
+        right_counter = self._counter_at_least(right_literals, len(right_literals))
+        # The constraint must hold for j = 0 as well (sum(L) >= 0 is always
+        # true), which carries the purely-constant part of the comparison.
+        conjuncts: list[int] = [self._threshold_literal(right_counter, -delta)]
+        for j in range(1, len(left_literals) + 1):
+            antecedent = self._threshold_literal(left_counter, j)
+            consequent = self._threshold_literal(right_counter, j - delta)
+            conjuncts.append(self._mk_or([-antecedent, consequent]))
+        return self._mk_and(conjuncts)

@@ -1,0 +1,88 @@
+"""High-level check-sat / check-valid interface over the encoder and solver.
+
+This mirrors the role Z3's Python API plays in the original Veri-QEC: the
+verifier builds a classical formula, asks whether it is satisfiable (bug
+hunting) or valid (verification), and reads back a model (counterexample)
+when one exists.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.classical.expr import BoolExpr, Not
+from repro.smt.encoder import FormulaEncoder
+from repro.smt.solver import SATSolver
+
+__all__ = ["SMTCheck", "check_formula", "check_valid"]
+
+
+@dataclass
+class SMTCheck:
+    """Result of a satisfiability or validity check."""
+
+    status: str  # "sat" or "unsat"
+    model: dict[str, bool] | None = None
+    elapsed_seconds: float = 0.0
+    num_variables: int = 0
+    num_clauses: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+def _extract_model(encoder: FormulaEncoder, raw_model: dict[int, bool]) -> dict[str, bool]:
+    named = {}
+    for name, var in encoder.named_literals().items():
+        named[name] = bool(raw_model.get(var, False))
+    return named
+
+
+def check_formula(
+    formula: BoolExpr,
+    assumptions: dict[str, bool] | None = None,
+    encoder: FormulaEncoder | None = None,
+) -> SMTCheck:
+    """Decide satisfiability of ``formula``; a model names program variables.
+
+    ``assumptions`` fixes the value of named boolean variables, which is how
+    the parallel driver and the "fixed error pattern" functionality pin down
+    selected error indicators.
+    """
+    start = time.perf_counter()
+    enc = encoder or FormulaEncoder()
+    enc.assert_formula(formula)
+    assumption_literals = []
+    for name, value in (assumptions or {}).items():
+        literal = enc.variable(name)
+        assumption_literals.append(literal if value else -literal)
+    solver = SATSolver(enc.cnf)
+    result = solver.solve(assumptions=assumption_literals)
+    elapsed = time.perf_counter() - start
+    return SMTCheck(
+        status="sat" if result.satisfiable else "unsat",
+        model=_extract_model(enc, result.model) if result.satisfiable else None,
+        elapsed_seconds=elapsed,
+        num_variables=enc.cnf.num_vars,
+        num_clauses=enc.cnf.num_clauses,
+        conflicts=result.conflicts,
+        decisions=result.decisions,
+    )
+
+
+def check_valid(formula: BoolExpr, assumptions: dict[str, bool] | None = None) -> SMTCheck:
+    """Decide validity of ``formula`` by refuting its negation.
+
+    ``status == "unsat"`` means the formula is valid (the property verifies);
+    a ``sat`` result carries a counterexample model.
+    """
+    return check_formula(Not(formula), assumptions=assumptions)

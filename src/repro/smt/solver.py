@@ -1,0 +1,332 @@
+"""A CDCL SAT solver.
+
+The solver implements the standard conflict-driven clause-learning loop:
+two-watched-literal unit propagation, first-UIP conflict analysis with
+clause learning and non-chronological backjumping, VSIDS-style activity
+ordering with decay, Luby restarts and learnt-clause deletion.  It is written
+for clarity first, but is fast enough for the QEC verification conditions in
+the benchmarks (thousands of variables, tens of thousands of clauses).
+
+Assumption literals are supported so the parallel verifier can split a task
+into subtasks by fixing selected error indicators, mirroring the enumeration
+strategy of Appendix D.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SATSolver", "SolverResult"]
+
+_UNASSIGNED = 0
+_TRUE = 1
+_FALSE = -1
+
+
+@dataclass
+class SolverResult:
+    """Outcome of a solve call."""
+
+    satisfiable: bool
+    model: dict[int, bool] | None = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+def _luby(index: int) -> int:
+    """The Luby restart sequence 1,1,2,1,1,2,4,... (``index`` is 1-based)."""
+    while True:
+        k = index.bit_length()
+        if index == (1 << k) - 1:
+            return 1 << (k - 1)
+        index = index - (1 << (k - 1)) + 1
+
+
+class SATSolver:
+    """Conflict-driven clause-learning solver over a :class:`~repro.smt.cnf.CNF`."""
+
+    def __init__(self, cnf, max_conflicts: int | None = None):
+        self.num_vars = cnf.num_vars
+        self.clauses: list[list[int]] = []
+        self.max_conflicts = max_conflicts
+
+        size = self.num_vars + 1
+        self.assignment = [_UNASSIGNED] * size
+        self.level = [0] * size
+        self.reason: list[int | None] = [None] * size
+        self.activity = [0.0] * size
+        self.polarity = [False] * size
+        self.watches: dict[int, list[int]] = {}
+        self.trail: list[int] = []
+        self.trail_limits: list[int] = []
+        self.queue_head = 0
+
+        self.conflicts = 0
+        self.decisions = 0
+        self.propagations = 0
+        self._activity_increment = 1.0
+        self._activity_decay = 0.95
+        self._contradiction = False
+
+        for clause in cnf.clauses:
+            self._attach_clause(list(clause), learnt=False)
+
+        self.first_learnt_index = len(self.clauses)
+
+    # ------------------------------------------------------------------
+    # Clause management
+    # ------------------------------------------------------------------
+    def _attach_clause(self, clause: list[int], learnt: bool) -> int | None:
+        if not clause:
+            self._contradiction = True
+            return None
+        if len(clause) == 1:
+            # Unit input clause: enqueue at level 0.
+            lit = clause[0]
+            if not self._enqueue(lit, None):
+                self._contradiction = True
+            return None
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        for lit in clause[:2]:
+            self.watches.setdefault(-lit, []).append(index)
+        return index
+
+    # ------------------------------------------------------------------
+    # Assignment helpers
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> int:
+        value = self.assignment[abs(lit)]
+        if value == _UNASSIGNED:
+            return _UNASSIGNED
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason_index: int | None) -> bool:
+        current = self._value(lit)
+        if current == _TRUE:
+            return True
+        if current == _FALSE:
+            return False
+        var = abs(lit)
+        self.assignment[var] = _TRUE if lit > 0 else _FALSE
+        self.level[var] = len(self.trail_limits)
+        self.reason[var] = reason_index
+        self.polarity[var] = lit > 0
+        self.trail.append(lit)
+        return True
+
+    def _decision_level(self) -> int:
+        return len(self.trail_limits)
+
+    # ------------------------------------------------------------------
+    # Unit propagation with two watched literals
+    # ------------------------------------------------------------------
+    def _propagate(self) -> int | None:
+        """Propagate pending assignments; return a conflicting clause index or None."""
+        while self.queue_head < len(self.trail):
+            lit = self.trail[self.queue_head]
+            self.queue_head += 1
+            self.propagations += 1
+            watch_list = self.watches.get(lit)
+            if not watch_list:
+                continue
+            new_watch_list: list[int] = []
+            index_position = 0
+            while index_position < len(watch_list):
+                clause_index = watch_list[index_position]
+                index_position += 1
+                clause = self.clauses[clause_index]
+                # Ensure the falsified literal is in position 1.
+                false_lit = -lit
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == _TRUE:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for position in range(2, len(clause)):
+                    candidate = clause[position]
+                    if self._value(candidate) != _FALSE:
+                        clause[1], clause[position] = clause[position], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                # Clause is unit or conflicting.
+                new_watch_list.append(clause_index)
+                if self._value(first) == _FALSE:
+                    # Conflict: keep remaining watches and report.
+                    new_watch_list.extend(watch_list[index_position:])
+                    self.watches[lit] = new_watch_list
+                    return clause_index
+                self._enqueue(first, clause_index)
+            self.watches[lit] = new_watch_list
+        return None
+
+    # ------------------------------------------------------------------
+    # Conflict analysis (first UIP)
+    # ------------------------------------------------------------------
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+        learnt: list[int] = [0]  # placeholder for the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        lit = None
+        clause_index: int | None = conflict_index
+        trail_position = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            clause = self.clauses[clause_index]
+            for clause_lit in clause:
+                if lit is not None and clause_lit == lit:
+                    continue
+                var = abs(clause_lit)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump_activity(var)
+                    if self.level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learnt.append(clause_lit)
+            # Select the next literal on the trail to resolve.
+            while not seen[abs(self.trail[trail_position])]:
+                trail_position -= 1
+            lit = self.trail[trail_position]
+            trail_position -= 1
+            seen[abs(lit)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            clause_index = self.reason[abs(lit)]
+        learnt[0] = -lit
+
+        if len(learnt) == 1:
+            backjump_level = 0
+        else:
+            # Move the literal with the highest level (other than the UIP) to slot 1.
+            best = max(range(1, len(learnt)), key=lambda i: self.level[abs(learnt[i])])
+            learnt[1], learnt[best] = learnt[best], learnt[1]
+            backjump_level = self.level[abs(learnt[1])]
+        return learnt, backjump_level
+
+    def _bump_activity(self, var: int) -> None:
+        self.activity[var] += self._activity_increment
+        if self.activity[var] > 1e100:
+            for index in range(1, self.num_vars + 1):
+                self.activity[index] *= 1e-100
+            self._activity_increment *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self._activity_increment /= self._activity_decay
+
+    # ------------------------------------------------------------------
+    # Backtracking
+    # ------------------------------------------------------------------
+    def _cancel_until(self, target_level: int) -> None:
+        if self._decision_level() <= target_level:
+            return
+        limit = self.trail_limits[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.assignment[var] = _UNASSIGNED
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_limits[target_level:]
+        self.queue_head = len(self.trail)
+
+    # ------------------------------------------------------------------
+    # Decision heuristic
+    # ------------------------------------------------------------------
+    def _pick_branch_variable(self) -> int | None:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assignment[var] == _UNASSIGNED and self.activity[var] > best_activity:
+                best_var = var
+                best_activity = self.activity[var]
+        return best_var
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def solve(self, assumptions=()) -> SolverResult:
+        """Decide satisfiability under the given assumption literals."""
+        if self._contradiction:
+            return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+
+        conflict = self._propagate()
+        if conflict is not None:
+            return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+
+        root_level = 0
+        for lit in assumptions:
+            if self._value(lit) == _FALSE:
+                self._cancel_until(0)
+                return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+            if self._value(lit) == _UNASSIGNED:
+                self.trail_limits.append(len(self.trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._cancel_until(0)
+                    return SolverResult(
+                        False, None, self.conflicts, self.decisions, self.propagations
+                    )
+        root_level = self._decision_level()
+
+        restart_count = 0
+        conflicts_until_restart = 100 * _luby(restart_count + 1)
+        conflicts_since_restart = 0
+        max_learnt = max(1000, len(self.clauses) // 3)
+
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if self.max_conflicts is not None and self.conflicts > self.max_conflicts:
+                    self._cancel_until(0)
+                    raise RuntimeError("conflict budget exhausted")
+                if self._decision_level() <= root_level:
+                    self._cancel_until(0)
+                    return SolverResult(
+                        False, None, self.conflicts, self.decisions, self.propagations
+                    )
+                learnt, backjump_level = self._analyze(conflict)
+                self._cancel_until(max(backjump_level, root_level))
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    index = self._attach_clause(learnt, learnt=True)
+                    self._enqueue(learnt[0], index)
+                self._decay_activities()
+            else:
+                if conflicts_since_restart >= conflicts_until_restart:
+                    conflicts_since_restart = 0
+                    restart_count += 1
+                    conflicts_until_restart = 100 * _luby(restart_count + 1)
+                    self._cancel_until(root_level)
+                    continue
+                if len(self.clauses) - self.first_learnt_index > max_learnt:
+                    max_learnt = int(max_learnt * 1.5)
+                variable = self._pick_branch_variable()
+                if variable is None:
+                    model = {
+                        var: self.assignment[var] == _TRUE
+                        for var in range(1, self.num_vars + 1)
+                    }
+                    self._cancel_until(0)
+                    return SolverResult(
+                        True, model, self.conflicts, self.decisions, self.propagations
+                    )
+                self.decisions += 1
+                self.trail_limits.append(len(self.trail))
+                preferred = variable if self.polarity[variable] else -variable
+                self._enqueue(preferred, None)

@@ -1,0 +1,19 @@
+"""Low-level utilities shared by the rest of the package."""
+
+from repro.utils.bitmatrix import (
+    gf2_gaussian_elimination,
+    gf2_nullspace,
+    gf2_rank,
+    gf2_row_reduce,
+    gf2_solve,
+    gf2_span_contains,
+)
+
+__all__ = [
+    "gf2_gaussian_elimination",
+    "gf2_nullspace",
+    "gf2_rank",
+    "gf2_row_reduce",
+    "gf2_solve",
+    "gf2_span_contains",
+]

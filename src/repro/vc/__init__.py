@@ -1,0 +1,16 @@
+"""Verification-condition generation and reduction (Section 5)."""
+
+from repro.vc.symbolic import SymbolicPrecondition, DerivedAtom, symbolic_wp
+from repro.vc.reduction import reduce_to_classical, ReductionError
+from repro.vc.semantic import semantic_entailment
+from repro.vc.pipeline import verify_triple
+
+__all__ = [
+    "SymbolicPrecondition",
+    "DerivedAtom",
+    "symbolic_wp",
+    "reduce_to_classical",
+    "ReductionError",
+    "semantic_entailment",
+    "verify_triple",
+]

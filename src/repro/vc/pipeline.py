@@ -1,0 +1,106 @@
+"""End-to-end verification of a Hoare triple (the program-logic route).
+
+``verify_triple`` mirrors the three components of the tool described in
+Section 6: the correctness-formula (here: the triple built by
+:mod:`repro.verifier.programs`), the VC generator (the compact symbolic wp of
+:mod:`repro.vc.symbolic` plus the reduction of :mod:`repro.vc.reduction`) and
+the SMT checker (:mod:`repro.smt`).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.classical.expr import BoolExpr
+from repro.hoare.triple import HoareTriple
+from repro.logic.assertion import AndAssertion, Assertion, PauliAssertion
+from repro.smt.interface import check_valid
+from repro.vc.reduction import SpecAtom, reduce_to_classical
+from repro.vc.symbolic import symbolic_wp
+from repro.verifier.report import VerificationReport
+
+__all__ = ["verify_triple", "spec_atoms_from_assertion"]
+
+
+def spec_atoms_from_assertion(assertion: Assertion) -> list[SpecAtom]:
+    """Extract the Pauli atoms of a conjunction-of-atoms assertion."""
+    atoms: list[SpecAtom] = []
+
+    def collect(node: Assertion) -> None:
+        if isinstance(node, AndAssertion):
+            for part in node.parts:
+                collect(part)
+            return
+        if isinstance(node, PauliAssertion):
+            if len(node.expr.terms) != 1:
+                raise ValueError("specification atoms must be single Pauli terms")
+            term = node.expr.terms[0]
+            atoms.append(SpecAtom(term.operator, term.phase, f"spec[{len(atoms)}]"))
+            return
+        raise ValueError(
+            "pre/postconditions of QEC correctness formulas must be conjunctions of "
+            f"Pauli atoms; found {type(node).__name__}"
+        )
+
+    collect(assertion)
+    return atoms
+
+
+def verify_triple(
+    triple: HoareTriple,
+    decoder_condition: BoolExpr | None = None,
+) -> VerificationReport:
+    """Verify ``{A ∧ P_c} S {B}`` and report the result.
+
+    The postcondition atoms are pushed backwards through the program with the
+    compact symbolic wp, the entailment against the precondition atoms is
+    reduced to a classical formula, and the formula's validity is decided by
+    the SAT back end.
+    """
+    start = time.perf_counter()
+    spec = spec_atoms_from_assertion(triple.precondition)
+    postcondition_atoms = [
+        assertion.expr for assertion in _pauli_parts(triple.postcondition)
+    ]
+    num_qubits = spec[0].operator.num_qubits
+    precondition = symbolic_wp(triple.program, postcondition_atoms, num_qubits)
+    formula = reduce_to_classical(
+        spec,
+        precondition,
+        triple.classical_constraint,
+        decoder_condition=decoder_condition,
+    )
+    check = check_valid(formula)
+    elapsed = time.perf_counter() - start
+    return VerificationReport(
+        task=f"program-logic:{triple.name}",
+        code_name=triple.name,
+        verified=check.is_unsat,
+        counterexample=check.model if check.is_sat else None,
+        elapsed_seconds=elapsed,
+        num_variables=check.num_variables,
+        num_clauses=check.num_clauses,
+        conflicts=check.conflicts,
+        details={
+            "bound_outcomes": list(precondition.bound_outcomes),
+            "num_atoms": len(precondition.atoms),
+        },
+    )
+
+
+def _pauli_parts(assertion: Assertion) -> list[PauliAssertion]:
+    parts: list[PauliAssertion] = []
+
+    def collect(node: Assertion) -> None:
+        if isinstance(node, AndAssertion):
+            for part in node.parts:
+                collect(part)
+        elif isinstance(node, PauliAssertion):
+            parts.append(node)
+        else:
+            raise ValueError(
+                "postconditions must be conjunctions of Pauli atoms for the compact route"
+            )
+
+    collect(assertion)
+    return parts

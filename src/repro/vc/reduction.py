@@ -1,0 +1,187 @@
+"""Reduction of QEC verification conditions to classical formulas (Section 5.1).
+
+The entailment to discharge has the shape of Eqn. (8):
+
+    (/\\_i g_i  /\\_j L_j)  /\\  P_c   |=   \\/_s  /\\_i (-1)^{phi_i(s,e)} P'_i
+
+Three cases are handled, following the paper:
+
+1. every derived body ``P'_i`` is one of the specification bodies — the
+   entailment reduces to comparing phases;
+2. all bodies commute — each ``P'_i`` is decomposed over the specification
+   generators (Proposition 5.2), contributing the phase offset ``alpha_i``;
+3. a non-commuting pair exists (non-Pauli errors) — the heuristic elimination
+   multiplies derived generator atoms into the offending ones and drops the
+   irreducible atom after checking that the remaining phases pair up, which
+   reduces the condition to case 2.
+
+The resulting classical formula uses the deterministic-syndrome Skolemization
+discussed in :mod:`repro.verifier.encodings`: conditions coming from
+*measurement* atoms pin the bound syndrome variables to the outcome the
+errored state would produce, and appear as antecedents; conditions coming
+from *postcondition* atoms are the correctness goals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.classical.expr import BoolExpr, Implies, Not, bool_and
+from repro.classical.parity import ParityExpr
+from repro.pauli.group import StabilizerGroup
+from repro.pauli.pauli import PauliOperator
+from repro.pauli.scalar import SqrtTwoRational
+from repro.vc.symbolic import DerivedAtom, SymbolicPrecondition
+
+__all__ = ["ReductionError", "SpecAtom", "reduce_to_classical"]
+
+
+class ReductionError(RuntimeError):
+    """Raised when the syntactic reduction cannot handle the VC shape."""
+
+
+@dataclass(frozen=True)
+class SpecAtom:
+    """One atom of the specified precondition: ``(-1)^phase operator``."""
+
+    operator: PauliOperator
+    phase: ParityExpr = ParityExpr.zero()
+    label: str = ""
+
+
+def _phase_condition(parity: ParityExpr) -> BoolExpr:
+    """The classical condition ``parity == 0``."""
+    return Not(parity.to_bool_expr())
+
+
+def _decompose(spec_group: StabilizerGroup, spec_atoms: list[SpecAtom], body: PauliOperator):
+    """Decompose ``body`` over the specification atoms, returning the induced phase."""
+    decomposition = spec_group.decompose(body)
+    if decomposition is None:
+        return None
+    coefficients, alpha = decomposition
+    parity = ParityExpr(frozenset(), alpha)
+    uses_logical = False
+    for coefficient, atom in zip(coefficients, spec_atoms):
+        if coefficient:
+            parity = parity ^ atom.phase
+            if atom.label.startswith("logical"):
+                uses_logical = True
+    return parity, uses_logical
+
+
+def _eliminate_noncommuting(
+    spec_group: StabilizerGroup,
+    atoms: list[DerivedAtom],
+) -> list[DerivedAtom]:
+    """The heuristic of Section 5.1 case (3), for non-Pauli error locations.
+
+    Derived atoms whose expression is a sum of Pauli terms (produced by T
+    errors) or whose single body anti-commutes with some specification
+    generator (H errors) cannot be decomposed.  Following steps (a)-(c) of
+    the paper we multiply commuting derived atoms into them; whenever the
+    product becomes a plain commuting Pauli the offending atom is replaced,
+    and an atom that remains irreducible is dropped, which is justified by
+    ``(P ∧ Q) ∨ (¬P ∧ Q) = Q`` for commuting ``P, Q`` — the join over the
+    bound outcome of that atom's measurement covers both signs.
+    """
+    def is_reducible(atom: DerivedAtom) -> bool:
+        return atom.is_single_pauli() and spec_group.commutes_with(atom.expr.terms[0].operator)
+
+    reducible = [atom for atom in atoms if is_reducible(atom)]
+    problematic = [atom for atom in atoms if not is_reducible(atom)]
+    if not problematic:
+        return atoms
+
+    # Helpers are the measurement atoms themselves (step (a): the set G of
+    # derived generators that differ from the specification ones).  A helper
+    # that gets multiplied into another atom is *dropped* afterwards, which is
+    # sound because dropping a measurement atom only weakens the antecedents —
+    # the correctness goals must then hold for every value of its outcome bit.
+    repaired: list[DerivedAtom] = []
+    used_helpers: set[int] = set()
+    helpers = [atom for atom in problematic if atom.origin == "measurement"]
+    for atom in problematic:
+        if id(atom) in used_helpers:
+            continue
+        if is_reducible(atom):
+            repaired.append(atom)
+            continue
+        fixed = None
+        for helper in list(reducible) + helpers:
+            if helper is atom:
+                continue
+            product = (atom.expr * helper.expr).collect()
+            if len(product.terms) == 1 and spec_group.commutes_with(product.terms[0].operator):
+                fixed = DerivedAtom(product, atom.origin, atom.label + "*" + helper.label)
+                if helper.origin == "measurement" and helper in problematic:
+                    # A measurement atom used as a multiplier is dropped from
+                    # the antecedents afterwards; it may be reused to repair
+                    # several atoms (the paper multiplies one chosen g'_j onto
+                    # every offending element).
+                    used_helpers.add(id(helper))
+                break
+        if fixed is not None:
+            repaired.append(fixed)
+        elif atom.origin == "measurement":
+            # Unfixable measurement atom: eliminate it.  Both of its branches
+            # appear in the join ((P ∧ Q) ∨ (¬P ∧ Q) = Q for commuting P, Q),
+            # so removing the antecedent is a sound weakening.
+            continue
+        else:
+            raise ReductionError(
+                f"postcondition atom {atom!r} cannot be made commuting by the heuristic"
+            )
+    return reducible + repaired
+
+
+def reduce_to_classical(
+    spec_atoms: list[SpecAtom],
+    precondition: SymbolicPrecondition,
+    classical_constraint: BoolExpr,
+    decoder_condition: BoolExpr | None = None,
+) -> BoolExpr:
+    """Produce the classical formula whose validity implies the entailment.
+
+    The formula has the shape ``(P_c ∧ P_f ∧ syndrome conditions) ->
+    correctness conditions`` and is handed to ``repro.smt.check_valid``.
+    """
+    spec_group = StabilizerGroup([atom.operator for atom in spec_atoms])
+
+    atoms = _eliminate_noncommuting(spec_group, precondition.atoms)
+
+    antecedents: list[BoolExpr] = []
+    goals: list[BoolExpr] = []
+    for atom in atoms:
+        if not atom.is_single_pauli():
+            raise ReductionError(
+                f"atom {atom!r} remains a sum of Paulis after the non-commuting elimination"
+            )
+        term = atom.expr.terms[0]
+        term_phase = term.phase
+        if not term.coefficient.is_one():
+            # collect() normalises a flipped sign into a -1 coefficient; fold
+            # it back into the symbolic phase here.
+            if term.coefficient == SqrtTwoRational.from_int(-1):
+                term_phase = term_phase.flipped()
+            else:
+                raise ReductionError(f"atom {atom!r} carries a non-unit coefficient")
+        decomposition = _decompose(spec_group, spec_atoms, term.operator)
+        if decomposition is None:
+            raise ReductionError(
+                f"body of atom {atom!r} is not generated by the specification atoms"
+            )
+        induced_phase, _uses_logical = decomposition
+        condition = _phase_condition(term_phase ^ induced_phase)
+        if atom.origin == "measurement":
+            antecedents.append(condition)
+        else:
+            goals.append(condition)
+
+    assumptions = [classical_constraint]
+    if decoder_condition is not None:
+        assumptions.append(decoder_condition)
+    assumptions.extend(antecedents)
+    if not goals:
+        raise ReductionError("the verification condition has no correctness goals")
+    return Implies(bool_and(assumptions), bool_and(goals))

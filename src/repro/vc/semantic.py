@@ -1,0 +1,49 @@
+"""Semantic (dense-matrix) entailment checking on small systems.
+
+This is the ground truth the syntactic reduction is validated against in the
+test suite, and the fallback the pipeline can use when the reduction reports
+a shape it cannot handle.  The cost is exponential in the number of qubits
+and in the number of classical variables enumerated, so it is only usable for
+codes of Steane-code size.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+import numpy as np
+
+from repro.classical.expr import BoolExpr, evaluate
+from repro.logic.assertion import Assertion
+from repro.logic.subspace import subspace_contains
+
+__all__ = ["semantic_entailment"]
+
+
+def semantic_entailment(
+    lhs: Assertion,
+    rhs: Assertion,
+    num_qubits: int,
+    variables: list[str],
+    classical_constraint: BoolExpr | None = None,
+    fixed_values: dict[str, bool] | None = None,
+) -> bool:
+    """Check ``lhs |= rhs`` by enumerating classical memories.
+
+    ``variables`` lists the boolean variables to enumerate; ``fixed_values``
+    pins some of them.  Memories violating ``classical_constraint`` are
+    skipped (they make the embedded boolean antecedent the null space, where
+    the entailment holds trivially).
+    """
+    fixed = dict(fixed_values or {})
+    free = [name for name in variables if name not in fixed]
+    for bits in product([False, True], repeat=len(free)):
+        memory = dict(fixed)
+        memory.update(dict(zip(free, bits)))
+        if classical_constraint is not None and not evaluate(classical_constraint, memory):
+            continue
+        lhs_projector = lhs.to_projector(memory, num_qubits)
+        rhs_projector = rhs.to_projector(memory, num_qubits)
+        if not subspace_contains(rhs_projector, lhs_projector):
+            return False
+    return True

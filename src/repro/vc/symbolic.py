@@ -1,0 +1,174 @@
+"""The compact syndrome-branch form of QEC weakest preconditions (Eqn. 8).
+
+Expanding the (Meas) rule literally doubles the assertion per measurement,
+which is hopeless for codes with dozens of stabilizers.  For the QEC program
+shape of Table 1 — unitaries, conditional Pauli errors, classical and decoder
+assignments, Pauli measurements, conditional Pauli corrections — the
+disjuncts produced by the measurements differ only in the phases of the same
+Pauli atoms, so the whole precondition can be kept in the form
+
+    \\/_{s in {0,1}^m}  /\\_i  (-1)^{phase_i(s, e, corrections)}  body_i
+
+where the ``s`` are the bound measurement outcomes.  ``symbolic_wp`` computes
+exactly that form by one backward pass, tagging every atom with its origin
+(postcondition or measurement) so the reduction step can separate the
+syndrome-determining conditions from the correctness goals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.classical.expr import BoolExpr, Expr
+from repro.classical.parity import ParityExpr
+from repro.hoare.wp import decoder_output_expr
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    Measure,
+    Seq,
+    Skip,
+    Statement,
+    Unitary,
+)
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+
+__all__ = ["DerivedAtom", "SymbolicPrecondition", "symbolic_wp"]
+
+
+@dataclass
+class DerivedAtom:
+    """One Pauli atom of the syndrome-branch form, with its provenance."""
+
+    expr: PauliExpr
+    origin: str  # "postcondition" or "measurement"
+    label: str = ""
+
+    def is_single_pauli(self) -> bool:
+        return len(self.expr.terms) == 1
+
+    def __repr__(self) -> str:
+        return f"{self.label or self.origin}: {self.expr!r}"
+
+
+@dataclass
+class SymbolicPrecondition:
+    """``\\/_{bound outcomes} /\\ atoms`` — the shape of Eqn. (8)."""
+
+    num_qubits: int
+    atoms: list[DerivedAtom] = field(default_factory=list)
+    bound_outcomes: list[str] = field(default_factory=list)
+
+    def measurement_atoms(self) -> list[DerivedAtom]:
+        return [atom for atom in self.atoms if atom.origin == "measurement"]
+
+    def postcondition_atoms(self) -> list[DerivedAtom]:
+        return [atom for atom in self.atoms if atom.origin == "postcondition"]
+
+
+class _BackwardTransformer:
+    """Backward pass computing the compact weakest precondition."""
+
+    def __init__(self, num_qubits: int, postcondition_atoms: list[PauliExpr]):
+        self.num_qubits = num_qubits
+        self.atoms: list[DerivedAtom] = [
+            DerivedAtom(expr, "postcondition", f"post[{index}]")
+            for index, expr in enumerate(postcondition_atoms)
+        ]
+        self.bound_outcomes: list[str] = []
+        self._rename_counter: dict[str, int] = {}
+        self._decoder_calls: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def result(self) -> SymbolicPrecondition:
+        return SymbolicPrecondition(self.num_qubits, self.atoms, self.bound_outcomes)
+
+    def process(self, statement: Statement) -> None:
+        if isinstance(statement, Skip):
+            return
+        if isinstance(statement, Seq):
+            for inner in reversed(statement.statements):
+                self.process(inner)
+            return
+        if isinstance(statement, Unitary):
+            self._map_atoms(lambda e: e.apply_gate(statement.gate, statement.qubits, "backward"))
+            return
+        if isinstance(statement, ConditionalPauli):
+            condition = ParityExpr.from_bool_expr(statement.condition)
+            self._map_atoms(
+                lambda e: e.apply_conditional_pauli(statement.qubit, statement.pauli, condition)
+            )
+            return
+        if isinstance(statement, ConditionalGate):
+            raise NotImplementedError(
+                "conditional non-Pauli errors are outside the compact form; "
+                "use hoare.weakest_precondition or place the error unconditionally"
+            )
+        if isinstance(statement, Assign):
+            self._substitute(statement.name, statement.expr)
+            return
+        if isinstance(statement, AssignDecoder):
+            call_index = self._decoder_calls.get(statement.function, 0)
+            self._decoder_calls[statement.function] = call_index + 1
+            suffix = "" if call_index == 0 else f"@{call_index}"
+            for output_index, target in enumerate(statement.targets):
+                replacement = decoder_output_expr(
+                    statement.function + suffix, output_index + 1, statement.arguments
+                )
+                self._substitute(target, replacement)
+            return
+        if isinstance(statement, Measure):
+            self._measure(statement)
+            return
+        raise NotImplementedError(
+            f"statement {type(statement).__name__} is outside the QEC program shape "
+            "handled by the compact VC generator"
+        )
+
+    # ------------------------------------------------------------------
+    def _map_atoms(self, transform) -> None:
+        for atom in self.atoms:
+            atom.expr = transform(atom.expr)
+
+    def _substitute(self, name: str, replacement: Expr | BoolExpr) -> None:
+        mapping = {name: replacement}
+        self._map_atoms(lambda e: e.substitute_classical(mapping))
+
+    def _measure(self, statement: Measure) -> None:
+        outcome = statement.target
+        if outcome in self.bound_outcomes:
+            # The variable is reassigned by an earlier (in program order)
+            # measurement; rename the existing bound occurrences first.
+            fresh = self._fresh_name(outcome)
+            self._substitute(outcome, ParityExpr.of_variable(fresh))
+            self.bound_outcomes = [
+                fresh if name == outcome else name for name in self.bound_outcomes
+            ]
+        phase = statement.phase ^ ParityExpr.of_variable(outcome)
+        atom = PauliExpr.atom(statement.observable, phase)
+        self.atoms.append(DerivedAtom(atom, "measurement", f"meas[{outcome}]"))
+        self.bound_outcomes.append(outcome)
+
+    def _fresh_name(self, base: str) -> str:
+        count = self._rename_counter.get(base, 0) + 1
+        self._rename_counter[base] = count
+        return f"{base}@{count}"
+
+
+def symbolic_wp(
+    program: Statement,
+    postcondition_atoms: list[PauliExpr],
+    num_qubits: int,
+) -> SymbolicPrecondition:
+    """Compute the compact weakest precondition of a QEC-shaped program.
+
+    ``postcondition_atoms`` are the Pauli atoms of the postcondition (their
+    conjunction); the classical part of pre/postconditions is handled by the
+    reduction step, not here.
+    """
+    transformer = _BackwardTransformer(num_qubits, list(postcondition_atoms))
+    transformer.process(program)
+    return transformer.result()

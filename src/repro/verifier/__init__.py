@@ -1,0 +1,20 @@
+"""Veri-QEC: the automated QEC verifier (Sections 6 and 7)."""
+
+from repro.verifier.report import VerificationReport
+from repro.verifier.encodings import (
+    accurate_correction_formula,
+    precise_detection_formula,
+    ErrorModel,
+)
+from repro.verifier.constraints import locality_constraint, discreteness_constraint
+from repro.verifier.veriqec import VeriQEC
+
+__all__ = [
+    "VeriQEC",
+    "VerificationReport",
+    "ErrorModel",
+    "accurate_correction_formula",
+    "precise_detection_formula",
+    "locality_constraint",
+    "discreteness_constraint",
+]

@@ -1,0 +1,70 @@
+"""User-provided error constraints (Section 7.2).
+
+Verification of large codes becomes tractable when the user restricts the
+error patterns.  The two constraint families evaluated in the paper are
+reproduced here:
+
+* *locality* — errors may only occur on a randomly chosen subset of
+  ``(d^2 - 1) / 2`` qubits, every other qubit is error-free;
+* *discreteness* — the qubits are divided into ``d`` segments of ``d`` qubits
+  and each segment carries at most one error.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.classical.expr import BoolExpr, IntConst, IntLe, Not, Or, bool_and, sum_of
+from repro.codes.base import StabilizerCode
+from repro.verifier.encodings import ErrorModel, error_component_variables
+
+__all__ = ["locality_constraint", "discreteness_constraint"]
+
+
+def _qubit_indicators(code: StabilizerCode, error_model: ErrorModel):
+    _, _, indicators = error_component_variables(code.num_qubits, error_model)
+    return indicators
+
+
+def locality_constraint(
+    code: StabilizerCode,
+    error_model: ErrorModel = ErrorModel("any"),
+    allowed_qubits: list[int] | None = None,
+    seed: int | None = None,
+) -> BoolExpr:
+    """Errors restricted to a subset of qubits; all other qubits error-free.
+
+    When ``allowed_qubits`` is not supplied, ``(n - 1) // 2`` qubits are
+    selected at random (the paper's choice for a distance-``d`` surface code,
+    where ``n = d^2``).
+    """
+    indicators = _qubit_indicators(code, error_model)
+    if allowed_qubits is None:
+        rng = random.Random(seed)
+        count = max(1, (code.num_qubits - 1) // 2)
+        allowed_qubits = sorted(rng.sample(range(code.num_qubits), count))
+    allowed = set(allowed_qubits)
+    clauses: list[BoolExpr] = []
+    for qubit, indicator in enumerate(indicators):
+        if qubit not in allowed:
+            clauses.append(Not(indicator))
+    return bool_and(clauses)
+
+
+def discreteness_constraint(
+    code: StabilizerCode,
+    error_model: ErrorModel = ErrorModel("any"),
+    num_segments: int | None = None,
+) -> BoolExpr:
+    """At most one error inside each contiguous segment of qubits."""
+    indicators = _qubit_indicators(code, error_model)
+    if num_segments is None:
+        num_segments = code.distance or max(1, int(round(code.num_qubits ** 0.5)))
+    num_segments = max(1, min(num_segments, code.num_qubits))
+    segment_size = (code.num_qubits + num_segments - 1) // num_segments
+    clauses: list[BoolExpr] = []
+    for start in range(0, code.num_qubits, segment_size):
+        segment = indicators[start:start + segment_size]
+        if len(segment) > 1:
+            clauses.append(IntLe(sum_of(segment), IntConst(1)))
+    return bool_and(clauses)

@@ -1,0 +1,46 @@
+"""Result objects returned by the verifier."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["VerificationReport"]
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of one verification task.
+
+    ``verified`` is True when the property holds for *all* error
+    configurations in scope (the underlying SAT query was unsatisfiable);
+    otherwise ``counterexample`` holds a concrete error assignment, mirroring
+    the bug-reporting behaviour of the tool.
+    """
+
+    task: str
+    code_name: str
+    verified: bool
+    counterexample: dict[str, bool] | None = None
+    elapsed_seconds: float = 0.0
+    num_variables: int = 0
+    num_clauses: int = 0
+    conflicts: int = 0
+    details: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        status = "VERIFIED" if self.verified else "COUNTEREXAMPLE"
+        return (
+            f"[{status}] {self.task} on {self.code_name} "
+            f"({self.elapsed_seconds:.3f}s, {self.num_variables} vars, "
+            f"{self.num_clauses} clauses, {self.conflicts} conflicts)"
+        )
+
+    def counterexample_qubits(self) -> list[int]:
+        """Indices of qubits carrying an error in the counterexample."""
+        if not self.counterexample:
+            return []
+        qubits = set()
+        for name, value in self.counterexample.items():
+            if value and (name.startswith("ex_") or name.startswith("ez_") or name.startswith("e_")):
+                qubits.add(int(name.rsplit("_", 1)[1]))
+        return sorted(qubits)

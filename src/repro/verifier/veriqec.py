@@ -1,0 +1,189 @@
+"""The Veri-QEC front end.
+
+``VeriQEC`` bundles the verification functionalities evaluated in Section 7:
+
+* ``verify_correction`` — general verification of accurate decoding and
+  correction for all error configurations up to the correctable weight
+  (Fig. 4 / Table 3);
+* ``verify_detection`` — precise detection of errors below a trial distance,
+  and ``find_distance`` which uses it to discover the true code distance
+  (Fig. 6);
+* ``verify_with_constraints`` — partial verification under user-provided
+  error constraints (Fig. 7);
+* ``verify_program`` — the program-logic route: weakest preconditions of a
+  QEC program, VC generation and SMT checking (Sections 4-5), provided by
+  :mod:`repro.hoare` and :mod:`repro.vc`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.classical.expr import BoolExpr, bool_and
+from repro.codes.base import StabilizerCode
+from repro.smt.interface import check_formula
+from repro.smt.parallel import ParallelChecker
+from repro.verifier.constraints import discreteness_constraint, locality_constraint
+from repro.verifier.encodings import (
+    ErrorModel,
+    accurate_correction_formula,
+    precise_detection_formula,
+)
+from repro.verifier.report import VerificationReport
+
+__all__ = ["VeriQEC"]
+
+
+class VeriQEC:
+    """Automated verifier for stabilizer-code programs."""
+
+    def __init__(self, num_workers: int = 1, split_heuristic_weight: int | None = None):
+        self.num_workers = num_workers
+        self.split_heuristic_weight = split_heuristic_weight
+
+    # ------------------------------------------------------------------
+    def _run(self, task: str, code: StabilizerCode, formula: BoolExpr, parallel: bool) -> VerificationReport:
+        start = time.perf_counter()
+        if parallel and self.num_workers > 1:
+            split_variables = [f"e_{q}" for q in range(code.num_qubits)]
+            weight = self.split_heuristic_weight or 2 * (code.distance or 3)
+            checker = ParallelChecker(
+                formula,
+                split_variables=split_variables,
+                heuristic_weight=weight,
+                threshold=code.num_qubits,
+                num_workers=self.num_workers,
+            )
+            check = checker.run()
+        else:
+            check = check_formula(formula)
+        elapsed = time.perf_counter() - start
+        return VerificationReport(
+            task=task,
+            code_name=code.name,
+            verified=check.is_unsat,
+            counterexample=check.model if check.is_sat else None,
+            elapsed_seconds=elapsed,
+            num_variables=check.num_variables,
+            num_clauses=check.num_clauses,
+            conflicts=check.conflicts,
+            details=dict(check.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    def verify_correction(
+        self,
+        code: StabilizerCode,
+        max_errors: int | None = None,
+        error_model: ErrorModel | str = "any",
+        extra_constraints: list[BoolExpr] | None = None,
+        parallel: bool = False,
+    ) -> VerificationReport:
+        """Verify accurate decoding and correction for all errors in scope."""
+        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
+        formula = accurate_correction_formula(
+            code, max_errors=max_errors, error_model=model, extra_constraints=extra_constraints
+        )
+        report = self._run("accurate-correction", code, formula, parallel)
+        report.details["max_errors"] = (
+            max_errors if max_errors is not None else (code.distance - 1) // 2
+        )
+        report.details["error_model"] = model.kind
+        return report
+
+    def verify_detection(
+        self,
+        code: StabilizerCode,
+        trial_distance: int | None = None,
+        error_model: ErrorModel | str = "any",
+        parallel: bool = False,
+    ) -> VerificationReport:
+        """Verify that every error of weight below the trial distance is detectable."""
+        if trial_distance is None:
+            if code.distance is None:
+                raise ValueError("trial_distance required when the code distance is unknown")
+            trial_distance = code.distance
+        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
+        formula = precise_detection_formula(code, trial_distance, error_model=model)
+        report = self._run("precise-detection", code, formula, parallel)
+        report.details["trial_distance"] = trial_distance
+        return report
+
+    def find_distance(self, code: StabilizerCode, max_trial: int | None = None) -> int:
+        """Discover the code distance by increasing the trial distance until a
+        counterexample (a minimum-weight undetectable error) appears."""
+        limit = max_trial or code.num_qubits + 1
+        for trial in range(2, limit + 1):
+            report = self.verify_detection(code, trial_distance=trial)
+            if not report.verified:
+                return trial - 1
+        return limit
+
+    def verify_with_constraints(
+        self,
+        code: StabilizerCode,
+        locality: bool = False,
+        discreteness: bool = False,
+        allowed_qubits: list[int] | None = None,
+        max_errors: int | None = None,
+        error_model: ErrorModel | str = "any",
+        seed: int | None = None,
+        parallel: bool = False,
+    ) -> VerificationReport:
+        """Partial verification under user-provided error constraints (Fig. 7)."""
+        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
+        constraints: list[BoolExpr] = []
+        labels = []
+        if locality:
+            constraints.append(
+                locality_constraint(code, model, allowed_qubits=allowed_qubits, seed=seed)
+            )
+            labels.append("locality")
+        if discreteness:
+            constraints.append(discreteness_constraint(code, model))
+            labels.append("discreteness")
+        report = self.verify_correction(
+            code,
+            max_errors=max_errors,
+            error_model=model,
+            extra_constraints=constraints,
+            parallel=parallel,
+        )
+        report.task = "constrained-correction"
+        report.details["constraints"] = labels or ["none"]
+        return report
+
+    # ------------------------------------------------------------------
+    def verify_fixed_error(
+        self,
+        code: StabilizerCode,
+        error_qubits: dict[int, str],
+        max_errors: int | None = None,
+    ) -> VerificationReport:
+        """Check a single, fixed error pattern (the functionality Stim covers)."""
+        constraints: list[BoolExpr] = []
+        from repro.classical.expr import BoolVar, Not
+
+        for qubit in range(code.num_qubits):
+            pauli = error_qubits.get(qubit)
+            for component, prefix in (("X", "ex"), ("Z", "ez")):
+                name = f"{prefix}_{qubit}"
+                present = pauli in (component, "Y") if pauli else False
+                variable = BoolVar(name)
+                constraints.append(variable if present else Not(variable))
+        report = self.verify_correction(
+            code,
+            max_errors=max_errors if max_errors is not None else len(error_qubits),
+            error_model="any",
+            extra_constraints=constraints,
+        )
+        report.task = "fixed-error"
+        report.details["error_qubits"] = dict(error_qubits)
+        return report
+
+    # ------------------------------------------------------------------
+    def verify_program(self, triple, decoder_condition=None) -> VerificationReport:
+        """Verify a Hoare triple about a QEC program (the program-logic route)."""
+        from repro.vc.pipeline import verify_triple
+
+        return verify_triple(triple, decoder_condition=decoder_condition)

@@ -1,0 +1,120 @@
+"""Classical expression language tests."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.expr import (
+    Add,
+    And,
+    BoolConst,
+    BoolVar,
+    Iff,
+    Implies,
+    IntConst,
+    IntEq,
+    IntLe,
+    IntVar,
+    Not,
+    Or,
+    UFBool,
+    Xor,
+    all_bool_vars,
+    bool_and,
+    bool_or,
+    evaluate,
+    free_variables,
+    simplify,
+    substitute,
+    sum_of,
+)
+
+
+class TestEvaluation:
+    def test_arithmetic(self):
+        expr = Add((IntConst(2), IntVar("n")))
+        assert evaluate(expr, {"n": 3}) == 5
+
+    def test_boolean_connectives(self):
+        memory = {"a": True, "b": False}
+        assert evaluate(And((BoolVar("a"), Not(BoolVar("b")))), memory)
+        assert not evaluate(And((BoolVar("a"), BoolVar("b"))), memory)
+        assert evaluate(Or((BoolVar("b"), BoolVar("a"))), memory)
+        assert evaluate(Implies(BoolVar("b"), BoolVar("a")), memory)
+        assert not evaluate(Iff(BoolVar("a"), BoolVar("b")), memory)
+        assert evaluate(Xor((BoolVar("a"), BoolVar("b"))), memory)
+
+    def test_comparisons_with_coercion(self):
+        memory = {"a": True, "b": True, "c": False}
+        total = sum_of([BoolVar("a"), BoolVar("b"), BoolVar("c")])
+        assert evaluate(IntLe(total, IntConst(2)), memory)
+        assert evaluate(IntEq(total, IntConst(2)), memory)
+        assert not evaluate(IntLe(total, IntConst(1)), memory)
+
+    def test_uninterpreted_function_needs_interpretation(self):
+        with pytest.raises(KeyError):
+            evaluate(UFBool("f", (BoolVar("a"),)), {"a": True})
+
+
+class TestSubstitution:
+    def test_simultaneous(self):
+        expr = Xor((BoolVar("x"), BoolVar("y")))
+        result = substitute(expr, {"x": BoolVar("y"), "y": BoolVar("x")})
+        assert result == Xor((BoolVar("y"), BoolVar("x")))
+
+    def test_substitute_inside_uf(self):
+        expr = UFBool("f", (BoolVar("s"),))
+        assert substitute(expr, {"s": BoolConst(True)}) == UFBool("f", (BoolConst(True),))
+
+    def test_free_variables(self):
+        expr = Implies(IntLe(sum_of([BoolVar("e1"), BoolVar("e2")]), IntConst(1)), BoolVar("g"))
+        assert free_variables(expr) == frozenset({"e1", "e2", "g"})
+
+    def test_all_bool_vars_skips_int_vars(self):
+        expr = IntLe(Add((IntVar("n"),)), sum_of([BoolVar("x")]))
+        assert all_bool_vars(expr) == frozenset({"x"})
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        assert simplify(And((BoolConst(True), BoolVar("x")))) == BoolVar("x")
+        assert simplify(Or((BoolConst(True), BoolVar("x")))) == BoolConst(True)
+        assert simplify(Not(Not(BoolVar("x")))) == BoolVar("x")
+        assert simplify(IntLe(IntConst(1), IntConst(2))) == BoolConst(True)
+
+    def test_xor_parity_folding(self):
+        expr = Xor((BoolConst(True), BoolConst(True), BoolVar("x")))
+        assert simplify(expr) == BoolVar("x")
+
+    def test_bool_and_flattens(self):
+        inner = And((BoolVar("a"), BoolVar("b")))
+        assert bool_and([inner, BoolVar("c")]) == And((BoolVar("a"), BoolVar("b"), BoolVar("c")))
+
+    def test_bool_or_short_circuit(self):
+        assert bool_or([BoolConst(False)]) == BoolConst(False)
+        assert bool_or([]) == BoolConst(False)
+        assert bool_and([]) == BoolConst(True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_simplify_preserves_semantics(self, data):
+        variables = [BoolVar(f"v{i}") for i in range(3)]
+
+        def build(depth):
+            if depth == 0:
+                return data.draw(st.sampled_from(variables + [BoolConst(True), BoolConst(False)]))
+            kind = data.draw(st.sampled_from(["and", "or", "not", "xor", "imp"]))
+            if kind == "not":
+                return Not(build(depth - 1))
+            if kind == "imp":
+                return Implies(build(depth - 1), build(depth - 1))
+            children = (build(depth - 1), build(depth - 1))
+            return {"and": And, "or": Or, "xor": Xor}[kind](children)
+
+        expr = build(3)
+        simplified = simplify(expr)
+        for bits in itertools.product([False, True], repeat=3):
+            memory = {f"v{i}": bit for i, bit in enumerate(bits)}
+            assert evaluate(expr, memory) == evaluate(simplified, memory)

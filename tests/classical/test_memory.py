@@ -1,0 +1,45 @@
+"""Classical memory tests."""
+
+import pytest
+
+from repro.classical.memory import ClassicalMemory
+
+
+def test_update_is_persistent():
+    memory = ClassicalMemory({"x": 1})
+    updated = memory.update("x", 2)
+    assert memory["x"] == 1
+    assert updated["x"] == 2
+
+
+def test_update_many():
+    memory = ClassicalMemory().update_many({"a": True, "b": False})
+    assert memory["a"] and not memory["b"]
+    assert len(memory) == 2
+    assert set(memory) == {"a", "b"}
+
+
+def test_functions_channel():
+    memory = ClassicalMemory({"s": 1}).with_functions({"f": lambda s: (s,)})
+    assert memory.get("__functions__")["f"](True) == (True,)
+    assert "f" in memory.functions
+
+
+def test_missing_variable_raises():
+    with pytest.raises(KeyError):
+        ClassicalMemory()["missing"]
+
+
+def test_equality_and_hash():
+    first = ClassicalMemory({"a": 1})
+    second = ClassicalMemory({"a": 1})
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != ClassicalMemory({"a": 2})
+
+
+def test_as_dict_copy():
+    memory = ClassicalMemory({"a": 1})
+    exported = memory.as_dict()
+    exported["a"] = 5
+    assert memory["a"] == 1

@@ -1,0 +1,84 @@
+"""Parity expression tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.expr import BoolConst, BoolVar, UFBool, Xor, evaluate
+from repro.classical.parity import ParityExpr
+
+names = st.sampled_from(["a", "b", "c", "d"])
+parities = st.lists(names, max_size=4).map(
+    lambda atoms: ParityExpr.of_atoms(atoms)
+)
+
+
+class TestBasics:
+    def test_xor_is_symmetric_difference(self):
+        p = ParityExpr.of_variable("a") ^ ParityExpr.of_variable("b")
+        q = p ^ ParityExpr.of_variable("a")
+        assert q == ParityExpr.of_variable("b")
+
+    def test_self_inverse(self):
+        p = ParityExpr.of_variable("a")
+        assert (p ^ p).is_zero()
+
+    def test_flipped(self):
+        assert ParityExpr.zero().flipped() == ParityExpr.one()
+        assert ParityExpr.one().flipped().is_zero()
+
+    def test_of_atoms_cancels_duplicates(self):
+        assert ParityExpr.of_atoms(["a", "a", "b"]) == ParityExpr.of_variable("b")
+
+    def test_evaluate(self):
+        p = ParityExpr.of_atoms(["a", "b"], constant=1)
+        assert p.evaluate({"a": 1, "b": 0}) == 0
+        assert p.evaluate({"a": 0, "b": 0}) == 1
+
+    def test_substitute_with_parity(self):
+        p = ParityExpr.of_atoms(["a", "b"])
+        q = p.substitute({"a": ParityExpr.of_atoms(["b", "c"])})
+        assert q == ParityExpr.of_variable("c")
+
+    def test_substitute_with_constant(self):
+        p = ParityExpr.of_atoms(["a", "b"])
+        assert p.substitute({"a": 1}) == ParityExpr.of_atoms(["b"], constant=1)
+
+    def test_variables_excludes_uf_atoms(self):
+        uf = UFBool("f", (BoolVar("s"),))
+        p = ParityExpr.of_atoms(["a", uf])
+        assert p.variables() == frozenset({"a"})
+
+
+class TestConversions:
+    def test_from_bool_expr_xor(self):
+        expr = Xor((BoolVar("a"), BoolVar("b"), BoolConst(True)))
+        assert ParityExpr.from_bool_expr(expr) == ParityExpr.of_atoms(["a", "b"], constant=1)
+
+    def test_to_bool_expr_roundtrip_semantics(self):
+        p = ParityExpr.of_atoms(["a", "b"], constant=1)
+        expr = p.to_bool_expr()
+        for a in (0, 1):
+            for b in (0, 1):
+                memory = {"a": bool(a), "b": bool(b)}
+                assert bool(evaluate(expr, memory)) == bool(p.evaluate(memory))
+
+    def test_zero_converts_to_false(self):
+        assert ParityExpr.zero().to_bool_expr() == BoolConst(False)
+
+
+class TestProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(parities, parities)
+    def test_xor_commutes(self, p, q):
+        assert p ^ q == q ^ p
+
+    @settings(max_examples=100, deadline=None)
+    @given(parities, parities, parities)
+    def test_xor_associates(self, p, q, r):
+        assert (p ^ q) ^ r == p ^ (q ^ r)
+
+    @settings(max_examples=100, deadline=None)
+    @given(parities, st.dictionaries(names, st.integers(0, 1), min_size=4, max_size=4))
+    def test_evaluation_is_group_homomorphism(self, p, memory):
+        assert (p ^ p).evaluate(memory) == 0
+        assert p.flipped().evaluate(memory) == 1 - p.evaluate(memory)

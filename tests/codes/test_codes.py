@@ -1,0 +1,127 @@
+"""Structural tests for the code suite of Table 3."""
+
+import pytest
+
+from repro.codes import (
+    CODE_REGISTRY,
+    build_code,
+    five_qubit_code,
+    gottesman_eight_qubit_code,
+    list_codes,
+    quantum_reed_muller_code,
+    repetition_code,
+    shor_code,
+    steane_code,
+)
+from repro.pauli.pauli import PauliOperator
+
+
+@pytest.mark.parametrize("key", list_codes())
+def test_registry_codes_are_well_formed(key):
+    code = build_code(key)
+    n, k, d = code.parameters
+    assert code.num_stabilizers == n - k
+    for i, gi in enumerate(code.stabilizers):
+        for gj in code.stabilizers[i + 1:]:
+            assert gi.commutes_with(gj)
+    for lx, lz in zip(code.logical_xs, code.logical_zs):
+        assert not lx.commutes_with(lz)
+        assert code.group.commutes_with(lx) and code.group.commutes_with(lz)
+
+
+@pytest.mark.parametrize(
+    "key, expected",
+    [
+        ("steane", (7, 1, 3)),
+        ("five-qubit", (5, 1, 3)),
+        ("six-qubit", (6, 1, 3)),
+        ("shor", (9, 1, 3)),
+        ("surface-3", (9, 1, 3)),
+        ("surface-5", (25, 1, 5)),
+        ("xzzx-3", (9, 1, 3)),
+        ("reed-muller-4", (15, 1, 3)),
+        ("gottesman-8", (8, 3, 3)),
+        ("color-832", (8, 3, 2)),
+        ("detection-422", (4, 2, 2)),
+        ("iceberg-6", (6, 4, 2)),
+    ],
+)
+def test_registry_parameters(key, expected):
+    assert build_code(key).parameters == expected
+
+
+@pytest.mark.parametrize(
+    "builder, distance",
+    [
+        (steane_code, 3),
+        (five_qubit_code, 3),
+        (shor_code, 3),
+        (gottesman_eight_qubit_code, 3),
+    ],
+)
+def test_exact_distance_matches_declared(builder, distance):
+    code = builder()
+    assert code.exact_distance(max_weight=distance) == distance
+
+
+def test_steane_generators_match_paper():
+    code = steane_code()
+    labels = {gen.label() for gen in code.stabilizers}
+    assert "XIXIXIX" in labels  # g1 = X1 X3 X5 X7
+    assert "IIIZZZZ" in labels  # g6 = Z4 Z5 Z6 Z7
+    assert code.logical_zs[0] == PauliOperator.from_label("ZZZZZZZ")
+    assert code.is_css()
+
+
+def test_steane_syndrome_distinguishes_single_errors():
+    code = steane_code()
+    syndromes = set()
+    for qubit in range(7):
+        for pauli in "XZ":
+            error = PauliOperator.from_sparse(7, {qubit: pauli})
+            syndromes.add(code.syndrome(error))
+    assert len(syndromes) == 14
+
+
+def test_reed_muller_r3_is_steane():
+    rm = quantum_reed_muller_code(3)
+    steane = steane_code()
+    assert rm.parameters == (7, 1, 3)
+    assert {g.label() for g in rm.stabilizers} == {g.label() for g in steane.stabilizers}
+
+
+def test_reed_muller_r4_parameters():
+    assert quantum_reed_muller_code(4).parameters == (15, 1, 3)
+
+
+def test_repetition_code_detects_x_only():
+    code = repetition_code(3)
+    x_error = PauliOperator.from_sparse(3, {1: "X"})
+    z_error = PauliOperator.from_sparse(3, {1: "Z"})
+    assert any(code.syndrome(x_error))
+    assert not any(code.syndrome(z_error))
+
+
+def test_logical_state_stabilizers():
+    code = steane_code()
+    stabs = code.logical_state_stabilizers((1,))
+    assert len(stabs) == 7
+    assert stabs[-1] == -code.logical_zs[0]
+    with pytest.raises(ValueError):
+        code.logical_state_stabilizers((0, 1))
+
+
+def test_is_logical_error():
+    code = steane_code()
+    assert code.is_logical_error(PauliOperator.from_label("XXXXXXX"))
+    assert not code.is_logical_error(code.stabilizers[0])
+    assert not code.is_logical_error(PauliOperator.from_sparse(7, {0: "X"}))
+
+
+def test_unknown_registry_key():
+    with pytest.raises(KeyError):
+        build_code("does-not-exist")
+
+
+def test_registry_has_fourteen_entries():
+    assert len(CODE_REGISTRY) >= 14

@@ -1,0 +1,56 @@
+"""CSS construction and hypergraph product tests."""
+
+import numpy as np
+import pytest
+
+from repro.codes.css import CSSCode, hamming_parity_check, hypergraph_product_code
+from repro.utils.bitmatrix import gf2_matmul, gf2_rank
+
+
+def test_css_condition_enforced():
+    hx = [[1, 1, 0]]
+    hz = [[1, 0, 1]]
+    with pytest.raises(ValueError):
+        CSSCode("bad", hx, hz)
+
+
+def test_css_from_hamming_is_steane_like():
+    h = hamming_parity_check(3)
+    code = CSSCode("hamming-css", h, h)
+    assert code.parameters[:2] == (7, 1)
+    assert code.is_css()
+
+
+def test_dependent_rows_are_dropped():
+    hx = [[1, 1, 0, 0], [0, 0, 1, 1], [1, 1, 1, 1]]
+    hz = np.zeros((0, 4), dtype=np.uint8)
+    code = CSSCode("dependent", hx, hz)
+    assert code.num_stabilizers == 2
+
+
+def test_hamming_parity_check_shape_and_rank():
+    h = hamming_parity_check(4)
+    assert h.shape == (4, 15)
+    assert gf2_rank(h) == 4
+
+
+def test_hypergraph_product_of_hamming():
+    h = hamming_parity_check(3)
+    code = hypergraph_product_code(h, h)
+    assert code.num_qubits == 49 + 9
+    assert code.num_logical == 16
+    assert code.is_css()
+
+
+def test_hypergraph_product_of_repetition_is_small_surface():
+    rep = [[1, 1, 0], [0, 1, 1]]
+    code = hypergraph_product_code(rep, rep, name="toric-like")
+    assert code.parameters[:2] == (13, 1)
+    assert code.exact_distance(3) == 3
+
+
+def test_hypergraph_product_css_orthogonality():
+    h1 = [[1, 1, 0], [0, 1, 1]]
+    h2 = hamming_parity_check(3)
+    code = hypergraph_product_code(h1, h2)
+    assert not gf2_matmul(code.x_checks(), code.z_checks().T).any()

@@ -1,0 +1,70 @@
+"""Rotated surface code and XZZX variant tests."""
+
+import pytest
+
+from repro.codes.surface import rotated_surface_code, surface_code_plaquettes, xzzx_surface_code
+from repro.decoders import LookupDecoder
+from repro.pauli.pauli import PauliOperator
+
+
+@pytest.mark.parametrize("distance", [2, 3, 5])
+def test_parameters(distance):
+    code = rotated_surface_code(distance)
+    assert code.parameters == (distance * distance, 1, distance)
+    assert code.num_stabilizers == distance * distance - 1
+
+
+def test_plaquette_weights():
+    x_plaquettes, z_plaquettes = surface_code_plaquettes(5, 5)
+    for support in x_plaquettes + z_plaquettes:
+        assert len(support) in (2, 4)
+    assert len(x_plaquettes) + len(z_plaquettes) == 24
+
+
+def test_d3_exact_distance():
+    assert rotated_surface_code(3).exact_distance(3) == 3
+
+
+def test_logical_operators_follow_paper_orientation():
+    code = rotated_surface_code(3)
+    # Logical X along the top row, logical Z along the left column (Fig. 5).
+    assert code.logical_xs[0] == PauliOperator.from_sparse(9, {0: "X", 1: "X", 2: "X"})
+    assert code.logical_zs[0] == PauliOperator.from_sparse(9, {0: "Z", 3: "Z", 6: "Z"})
+
+
+def test_rectangular_lattice():
+    code = rotated_surface_code(3, cols=5)
+    assert code.parameters == (15, 1, 3)
+
+
+def test_xzzx_is_not_css_but_equivalent_parameters():
+    code = xzzx_surface_code(3)
+    assert code.parameters == (9, 1, 3)
+    assert not code.is_css()
+    assert code.exact_distance(3) == 3
+
+
+def test_small_grid_rejected():
+    with pytest.raises(ValueError):
+        rotated_surface_code(1)
+
+
+def test_lookup_decoder_corrects_all_single_errors_d3():
+    code = rotated_surface_code(3)
+    decoder = LookupDecoder(code, max_weight=1)
+    for qubit in range(9):
+        for pauli in "XYZ":
+            error = PauliOperator.from_sparse(9, {qubit: pauli})
+            assert decoder.corrects(error), (qubit, pauli)
+
+
+def test_lookup_decoder_weight_two_fails_somewhere_d3():
+    code = rotated_surface_code(3)
+    decoder = LookupDecoder(code, max_weight=2)
+    failures = 0
+    for first in range(9):
+        for second in range(first + 1, 9):
+            error = PauliOperator.from_sparse(9, {first: "X", second: "X"})
+            if not decoder.corrects(error):
+                failures += 1
+    assert failures > 0

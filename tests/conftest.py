@@ -1,0 +1,8 @@
+"""Test configuration: make the in-tree package importable without installation."""
+
+import pathlib
+import sys
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,42 @@
+"""Lookup decoder tests."""
+
+import pytest
+
+from repro.codes import five_qubit_code, steane_code
+from repro.decoders import LookupDecoder
+from repro.pauli.pauli import PauliOperator
+
+
+@pytest.mark.parametrize("builder", [steane_code, five_qubit_code])
+def test_corrects_every_single_qubit_error(builder):
+    code = builder()
+    decoder = LookupDecoder(code)
+    for qubit in range(code.num_qubits):
+        for pauli in "XYZ":
+            error = PauliOperator.from_sparse(code.num_qubits, {qubit: pauli})
+            assert decoder.corrects(error)
+
+
+def test_zero_syndrome_maps_to_identity():
+    decoder = LookupDecoder(steane_code())
+    correction = decoder.decode((0,) * 6)
+    assert correction is not None and correction.weight == 0
+
+
+def test_unknown_syndrome_returns_none():
+    decoder = LookupDecoder(steane_code(), max_weight=0)
+    assert decoder.decode((1, 0, 0, 0, 0, 0)) is None
+
+
+def test_table_is_minimum_weight():
+    code = steane_code()
+    decoder = LookupDecoder(code, max_weight=2)
+    for qubit in range(7):
+        error = PauliOperator.from_sparse(7, {qubit: "X"})
+        stored = decoder.decode(code.syndrome(error))
+        assert stored is not None and stored.weight <= 1
+
+
+def test_table_size_grows_with_weight():
+    code = steane_code()
+    assert LookupDecoder(code, max_weight=1).table_size <= LookupDecoder(code, max_weight=2).table_size

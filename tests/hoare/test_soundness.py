@@ -1,0 +1,80 @@
+"""Empirical soundness of the proof system (Theorem 4.3).
+
+For randomly generated loop-free programs and Pauli postconditions, any state
+satisfying the computed weakest precondition must, after running the program
+under the dense operational semantics, satisfy the postcondition in every
+classical branch.  This is the executable counterpart of the Coq soundness
+proof.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.expr import BoolVar
+from repro.classical.memory import ClassicalMemory
+from repro.hoare.wp import weakest_precondition
+from repro.lang.ast import ConditionalPauli, Measure, Unitary, sequence
+from repro.logic.assertion import conjunction, pauli_atom
+from repro.pauli.pauli import PauliOperator
+from repro.semantics.dense import DenseSimulator
+
+NUM_QUBITS = 2
+
+single_gates = st.sampled_from(["X", "Y", "Z", "H", "S", "T"])
+paulis = st.sampled_from(["X", "Y", "Z"])
+
+
+@st.composite
+def random_program(draw):
+    statements = []
+    length = draw(st.integers(1, 5))
+    for index in range(length):
+        kind = draw(st.sampled_from(["unitary1", "unitary2", "error", "measure"]))
+        if kind == "unitary1":
+            statements.append(Unitary(draw(single_gates), (draw(st.integers(0, NUM_QUBITS - 1)),)))
+        elif kind == "unitary2":
+            statements.append(Unitary(draw(st.sampled_from(["CNOT", "CZ", "ISWAP"])), (0, 1)))
+        elif kind == "error":
+            statements.append(
+                ConditionalPauli(
+                    BoolVar(draw(st.sampled_from(["e0", "e1"]))),
+                    draw(st.integers(0, NUM_QUBITS - 1)),
+                    draw(paulis),
+                )
+            )
+        else:
+            observable = PauliOperator.from_sparse(
+                NUM_QUBITS, {draw(st.integers(0, NUM_QUBITS - 1)): draw(paulis)}
+            )
+            statements.append(Measure(f"m{index}", observable))
+    return sequence(*statements)
+
+
+@st.composite
+def random_postcondition(draw):
+    atoms = []
+    for label in draw(st.lists(st.sampled_from(["XX", "ZZ", "ZI", "IX", "YY", "XZ"]), min_size=1, max_size=2, unique=True)):
+        atoms.append(pauli_atom(PauliOperator.from_label(label)))
+    return conjunction(atoms)
+
+
+def eigenbasis_states(projector):
+    values, vectors = np.linalg.eigh(projector)
+    return [vectors[:, i] for i in range(len(values)) if values[i] > 0.5]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_program(), random_postcondition(), st.booleans(), st.booleans())
+def test_wp_is_sound(program, postcondition, e0, e1):
+    memory = ClassicalMemory({"e0": e0, "e1": e1})
+    precondition = weakest_precondition(program, postcondition)
+    projector = precondition.to_projector(memory, NUM_QUBITS)
+    simulator = DenseSimulator(NUM_QUBITS)
+    for state_vector in eigenbasis_states(projector):
+        final_states = simulator.run(program, simulator.state_from_vector(state_vector, memory))
+        for final_memory, rho in final_states:
+            if np.trace(rho).real < 1e-9:
+                continue
+            post_projector = postcondition.to_projector(final_memory, NUM_QUBITS)
+            assert np.allclose(post_projector @ rho @ post_projector, rho, atol=1e-7)

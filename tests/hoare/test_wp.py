@@ -1,0 +1,111 @@
+"""Weakest-precondition rules checked against the paper's worked examples."""
+
+import numpy as np
+import pytest
+
+from repro.classical.expr import BoolVar
+from repro.classical.parity import ParityExpr
+from repro.lang.ast import (
+    Assign,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Skip,
+    Unitary,
+    While,
+    sequence,
+)
+from repro.logic.assertion import (
+    AndAssertion,
+    OrAssertion,
+    PauliAssertion,
+    conjunction,
+    pauli_atom,
+)
+from repro.hoare.wp import weakest_precondition
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+
+
+def test_skip_rule():
+    post = pauli_atom(PauliOperator.from_label("Z"))
+    assert weakest_precondition(Skip(), post) is post
+
+
+def test_unitary_rule_matches_backward_conjugation():
+    post = pauli_atom(PauliOperator.from_label("X"))
+    pre = weakest_precondition(Unitary("H", (0,)), post)
+    assert isinstance(pre, PauliAssertion)
+    assert pre.expr == PauliExpr.from_label("Z")
+
+
+def test_example_4_2_repetition_code_derivation():
+    """The three-qubit repetition-code derivation of Example 4.2."""
+    z12 = PauliOperator.from_label("ZZI")
+    z23 = PauliOperator.from_label("IZZ")
+    z1 = PauliOperator.from_label("ZII")
+    b = ParityExpr.of_variable("b")
+    post = conjunction([pauli_atom(z12), pauli_atom(z23), pauli_atom(z1, b)])
+    program = sequence(
+        ConditionalPauli(BoolVar("x1"), 0, "X"),
+        ConditionalPauli(BoolVar("x2"), 1, "X"),
+        ConditionalPauli(BoolVar("x3"), 2, "X"),
+    )
+    pre = weakest_precondition(program, post)
+    parts = pre.parts
+    x1, x2, x3 = (ParityExpr.of_variable(v) for v in ("x1", "x2", "x3"))
+    assert parts[0].expr == PauliExpr.atom(z12, x1 ^ x2)
+    assert parts[1].expr == PauliExpr.atom(z23, x2 ^ x3)
+    assert parts[2].expr == PauliExpr.atom(z1, b ^ x1)
+
+
+def test_measurement_rule_shape():
+    post = pauli_atom(PauliOperator.from_label("ZI"))
+    pre = weakest_precondition(Measure("m", PauliOperator.from_label("IZ")), post)
+    assert isinstance(pre, OrAssertion)
+    assert len(pre.parts) == 2
+    positive_branch, negative_branch = pre.parts
+    assert isinstance(positive_branch, AndAssertion)
+    assert isinstance(negative_branch, AndAssertion)
+
+
+def test_example_3_3_backward_measurement_reasoning():
+    """{X1} b := meas[Z2]; if b then X2 else skip end {X1 ∧ Z2} (Eqn. 6)."""
+    post = conjunction(
+        [pauli_atom(PauliOperator.from_label("XI")), pauli_atom(PauliOperator.from_label("IZ"))]
+    )
+    program = sequence(
+        Measure("b", PauliOperator.from_label("IZ")),
+        If(BoolVar("b"), Unitary("X", (1,)), Skip()),
+    )
+    pre = weakest_precondition(program, post)
+    expected = pauli_atom(PauliOperator.from_label("XI")).to_projector({}, 2)
+    for b_value in (False, True):
+        assert np.allclose(pre.to_projector({"b": b_value}, 2), expected)
+
+
+def test_assignment_rule_substitutes_phases():
+    post = pauli_atom(PauliOperator.from_label("Z"), ParityExpr.of_variable("x"))
+    pre = weakest_precondition(Assign("x", BoolVar("y")), post)
+    assert pre.expr.free_variables() == frozenset({"y"})
+
+
+def test_init_rule_shape():
+    post = pauli_atom(PauliOperator.from_label("ZZ"))
+    pre = weakest_precondition(InitQubit(0), post)
+    assert isinstance(pre, OrAssertion)
+
+
+def test_conditional_t_error_uses_if_rule():
+    from repro.lang.ast import ConditionalGate
+
+    post = pauli_atom(PauliOperator.from_label("X"))
+    pre = weakest_precondition(ConditionalGate(BoolVar("e"), "T", (0,)), post)
+    assert isinstance(pre, OrAssertion)
+
+
+def test_while_requires_invariant():
+    post = pauli_atom(PauliOperator.from_label("Z"))
+    with pytest.raises(NotImplementedError):
+        weakest_precondition(While(BoolVar("b"), Skip()), post)

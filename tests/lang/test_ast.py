@@ -1,0 +1,65 @@
+"""Program AST tests."""
+
+import pytest
+
+from repro.classical.expr import BoolVar
+from repro.lang.ast import (
+    Assign,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Seq,
+    Skip,
+    Unitary,
+    sequence,
+)
+from repro.pauli.pauli import PauliOperator
+
+
+def test_unitary_validates_arity():
+    with pytest.raises(ValueError):
+        Unitary("H", (0, 1))
+    with pytest.raises(ValueError):
+        Unitary("CNOT", (0,))
+    with pytest.raises(ValueError):
+        Unitary("CNOT", (1, 1))
+    with pytest.raises(ValueError):
+        Unitary("TOFFOLI", (0,))
+
+
+def test_unitary_uppercases_gate():
+    assert Unitary("cnot", (0, 1)).gate == "CNOT"
+
+
+def test_conditional_pauli_restricted_to_paulis():
+    with pytest.raises(ValueError):
+        ConditionalPauli(BoolVar("e"), 0, "H")
+    assert ConditionalPauli(BoolVar("e"), 0, "x").pauli == "X"
+
+
+def test_sequence_flattens_and_drops_skips():
+    program = sequence(Skip(), Seq((Unitary("H", (0,)), Skip())), Unitary("X", (1,)))
+    assert isinstance(program, Seq)
+    assert [type(s).__name__ for s in program.statements] == ["Unitary", "Unitary"]
+
+
+def test_sequence_of_nothing_is_skip():
+    assert isinstance(sequence(Skip(), Skip()), Skip)
+
+
+def test_sequence_single_statement_unwrapped():
+    statement = InitQubit(2)
+    assert sequence(statement) is statement
+
+
+def test_measure_defaults_to_zero_phase():
+    measure = Measure("s", PauliOperator.from_label("ZZ"))
+    assert measure.phase.is_zero()
+
+
+def test_statements_are_hashable_values():
+    a = Assign("x", BoolVar("y"))
+    b = Assign("x", BoolVar("y"))
+    assert a == b and hash(a) == hash(b)
+    assert If(BoolVar("b"), Skip(), Skip()) == If(BoolVar("b"), Skip(), Skip())

@@ -1,0 +1,144 @@
+"""Parser tests for the textual QEC language."""
+
+import pytest
+
+from repro.classical.expr import BoolVar
+from repro.codes import steane_code
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalGate,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Seq,
+    Skip,
+    Unitary,
+    While,
+)
+from repro.lang.parser import ParseError, parse_program
+from repro.pauli.pauli import PauliOperator
+
+
+def statements(program):
+    if isinstance(program, Seq):
+        return list(program.statements)
+    return [program]
+
+
+class TestStatements:
+    def test_skip(self):
+        assert isinstance(parse_program("skip", 1), Skip)
+
+    def test_unitary(self):
+        program = parse_program("q[1] *= H", 2)
+        assert program == Unitary("H", (0,))
+
+    def test_two_qubit_unitary(self):
+        assert parse_program("q[1], q[2] *= CNOT", 2) == Unitary("CNOT", (0, 1))
+
+    def test_init(self):
+        assert parse_program("q[2] := |0>", 3) == InitQubit(1)
+
+    def test_conditional_pauli(self):
+        program = parse_program("[e[3]] q[3] *= Y", 7)
+        assert program == ConditionalPauli(BoolVar("e_3"), 2, "Y")
+
+    def test_conditional_non_pauli(self):
+        program = parse_program("[e[1]] q[1] *= T", 3)
+        assert isinstance(program, ConditionalGate)
+
+    def test_measurement_inline_observable(self):
+        program = parse_program("s[1] := meas[X1 X3 X5 X7]", 7)
+        assert program == Measure("s_1", PauliOperator.from_sparse(7, {0: "X", 2: "X", 4: "X", 6: "X"}))
+
+    def test_measurement_named_observable(self):
+        code = steane_code()
+        observables = {f"g_{i + 1}": g for i, g in enumerate(code.stabilizers)}
+        program = parse_program("for i in 1..6 do s[i] := meas[g[i]] end", 7, observables)
+        parts = statements(program)
+        assert len(parts) == 6
+        assert parts[2].observable == code.stabilizers[2]
+
+    def test_decoder_call(self):
+        program = parse_program("z[1], z[2], z[3] := f_z(s[1], s[2])", 3)
+        assert program == AssignDecoder(("z_1", "z_2", "z_3"), "f_z", ("s_1", "s_2"))
+
+    def test_classical_assignment(self):
+        program = parse_program("x := a ^ b", 1)
+        assert isinstance(program, Assign)
+
+    def test_if_else(self):
+        program = parse_program("if b then q[1] *= X else skip end", 1)
+        assert isinstance(program, If)
+        assert program.then_branch == Unitary("X", (0,))
+
+    def test_while(self):
+        program = parse_program("while b do q[1] *= X end", 1)
+        assert isinstance(program, While)
+
+    def test_sequencing(self):
+        program = parse_program("q[1] *= H; q[1], q[2] *= CNOT", 2)
+        assert [type(s).__name__ for s in statements(program)] == ["Unitary", "Unitary"]
+
+
+class TestForLoops:
+    def test_loop_unrolling(self):
+        program = parse_program("for i in 1..7 do q[i] *= H end", 7)
+        parts = statements(program)
+        assert len(parts) == 7
+        assert parts[6] == Unitary("H", (6,))
+
+    def test_loop_with_index_arithmetic(self):
+        program = parse_program("for i in 1..7 do q[i], q[i+7] *= CNOT end", 14)
+        parts = statements(program)
+        assert parts[0] == Unitary("CNOT", (0, 7))
+        assert parts[6] == Unitary("CNOT", (6, 13))
+
+    def test_loop_body_with_conditional_errors(self):
+        program = parse_program("for i in 1..3 do [e[i]] q[i] *= X end", 3)
+        parts = statements(program)
+        assert parts[1] == ConditionalPauli(BoolVar("e_2"), 1, "X")
+
+
+class TestTable1Program:
+    def test_full_steane_error_correction_round(self):
+        code = steane_code()
+        observables = {f"g_{i + 1}": g for i, g in enumerate(code.stabilizers)}
+        source = """
+        for i in 1..7 do [ep[i]] q[i] *= Y end;
+        for i in 1..7 do q[i] *= H end;
+        for i in 1..7 do [e[i]] q[i] *= Y end;
+        for i in 1..6 do s[i] := meas[g[i]] end;
+        z[1], z[2], z[3], z[4], z[5], z[6], z[7] := f_z(s[1], s[2], s[3]);
+        x[1], x[2], x[3], x[4], x[5], x[6], x[7] := f_x(s[4], s[5], s[6]);
+        for i in 1..7 do [x[i]] q[i] *= X end;
+        for i in 1..7 do [z[i]] q[i] *= Z end
+        """
+        program = parse_program(source, 7, observables)
+        parts = statements(program)
+        # 7 + 7 + 7 + 6 + 2 + 7 + 7 basic commands.
+        assert len(parts) == 43
+
+
+class TestErrors:
+    def test_out_of_range_qubit(self):
+        with pytest.raises(ParseError):
+            parse_program("q[9] *= H", 7)
+
+    def test_unbound_loop_variable(self):
+        with pytest.raises(ParseError):
+            parse_program("q[i] *= H", 7)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_program("skip skip", 1)
+
+    def test_unknown_named_observable(self):
+        with pytest.raises(ParseError):
+            parse_program("s[1] := meas[g[1]]", 7)
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("q[1] *= H @", 1)

@@ -1,0 +1,98 @@
+"""Assertion language semantics tests (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.classical.expr import BoolVar, IntConst, IntLe, sum_of
+from repro.classical.parity import ParityExpr
+from repro.logic.assertion import (
+    AndAssertion,
+    BoolAssertion,
+    ImpliesAssertion,
+    NotAssertion,
+    OrAssertion,
+    PauliAssertion,
+    conjunction,
+    disjunction,
+    pauli_atom,
+    stabilizer_assertion,
+)
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+
+
+def test_bool_assertion_is_full_or_null_space():
+    assertion = BoolAssertion(IntLe(sum_of([BoolVar("e")]), IntConst(0)))
+    assert np.allclose(assertion.to_projector({"e": False}, 1), np.eye(2))
+    assert np.allclose(assertion.to_projector({"e": True}, 1), np.zeros((2, 2)))
+
+
+def test_pauli_assertion_is_plus_one_eigenspace():
+    assertion = pauli_atom(PauliOperator.from_label("Z"))
+    projector = assertion.to_projector({}, 1)
+    assert np.allclose(projector, np.diag([1, 0]))
+
+
+def test_phase_flips_eigenspace():
+    assertion = pauli_atom(PauliOperator.from_label("Z"), ParityExpr.of_variable("b"))
+    assert np.allclose(assertion.to_projector({"b": 1}, 1), np.diag([0, 1]))
+
+
+def test_negation_is_orthocomplement():
+    atom = pauli_atom(PauliOperator.from_label("Z"))
+    assert np.allclose(
+        NotAssertion(atom).to_projector({}, 1), np.diag([0, 1])
+    )
+    assert np.allclose(atom.negated().to_projector({}, 1), np.diag([0, 1]))
+
+
+def test_conjunction_of_stabilizers_is_codeword_projector():
+    assertion = stabilizer_assertion(
+        [PauliOperator.from_label("XX"), PauliOperator.from_label("ZZ")]
+    )
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    assert assertion.satisfied_by(bell, {}, 2)
+    assert not assertion.satisfied_by(np.array([1, 0, 0, 0], dtype=complex), {}, 2)
+
+
+def test_disjunction_follows_quantum_logic():
+    # Example 3.3: X1 ∧ Z2 joined with X1 ∧ -Z2 equals X1.
+    left = conjunction(
+        [pauli_atom(PauliOperator.from_label("XI")), pauli_atom(PauliOperator.from_label("IZ"))]
+    )
+    right = conjunction(
+        [
+            pauli_atom(PauliOperator.from_label("XI")),
+            PauliAssertion(-PauliExpr.from_label("IZ")),
+        ]
+    )
+    join = OrAssertion((left, right))
+    expected = pauli_atom(PauliOperator.from_label("XI")).to_projector({}, 2)
+    assert np.allclose(join.to_projector({}, 2), expected)
+
+
+def test_sasaki_implication_degenerates_classically():
+    a = BoolAssertion(BoolVar("p"))
+    b = BoolAssertion(BoolVar("q"))
+    implication = ImpliesAssertion(a, b)
+    assert np.allclose(implication.to_projector({"p": True, "q": False}, 1), np.zeros((2, 2)))
+    assert np.allclose(implication.to_projector({"p": False, "q": False}, 1), np.eye(2))
+
+
+def test_structural_operations_propagate():
+    atom = pauli_atom(PauliOperator.from_label("ZZ"), ParityExpr.of_variable("x"))
+    assertion = AndAssertion((atom, BoolAssertion(BoolVar("x"))))
+    substituted = assertion.substitute_classical({"x": BoolVar("y")})
+    gate_applied = substituted.apply_gate("CNOT", (0, 1))
+    flipped = gate_applied.apply_conditional_pauli(0, "X", ParityExpr.of_variable("e"))
+    assert isinstance(flipped, AndAssertion)
+    assert "y" in repr(flipped)
+
+
+def test_constructors_reject_empty():
+    with pytest.raises(ValueError):
+        conjunction([])
+    with pytest.raises(ValueError):
+        disjunction([])
+    single = pauli_atom(PauliOperator.from_label("X"))
+    assert conjunction([single]) is single

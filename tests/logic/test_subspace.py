@@ -1,0 +1,82 @@
+"""Quantum-logic subspace operation tests (Appendix A.3)."""
+
+import numpy as np
+
+from repro.logic.subspace import (
+    complement_projector,
+    join_projectors,
+    meet_projectors,
+    projector_from_stabilizers,
+    sasaki_implies,
+    sasaki_projection,
+    state_satisfies,
+    subspace_contains,
+)
+from repro.pauli.pauli import PauliOperator
+
+
+def eigenprojector(label):
+    op = PauliOperator.from_label(label).to_matrix()
+    return (np.eye(op.shape[0]) + op) / 2
+
+
+def test_projector_from_stabilizers_bell_state():
+    projector = projector_from_stabilizers(
+        [PauliOperator.from_label("XX"), PauliOperator.from_label("ZZ")], 2
+    )
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    assert np.allclose(projector, np.outer(bell, bell))
+
+
+def test_meet_and_join_are_projectors():
+    p = eigenprojector("XI")
+    q = eigenprojector("ZI")
+    meet = meet_projectors([p, q])
+    join = join_projectors([p, q])
+    assert np.allclose(meet @ meet, meet)
+    assert np.allclose(join @ join, join)
+    # X and Z on the same qubit intersect trivially and span everything.
+    assert np.allclose(meet, 0)
+    assert np.allclose(join, np.eye(4))
+
+
+def test_join_is_span_not_union():
+    # Example 3.3: the join of |+0> and |+1> is the full |+> x C^2 subspace.
+    p0 = projector_from_stabilizers(
+        [PauliOperator.from_label("XI"), PauliOperator.from_label("IZ")], 2
+    )
+    p1 = projector_from_stabilizers(
+        [PauliOperator.from_label("XI"), -PauliOperator.from_label("IZ")], 2
+    )
+    join = join_projectors([p0, p1])
+    expected = eigenprojector("XI")
+    assert np.allclose(join, expected)
+
+
+def test_complement():
+    p = eigenprojector("Z")
+    assert np.allclose(complement_projector(p), eigenprojector("-Z") if False else np.eye(2) - p)
+
+
+def test_sasaki_implication_birkhoff_condition():
+    p = eigenprojector("ZI")
+    q = meet_projectors([eigenprojector("ZI"), eigenprojector("IZ")])
+    # q <= p so p ~> q restricted ... and q ~> p must be the whole space.
+    assert np.allclose(sasaki_implies(q, p), np.eye(4))
+
+
+def test_sasaki_projection_within_first_argument():
+    p = eigenprojector("ZI")
+    q = eigenprojector("XI")
+    projection = sasaki_projection(p, q)
+    assert subspace_contains(p, projection)
+
+
+def test_subspace_contains_and_state_satisfies():
+    p = eigenprojector("Z")
+    zero = np.array([1, 0], dtype=complex)
+    plus = np.array([1, 1], dtype=complex) / np.sqrt(2)
+    assert state_satisfies(zero, p)
+    assert not state_satisfies(plus, p)
+    assert subspace_contains(np.eye(2), p)
+    assert not subspace_contains(p, np.eye(2))

@@ -1,0 +1,104 @@
+"""Conjugation tables checked against dense matrices."""
+
+import numpy as np
+import pytest
+
+from repro.pauli.clifford import (
+    CLIFFORD_1Q,
+    CLIFFORD_2Q,
+    backward_images,
+    conjugate_pauli,
+    forward_images,
+)
+from repro.pauli.pauli import PauliOperator
+from repro.semantics.dense import GATE_MATRICES
+
+
+def lift(gate, qubits, num_qubits):
+    from repro.semantics.dense import DenseSimulator
+
+    return DenseSimulator(num_qubits)._lift(gate, qubits)
+
+
+@pytest.mark.parametrize("gate", CLIFFORD_1Q)
+@pytest.mark.parametrize("label", ["X", "Y", "Z"])
+def test_single_qubit_forward_matches_matrices(gate, label):
+    operator = PauliOperator.from_label(label)
+    unitary = GATE_MATRICES[gate]
+    result = conjugate_pauli(operator, gate, (0,), "forward")
+    assert np.allclose(result.to_matrix(), unitary @ operator.to_matrix() @ unitary.conj().T)
+
+
+@pytest.mark.parametrize("gate", CLIFFORD_1Q)
+@pytest.mark.parametrize("label", ["X", "Y", "Z"])
+def test_single_qubit_backward_matches_matrices(gate, label):
+    operator = PauliOperator.from_label(label)
+    unitary = GATE_MATRICES[gate]
+    result = conjugate_pauli(operator, gate, (0,), "backward")
+    assert np.allclose(result.to_matrix(), unitary.conj().T @ operator.to_matrix() @ unitary)
+
+
+@pytest.mark.parametrize("gate", CLIFFORD_2Q)
+@pytest.mark.parametrize(
+    "label", ["XI", "IX", "YI", "IY", "ZI", "IZ", "XZ", "YY", "ZX"]
+)
+@pytest.mark.parametrize("direction", ["forward", "backward"])
+def test_two_qubit_conjugation_matches_matrices(gate, label, direction):
+    operator = PauliOperator.from_label(label)
+    unitary = GATE_MATRICES[gate]
+    result = conjugate_pauli(operator, gate, (0, 1), direction)
+    if direction == "forward":
+        expected = unitary @ operator.to_matrix() @ unitary.conj().T
+    else:
+        expected = unitary.conj().T @ operator.to_matrix() @ unitary
+    assert np.allclose(result.to_matrix(), expected)
+
+
+def test_forward_backward_are_inverse():
+    for gate in CLIFFORD_1Q:
+        for label in ["X", "Y", "Z"]:
+            op = PauliOperator.from_label(label)
+            roundtrip = conjugate_pauli(
+                conjugate_pauli(op, gate, (0,), "forward"), gate, (0,), "backward"
+            )
+            assert roundtrip == op
+    for gate in CLIFFORD_2Q:
+        for label in ["XI", "IZ", "YX"]:
+            op = PauliOperator.from_label(label)
+            roundtrip = conjugate_pauli(
+                conjugate_pauli(op, gate, (0, 1), "forward"), gate, (0, 1), "backward"
+            )
+            assert roundtrip == op
+
+
+def test_wp_rule_table_matches_paper():
+    """Spot-check the transcription of Fig. 3 substitution rules."""
+    # (U-S): X -> -Y.
+    assert backward_images("S")["X"] == (-1, ("Y",))
+    # (U-H): X -> Z, Z -> X.
+    assert backward_images("H")["X"] == (1, ("Z",))
+    assert backward_images("H")["Z"] == (1, ("X",))
+    # (U-CNOT): Z_j -> Z_i Z_j.
+    assert backward_images("CNOT")[("Z", 1)] == (1, ("Z", "Z"))
+    # (U-iSWAP): Z_i -> Z_j.
+    assert backward_images("ISWAP")[("Z", 0)] == (1, ("I", "Z"))
+
+
+def test_conjugation_on_untouched_qubits_is_identity():
+    op = PauliOperator.from_label("XIZ")
+    result = conjugate_pauli(op, "H", (1,), "forward")
+    assert result == op
+
+
+def test_unknown_gate_rejected():
+    with pytest.raises(ValueError):
+        conjugate_pauli(PauliOperator.from_label("X"), "TOFFOLI", (0,))
+
+
+def test_two_qubit_gate_needs_distinct_qubits():
+    with pytest.raises(ValueError):
+        conjugate_pauli(PauliOperator.from_label("XX"), "CNOT", (1, 1))
+
+
+def test_forward_images_case_insensitive():
+    assert forward_images("CNOT") == forward_images("cnot")

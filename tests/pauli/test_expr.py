@@ -1,0 +1,131 @@
+"""Symbolic Pauli expression tests: closure under Clifford+T (Theorem 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.classical.parity import ParityExpr
+from repro.pauli.expr import PauliExpr, PauliTerm
+from repro.pauli.pauli import PauliOperator
+from repro.pauli.scalar import SqrtTwoRational
+from repro.semantics.dense import GATE_MATRICES, DenseSimulator
+
+
+def lifted(gate, qubits, num_qubits):
+    return DenseSimulator(num_qubits)._lift(gate, qubits)
+
+
+class TestConstruction:
+    def test_atom_roundtrip(self):
+        expr = PauliExpr.from_label("XZ")
+        assert expr.is_single_pauli()
+        assert expr.single_term().operator == PauliOperator.from_label("XZ")
+
+    def test_zero_expression(self):
+        assert len(PauliExpr.zero(2).terms) == 0
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            PauliExpr.from_label("X") + PauliExpr.from_label("XX")
+
+
+class TestAlgebra:
+    def test_cancellation(self):
+        zy = PauliExpr.atom(PauliOperator.from_label("Z") * PauliOperator.from_label("Y"))
+        yz = PauliExpr.atom(PauliOperator.from_label("Y") * PauliOperator.from_label("Z"))
+        assert len((zy + yz).terms) == 0
+
+    def test_negation_evaluates(self):
+        expr = -PauliExpr.from_label("X")
+        assert np.allclose(expr.evaluate_operator({}), -PauliOperator.from_label("X").to_matrix())
+
+    def test_scaled(self):
+        expr = PauliExpr.from_label("Z").scaled(SqrtTwoRational.inv_sqrt2())
+        assert np.allclose(
+            expr.evaluate_operator({}), PauliOperator.from_label("Z").to_matrix() / np.sqrt(2)
+        )
+
+    def test_multiplication_matches_matrices(self):
+        a = PauliExpr.from_label("XY")
+        b = PauliExpr.from_label("ZZ")
+        assert np.allclose(
+            (a * b).evaluate_operator({}), a.evaluate_operator({}) @ b.evaluate_operator({})
+        )
+
+
+class TestSymbolicPhases:
+    def test_phase_evaluation(self):
+        phase = ParityExpr.of_variable("b")
+        expr = PauliExpr.atom(PauliOperator.from_label("Z"), phase)
+        z = PauliOperator.from_label("Z").to_matrix()
+        assert np.allclose(expr.evaluate_operator({"b": 0}), z)
+        assert np.allclose(expr.evaluate_operator({"b": 1}), -z)
+
+    def test_conditional_pauli_error(self):
+        expr = PauliExpr.from_label("Z").apply_conditional_pauli(
+            0, "X", ParityExpr.of_variable("e")
+        )
+        z = PauliOperator.from_label("Z").to_matrix()
+        assert np.allclose(expr.evaluate_operator({"e": 0}), z)
+        assert np.allclose(expr.evaluate_operator({"e": 1}), -z)
+
+    def test_conditional_error_commuting_is_noop(self):
+        expr = PauliExpr.from_label("X").apply_conditional_pauli(
+            0, "X", ParityExpr.of_variable("e")
+        )
+        assert expr == PauliExpr.from_label("X")
+
+    def test_classical_substitution(self):
+        expr = PauliExpr.atom(PauliOperator.from_label("Z"), ParityExpr.of_variable("x"))
+        substituted = expr.substitute_classical({"x": ParityExpr.of_variable("y")})
+        assert substituted.free_variables() == frozenset({"y"})
+
+
+class TestGateClosure:
+    @pytest.mark.parametrize("gate", ["X", "Y", "Z", "H", "S", "T"])
+    @pytest.mark.parametrize("label", ["X", "Y", "Z"])
+    @pytest.mark.parametrize("direction", ["forward", "backward"])
+    def test_single_qubit_conjugation(self, gate, label, direction):
+        expr = PauliExpr.from_label(label)
+        unitary = GATE_MATRICES[gate]
+        result = expr.apply_gate(gate, (0,), direction)
+        if direction == "forward":
+            expected = unitary @ expr.evaluate_operator({}) @ unitary.conj().T
+        else:
+            expected = unitary.conj().T @ expr.evaluate_operator({}) @ unitary
+        assert np.allclose(result.evaluate_operator({}), expected)
+
+    @pytest.mark.parametrize("gate", ["CNOT", "CZ", "ISWAP"])
+    @pytest.mark.parametrize("label", ["XI", "IZ", "YX", "ZY"])
+    def test_two_qubit_conjugation(self, gate, label):
+        expr = PauliExpr.from_label(label)
+        unitary = GATE_MATRICES[gate]
+        result = expr.apply_gate(gate, (0, 1), "backward")
+        expected = unitary.conj().T @ expr.evaluate_operator({}) @ unitary
+        assert np.allclose(result.evaluate_operator({}), expected)
+
+    def test_t_gate_produces_two_terms(self):
+        result = PauliExpr.from_label("X").apply_gate("T", (0,), "backward")
+        assert len(result.terms) == 2
+        coefficients = {float(term.coefficient) for term in result.terms}
+        assert all(abs(abs(c) - 1 / np.sqrt(2)) < 1e-12 for c in coefficients)
+
+    def test_t_on_multiqubit_operator(self):
+        expr = PauliExpr.from_label("XX")
+        unitary = lifted("T", (1,), 2)
+        result = expr.apply_gate("T", (1,), "forward")
+        assert np.allclose(
+            result.evaluate_operator({}),
+            unitary @ expr.evaluate_operator({}) @ unitary.conj().T,
+        )
+
+    def test_symbolic_phase_preserved_through_gates(self):
+        phase = ParityExpr.of_variable("b")
+        expr = PauliExpr.atom(PauliOperator.from_label("ZZ"), phase).apply_gate(
+            "CNOT", (0, 1), "backward"
+        )
+        unitary = GATE_MATRICES["CNOT"]
+        for value in (0, 1):
+            base = (-1) ** value * PauliOperator.from_label("ZZ").to_matrix()
+            assert np.allclose(
+                expr.evaluate_operator({"b": value}), unitary.conj().T @ base @ unitary
+            )

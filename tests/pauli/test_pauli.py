@@ -1,0 +1,117 @@
+"""Tests for concrete Pauli operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli.pauli import PauliOperator, pauli_from_label, single_qubit_pauli
+
+labels = st.text(alphabet="IXYZ", min_size=1, max_size=5)
+
+
+class TestConstruction:
+    def test_from_label(self):
+        op = PauliOperator.from_label("XIZ")
+        assert op.x == (1, 0, 0)
+        assert op.z == (0, 0, 1)
+
+    def test_from_sparse(self):
+        op = PauliOperator.from_sparse(4, {1: "Y", 3: "Z"})
+        assert op.label() == "IYIZ"
+
+    def test_from_sparse_out_of_range(self):
+        with pytest.raises(ValueError):
+            PauliOperator.from_sparse(2, {5: "X"})
+
+    def test_invalid_label(self):
+        with pytest.raises(ValueError):
+            PauliOperator.from_label("XQ")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            PauliOperator((1,), (0, 0))
+
+    def test_pauli_from_label_signs(self):
+        assert pauli_from_label("-X").phase == 2
+        assert pauli_from_label("iY").label() == "iY"
+        assert pauli_from_label("+Z") == PauliOperator.from_label("Z")
+
+    def test_single_qubit_pauli(self):
+        assert single_qubit_pauli(3, 1, "X").label() == "IXI"
+
+
+class TestAlgebra:
+    def test_xz_is_minus_iy(self):
+        X = PauliOperator.from_label("X")
+        Z = PauliOperator.from_label("Z")
+        assert (X * Z).label() == "-iY"
+        assert (Z * X).label() == "iY"
+
+    def test_self_inverse(self):
+        for label in ["X", "Y", "Z", "XYZ", "ZZXY"]:
+            op = PauliOperator.from_label(label)
+            assert (op * op).label() == "I" * op.num_qubits
+
+    def test_weight(self):
+        assert PauliOperator.from_label("IXYI").weight == 2
+
+    def test_commutation(self):
+        assert not PauliOperator.from_label("X").commutes_with(PauliOperator.from_label("Z"))
+        assert PauliOperator.from_label("XX").commutes_with(PauliOperator.from_label("ZZ"))
+
+    def test_adjoint_of_hermitian(self):
+        op = PauliOperator.from_label("XYZ")
+        assert op.adjoint() == op
+
+    def test_negation(self):
+        op = PauliOperator.from_label("Z")
+        assert (-op).label() == "-Z"
+        assert (-(-op)) == op
+
+    def test_symplectic_roundtrip(self):
+        op = PauliOperator.from_label("XZYI")
+        assert PauliOperator.from_symplectic(op.symplectic_vector(), op.phase) == op
+
+
+class TestDenseMatrix:
+    def test_y_matrix(self):
+        assert np.allclose(
+            PauliOperator.from_label("Y").to_matrix(), np.array([[0, -1j], [1j, 0]])
+        )
+
+    def test_product_matches_matrix_product(self):
+        a = PauliOperator.from_label("XZ")
+        b = PauliOperator.from_label("YY")
+        assert np.allclose((a * b).to_matrix(), a.to_matrix() @ b.to_matrix())
+
+    def test_hermiticity(self):
+        op = PauliOperator.from_label("XYZY")
+        matrix = op.to_matrix()
+        assert op.is_hermitian()
+        assert np.allclose(matrix, matrix.conj().T)
+
+
+class TestProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(labels, labels)
+    def test_product_matrix_homomorphism(self, left, right):
+        size = max(len(left), len(right))
+        a = PauliOperator.from_label(left.ljust(size, "I"))
+        b = PauliOperator.from_label(right.ljust(size, "I"))
+        assert np.allclose((a * b).to_matrix(), a.to_matrix() @ b.to_matrix())
+
+    @settings(max_examples=80, deadline=None)
+    @given(labels, labels)
+    def test_commutation_matches_matrices(self, left, right):
+        size = max(len(left), len(right))
+        a = PauliOperator.from_label(left.ljust(size, "I"))
+        b = PauliOperator.from_label(right.ljust(size, "I"))
+        commutator = a.to_matrix() @ b.to_matrix() - b.to_matrix() @ a.to_matrix()
+        assert a.commutes_with(b) == np.allclose(commutator, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(labels)
+    def test_weight_counts_non_identity(self, label):
+        op = PauliOperator.from_label(label)
+        assert op.weight == sum(1 for ch in label if ch != "I")

@@ -1,0 +1,67 @@
+"""Ring axioms and canonical form of Z[1/sqrt(2)]."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pauli.scalar import SqrtTwoRational
+
+elements = st.builds(
+    SqrtTwoRational,
+    st.integers(-20, 20),
+    st.integers(-20, 20),
+    st.integers(0, 4),
+)
+
+
+class TestBasics:
+    def test_canonical_form_reduces(self):
+        assert SqrtTwoRational(2, 4, 1) == SqrtTwoRational(1, 2, 0)
+
+    def test_inv_sqrt2_squares_to_half(self):
+        half = SqrtTwoRational.inv_sqrt2() * SqrtTwoRational.inv_sqrt2()
+        assert half == SqrtTwoRational(1, 0, 1)
+        assert math.isclose(float(half), 0.5)
+
+    def test_sqrt2_squared_is_two(self):
+        assert SqrtTwoRational.sqrt2() * SqrtTwoRational.sqrt2() == SqrtTwoRational.from_int(2)
+
+    def test_zero_and_one(self):
+        assert SqrtTwoRational.zero().is_zero()
+        assert SqrtTwoRational.one().is_one()
+        assert not SqrtTwoRational.one().is_zero()
+
+    def test_subtraction(self):
+        assert (SqrtTwoRational.from_int(3) - SqrtTwoRational.from_int(3)).is_zero()
+
+    def test_repr_is_readable(self):
+        assert "sqrt2" in repr(SqrtTwoRational.inv_sqrt2())
+
+
+class TestRingAxioms:
+    @settings(max_examples=100, deadline=None)
+    @given(elements, elements)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @settings(max_examples=100, deadline=None)
+    @given(elements, elements)
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @settings(max_examples=100, deadline=None)
+    @given(elements, elements, elements)
+    def test_distributivity(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=100, deadline=None)
+    @given(elements)
+    def test_additive_inverse(self, a):
+        assert (a + (-a)).is_zero()
+
+    @settings(max_examples=100, deadline=None)
+    @given(elements, elements)
+    def test_float_embedding_is_homomorphic(self, a, b):
+        assert math.isclose(float(a * b), float(a) * float(b), rel_tol=1e-9, abs_tol=1e-9)
+        assert math.isclose(float(a + b), float(a) + float(b), rel_tol=1e-9, abs_tol=1e-9)

@@ -1,0 +1,100 @@
+"""Stabilizer tableau simulator tests (the Stim substitute)."""
+
+import pytest
+
+from repro.codes import steane_code
+from repro.decoders import LookupDecoder
+from repro.pauli.pauli import PauliOperator
+from repro.pauli.tableau import StabilizerTableau
+
+
+class TestBasics:
+    def test_initial_state_is_all_zero(self):
+        tableau = StabilizerTableau(3)
+        for qubit in range(3):
+            assert tableau.measure_z(qubit) == 0
+
+    def test_x_flips_measurement(self):
+        tableau = StabilizerTableau(2)
+        tableau.apply_gate("X", 1)
+        assert tableau.measure_z(0) == 0
+        assert tableau.measure_z(1) == 1
+
+    def test_bell_state_correlations(self):
+        tableau = StabilizerTableau(2, seed=1)
+        tableau.apply_gate("H", 0)
+        tableau.apply_gate("CNOT", 0, 1)
+        assert tableau.is_stabilized_by(PauliOperator.from_label("XX"))
+        assert tableau.is_stabilized_by(PauliOperator.from_label("ZZ"))
+        assert tableau.expectation(PauliOperator.from_label("ZI")) == 0
+        first = tableau.measure_z(0)
+        assert tableau.measure_z(1) == first
+
+    def test_forced_outcome(self):
+        tableau = StabilizerTableau(1)
+        tableau.apply_gate("H", 0)
+        assert tableau.measure_z(0, forced_outcome=1) == 1
+        assert tableau.measure_z(0) == 1
+
+    def test_reset(self):
+        tableau = StabilizerTableau(1, seed=3)
+        tableau.apply_gate("X", 0)
+        tableau.reset_qubit(0)
+        assert tableau.measure_z(0) == 0
+
+    def test_rejects_non_clifford(self):
+        with pytest.raises(ValueError):
+            StabilizerTableau(1).apply_gate("T", 0)
+
+    def test_rejects_bad_qubit(self):
+        with pytest.raises(ValueError):
+            StabilizerTableau(2).apply_gate("X", 5)
+
+    def test_copy_is_independent(self):
+        tableau = StabilizerTableau(1, seed=0)
+        clone = tableau.copy()
+        tableau.apply_gate("X", 0)
+        assert clone.measure_z(0) == 0
+        assert tableau.measure_z(0) == 1
+
+
+class TestErrorInjection:
+    def test_pauli_error_flips_signs_only(self):
+        tableau = StabilizerTableau(2, seed=0)
+        before = [op.label().lstrip("-") for op in tableau.stabilizers]
+        tableau.apply_error(0, "X")
+        after = [op.label().lstrip("-") for op in tableau.stabilizers]
+        assert before == after
+        assert tableau.measure_z(0) == 1
+
+    def test_y_error_detected_by_both_checks(self):
+        code = steane_code()
+        tableau = StabilizerTableau(7, seed=0)
+        # Prepare the logical |0> by measuring all generators and Z_L, forcing +1 outcomes.
+        for generator in code.stabilizers:
+            tableau.measure_pauli(generator, forced_outcome=0)
+        tableau.measure_pauli(code.logical_zs[0], forced_outcome=0)
+        tableau.apply_error(3, "Y")
+        syndrome = tuple(tableau.measure_pauli(g) for g in code.stabilizers)
+        assert any(syndrome[:3]) and any(syndrome[3:])
+
+
+class TestCodeCycle:
+    @pytest.mark.parametrize("qubit", range(7))
+    @pytest.mark.parametrize("pauli", ["X", "Y", "Z"])
+    def test_steane_corrects_every_single_error(self, qubit, pauli):
+        """A full sampled error-correction cycle on the tableau simulator."""
+        code = steane_code()
+        decoder = LookupDecoder(code)
+        tableau = StabilizerTableau(7, seed=qubit)
+        for generator in code.stabilizers:
+            tableau.measure_pauli(generator, forced_outcome=0)
+        tableau.measure_pauli(code.logical_zs[0], forced_outcome=0)
+        tableau.apply_error(qubit, pauli)
+        syndrome = tuple(tableau.measure_pauli(g) for g in code.stabilizers)
+        correction = decoder.decode(syndrome)
+        assert correction is not None
+        tableau.apply_pauli(correction)
+        assert tableau.is_stabilized_by(code.logical_zs[0])
+        for generator in code.stabilizers:
+            assert tableau.is_stabilized_by(generator)

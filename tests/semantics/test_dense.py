@@ -1,0 +1,124 @@
+"""Dense operational semantics tests (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.classical.expr import BoolVar, IntConst, IntEq, sum_of
+from repro.classical.memory import ClassicalMemory
+from repro.lang.ast import (
+    Assign,
+    AssignDecoder,
+    ConditionalPauli,
+    If,
+    InitQubit,
+    Measure,
+    Skip,
+    Unitary,
+    While,
+    sequence,
+)
+from repro.pauli.pauli import PauliOperator
+from repro.semantics.dense import DenseSimulator
+
+
+def total_trace(state):
+    return sum(np.trace(rho).real for _, rho in state)
+
+
+def test_skip_preserves_state():
+    sim = DenseSimulator(1)
+    state = sim.initial_state()
+    assert sim.run(Skip(), state) == state
+
+
+def test_unitary_evolution():
+    sim = DenseSimulator(1)
+    state = sim.run(Unitary("H", (0,)), sim.initial_state())
+    (_, rho), = state
+    plus = np.array([1, 1]) / np.sqrt(2)
+    assert np.allclose(rho, np.outer(plus, plus))
+
+
+def test_cnot_entangles():
+    sim = DenseSimulator(2)
+    program = sequence(Unitary("H", (0,)), Unitary("CNOT", (0, 1)))
+    (_, rho), = sim.run(program, sim.initial_state())
+    bell = np.array([1, 0, 0, 1]) / np.sqrt(2)
+    assert np.allclose(rho, np.outer(bell, bell))
+
+
+def test_measurement_splits_classical_state():
+    sim = DenseSimulator(1)
+    program = sequence(Unitary("H", (0,)), Measure("m", PauliOperator.from_label("Z")))
+    state = sim.run(program, sim.initial_state())
+    assert len(state) == 2
+    assert abs(total_trace(state) - 1.0) < 1e-9
+    outcomes = {memory["m"] for memory, _ in state}
+    assert outcomes == {False, True}
+
+
+def test_measurement_is_projective():
+    sim = DenseSimulator(1)
+    program = sequence(
+        Measure("a", PauliOperator.from_label("Z")), Measure("b", PauliOperator.from_label("Z"))
+    )
+    state = sim.run(program, sim.initial_state())
+    assert len(state) == 1
+    memory, _ = state[0]
+    assert memory["a"] is False and memory["b"] is False
+
+
+def test_conditional_pauli_depends_on_memory():
+    sim = DenseSimulator(1)
+    program = ConditionalPauli(BoolVar("e"), 0, "X")
+    flipped = sim.run(program, sim.initial_state({"e": True}))
+    untouched = sim.run(program, sim.initial_state({"e": False}))
+    assert np.allclose(flipped[0][1], np.diag([0, 1]))
+    assert np.allclose(untouched[0][1], np.diag([1, 0]))
+
+
+def test_classical_assignment_and_if():
+    sim = DenseSimulator(1)
+    program = sequence(
+        Assign("x", BoolVar("e")),
+        If(BoolVar("x"), Unitary("X", (0,)), Skip()),
+    )
+    state = sim.run(program, sim.initial_state({"e": True}))
+    assert np.allclose(state[0][1], np.diag([0, 1]))
+
+
+def test_init_resets_qubit():
+    sim = DenseSimulator(1)
+    program = sequence(Unitary("H", (0,)), InitQubit(0))
+    (_, rho), = sim.run(program, sim.initial_state())
+    assert np.allclose(rho, np.diag([1, 0]))
+
+
+def test_decoder_call_uses_interpretation():
+    sim = DenseSimulator(1)
+    memory = ClassicalMemory({"s": True}, functions={"f": lambda s: (s,)})
+    program = AssignDecoder(("c",), "f", ("s",))
+    state = sim.run(program, [(memory, np.diag([1.0, 0.0]).astype(complex))])
+    assert state[0][0]["c"] is True
+
+
+def test_decoder_without_interpretation_raises():
+    sim = DenseSimulator(1)
+    program = AssignDecoder(("c",), "f", ("s",))
+    with pytest.raises(KeyError):
+        sim.run(program, sim.initial_state({"s": True}))
+
+
+def test_while_loop_terminates_on_counter():
+    sim = DenseSimulator(1)
+    program = While(
+        IntEq(sum_of([BoolVar("busy")]), IntConst(1)),
+        Assign("busy", BoolVar("done")),
+    )
+    state = sim.run(program, sim.initial_state({"busy": True, "done": False}))
+    assert state[0][0]["busy"] is False
+
+
+def test_large_system_rejected():
+    with pytest.raises(ValueError):
+        DenseSimulator(20)

@@ -1,0 +1,139 @@
+"""Formula-to-CNF encoder tests: semantics preserved under the SAT back end."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.expr import (
+    And,
+    BoolConst,
+    BoolVar,
+    Iff,
+    Implies,
+    IntConst,
+    IntEq,
+    IntLe,
+    IntVar,
+    Not,
+    Or,
+    UFBool,
+    Xor,
+    evaluate,
+    sum_of,
+)
+from repro.smt.encoder import FormulaEncoder
+from repro.smt.interface import check_formula, check_valid
+
+
+class TestCardinality:
+    def test_at_most_k(self):
+        e = [BoolVar(f"e{i}") for i in range(6)]
+        result = check_formula(
+            And((IntLe(sum_of(e), IntConst(2)), Not(IntLe(sum_of(e), IntConst(1)))))
+        )
+        assert result.is_sat
+        assert sum(result.model[f"e{i}"] for i in range(6)) == 2
+
+    def test_unsatisfiable_bounds(self):
+        e = [BoolVar(f"e{i}") for i in range(4)]
+        result = check_formula(
+            And((IntLe(sum_of(e), IntConst(1)), Not(IntLe(sum_of(e), IntConst(3)))))
+        )
+        assert result.is_unsat
+
+    def test_sum_against_sum(self):
+        e = [BoolVar(f"e{i}") for i in range(4)]
+        c = [BoolVar(f"c{i}") for i in range(4)]
+        formula = And(
+            (IntLe(sum_of(c), sum_of(e)), IntLe(sum_of(e), IntConst(1)), c[0], c[1])
+        )
+        assert check_formula(formula).is_unsat
+
+    def test_constant_on_left(self):
+        e = [BoolVar(f"e{i}") for i in range(3)]
+        assert check_formula(And((IntLe(IntConst(2), sum_of(e)), Not(e[0]), Not(e[1])))).is_unsat
+        assert check_formula(And((IntLe(IntConst(2), sum_of(e)),))).is_sat
+
+    def test_equality(self):
+        e = [BoolVar(f"e{i}") for i in range(3)]
+        result = check_formula(IntEq(sum_of(e), IntConst(3)))
+        assert result.is_sat and all(result.model[f"e{i}"] for i in range(3))
+
+    def test_free_integer_variable_rejected(self):
+        with pytest.raises(TypeError):
+            check_formula(IntLe(IntVar("n"), IntConst(2)))
+
+
+class TestStructure:
+    def test_uninterpreted_functions_are_congruent(self):
+        a = UFBool("f", (BoolVar("s"),))
+        b = UFBool("f", (BoolVar("s"),))
+        assert check_formula(And((a, Not(b)))).is_unsat
+
+    def test_distinct_uf_applications_independent(self):
+        a = UFBool("f", (BoolVar("s"),))
+        b = UFBool("f", (BoolVar("t"),))
+        assert check_formula(And((a, Not(b)))).is_sat
+
+    def test_validity_of_excluded_middle(self):
+        x = BoolVar("x")
+        assert check_valid(Or((x, Not(x)))).is_unsat
+
+    def test_named_literals_exposed(self):
+        encoder = FormulaEncoder()
+        encoder.assert_formula(And((BoolVar("a"), BoolVar("b"))))
+        assert set(encoder.named_literals()) == {"a", "b"}
+
+    def test_assumptions_force_values(self):
+        result = check_formula(Or((BoolVar("a"), BoolVar("b"))), assumptions={"a": False})
+        assert result.is_sat and result.model["b"]
+
+
+class TestSemanticEquivalence:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_random_formulas_match_brute_force(self, data):
+        variables = [BoolVar(f"x{i}") for i in range(4)]
+
+        def build(depth):
+            if depth == 0:
+                return data.draw(
+                    st.sampled_from(variables + [BoolConst(True), BoolConst(False)])
+                )
+            kind = data.draw(
+                st.sampled_from(["and", "or", "not", "xor", "imp", "iff", "le", "eq"])
+            )
+            if kind == "not":
+                return Not(build(depth - 1))
+            if kind == "imp":
+                return Implies(build(depth - 1), build(depth - 1))
+            if kind == "iff":
+                return Iff(build(depth - 1), build(depth - 1))
+            if kind == "le":
+                return IntLe(
+                    sum_of([data.draw(st.sampled_from(variables)) for _ in range(2)]),
+                    sum_of(
+                        [data.draw(st.sampled_from(variables))]
+                        + [IntConst(data.draw(st.integers(-1, 2)))]
+                    ),
+                )
+            if kind == "eq":
+                return IntEq(
+                    sum_of([data.draw(st.sampled_from(variables)) for _ in range(2)]),
+                    IntConst(data.draw(st.integers(0, 2))),
+                )
+            children = (build(depth - 1), build(depth - 1))
+            return {"and": And, "or": Or, "xor": Xor}[kind](children)
+
+        formula = build(3)
+        expected = any(
+            evaluate(formula, {f"x{i}": bit for i, bit in enumerate(bits)})
+            for bits in itertools.product([False, True], repeat=4)
+        )
+        result = check_formula(formula)
+        assert result.is_sat == expected
+        if result.is_sat:
+            memory = {f"x{i}": result.model.get(f"x{i}", False) for i in range(4)}
+            assert evaluate(formula, memory)

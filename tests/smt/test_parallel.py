@@ -1,0 +1,59 @@
+"""Parallel task-splitting driver tests."""
+
+from repro.classical.expr import And, BoolVar, IntConst, IntLe, Not, Or, sum_of
+from repro.smt.parallel import ParallelChecker, generate_split_assumptions
+
+
+class TestSplitting:
+    def test_leaves_partition_the_space(self):
+        variables = ["a", "b", "c"]
+        leaves = generate_split_assumptions(variables, heuristic_weight=2, threshold=10)
+        # The heuristic never fires, so the leaves are the 8 full assignments.
+        assert len(leaves) == 8
+        assert len({tuple(sorted(leaf.items())) for leaf in leaves}) == 8
+
+    def test_heuristic_truncates_enumeration(self):
+        variables = [f"e{i}" for i in range(6)]
+        leaves = generate_split_assumptions(variables, heuristic_weight=6, threshold=6)
+        assert 1 < len(leaves) < 64
+        # Every full assignment extends exactly one leaf.
+        for bits in range(64):
+            assignment = {f"e{i}": bool((bits >> i) & 1) for i in range(6)}
+            matches = [
+                leaf
+                for leaf in leaves
+                if all(assignment[name] == value for name, value in leaf.items())
+            ]
+            assert len(matches) == 1
+
+    def test_empty_variable_list(self):
+        assert generate_split_assumptions([], 2, 5) == [{}]
+
+
+class TestChecker:
+    def test_sequential_unsat(self):
+        e = [BoolVar(f"e{i}") for i in range(4)]
+        formula = And((IntLe(sum_of(e), IntConst(1)), e[0], e[1]))
+        checker = ParallelChecker(formula, split_variables=[f"e{i}" for i in range(4)], threshold=4)
+        result = checker.run()
+        assert result.is_unsat
+        assert result.metadata["num_subtasks"] >= 1
+
+    def test_sequential_sat_returns_model(self):
+        e = [BoolVar(f"e{i}") for i in range(4)]
+        formula = And((Or((e[0], e[1])), Not(e[2])))
+        checker = ParallelChecker(formula, split_variables=["e0", "e1"], threshold=2)
+        result = checker.run()
+        assert result.is_sat
+        assert result.model["e0"] or result.model["e1"]
+
+    def test_parallel_two_workers(self):
+        e = [BoolVar(f"e{i}") for i in range(5)]
+        formula = And((IntLe(sum_of(e), IntConst(1)), e[0], e[1]))
+        checker = ParallelChecker(
+            formula,
+            split_variables=[f"e{i}" for i in range(5)],
+            threshold=3,
+            num_workers=2,
+        )
+        assert checker.run().is_unsat

@@ -1,0 +1,155 @@
+"""CDCL SAT solver tests, including a brute-force cross-check."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt.cnf import CNF
+from repro.smt.solver import SATSolver
+
+
+def brute_force_satisfiable(num_vars, clauses):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all(
+            any((bits[abs(l) - 1] if l > 0 else not bits[abs(l) - 1]) for l in clause)
+            for clause in clauses
+        ):
+            return True
+    return False
+
+
+def build_cnf(num_vars, clauses):
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+class TestBasics:
+    def test_empty_cnf_is_sat(self):
+        cnf = CNF()
+        cnf.new_var()
+        assert SATSolver(cnf).solve().satisfiable
+
+    def test_unit_propagation(self):
+        cnf = build_cnf(2, [[1], [-1, 2]])
+        result = SATSolver(cnf).solve()
+        assert result.satisfiable and result.model[1] and result.model[2]
+
+    def test_empty_clause_is_unsat(self):
+        cnf = CNF()
+        cnf.new_var()
+        cnf.clauses.append([])
+        assert not SATSolver(cnf).solve().satisfiable
+
+    def test_contradictory_units(self):
+        cnf = build_cnf(1, [[1], [-1]])
+        assert not SATSolver(cnf).solve().satisfiable
+
+    def test_tautological_clause_dropped(self):
+        cnf = build_cnf(1, [[1, -1]])
+        assert cnf.num_clauses == 0
+
+    def test_literal_out_of_range_rejected(self):
+        cnf = CNF()
+        cnf.new_var()
+        with pytest.raises(ValueError):
+            cnf.add_clause([2])
+
+    def test_dimacs_output(self):
+        cnf = build_cnf(2, [[1, -2]])
+        text = cnf.to_dimacs()
+        assert text.startswith("p cnf 2 1")
+        assert "1 -2 0" in text
+
+
+class TestAssumptions:
+    def test_assumptions_restrict_models(self):
+        cnf = build_cnf(2, [[1, 2]])
+        solver = SATSolver(cnf)
+        result = solver.solve(assumptions=[-1])
+        assert result.satisfiable and result.model[2]
+
+    def test_conflicting_assumptions(self):
+        cnf = build_cnf(2, [[1, 2], [-1, 2]])
+        assert not SATSolver(cnf).solve(assumptions=[-2]).satisfiable
+
+    def test_assumption_contradicting_unit(self):
+        cnf = build_cnf(1, [[1]])
+        assert not SATSolver(cnf).solve(assumptions=[-1]).satisfiable
+
+
+class TestStructuredInstances:
+    def pigeonhole(self, pigeons, holes):
+        cnf = CNF()
+        var = {
+            (p, h): cnf.new_var() for p in range(pigeons) for h in range(holes)
+        }
+        for p in range(pigeons):
+            cnf.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    cnf.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        return cnf
+
+    def test_pigeonhole_unsat(self):
+        assert not SATSolver(self.pigeonhole(5, 4)).solve().satisfiable
+
+    def test_pigeonhole_sat_when_enough_holes(self):
+        assert SATSolver(self.pigeonhole(4, 4)).solve().satisfiable
+
+    def test_parity_chain_unsat(self):
+        # x1 xor x2 = 1, x2 xor x3 = 1, x1 xor x3 = 1 is unsatisfiable.
+        cnf = CNF()
+        x = [cnf.new_var() for _ in range(3)]
+        for a, b in [(0, 1), (1, 2), (0, 2)]:
+            cnf.add_clause([x[a], x[b]])
+            cnf.add_clause([-x[a], -x[b]])
+        assert not SATSolver(cnf).solve().satisfiable
+
+
+class TestRandomCrossCheck:
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_against_brute_force(self, data):
+        num_vars = data.draw(st.integers(2, 8))
+        num_clauses = data.draw(st.integers(1, 30))
+        clauses = [
+            data.draw(
+                st.lists(
+                    st.integers(1, num_vars).flatmap(
+                        lambda v: st.sampled_from([v, -v])
+                    ),
+                    min_size=1,
+                    max_size=3,
+                )
+            )
+            for _ in range(num_clauses)
+        ]
+        cnf = build_cnf(num_vars, clauses)
+        result = SATSolver(cnf).solve()
+        assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)
+        if result.satisfiable:
+            for clause in clauses:
+                assert any(
+                    (result.model[abs(l)] if l > 0 else not result.model[abs(l)])
+                    for l in clause
+                )
+
+    def test_random_3sat_near_threshold(self):
+        rng = random.Random(11)
+        for _ in range(10):
+            num_vars = 12
+            clauses = [
+                [rng.choice([v, -v]) for v in rng.sample(range(1, num_vars + 1), 3)]
+                for _ in range(int(4.2 * num_vars))
+            ]
+            cnf = build_cnf(num_vars, clauses)
+            result = SATSolver(cnf).solve()
+            assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)

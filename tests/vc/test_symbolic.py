@@ -1,0 +1,79 @@
+"""Compact symbolic weakest-precondition (Eqn. 8) tests."""
+
+import pytest
+
+from repro.classical.expr import BoolVar
+from repro.classical.parity import ParityExpr
+from repro.codes import steane_code
+from repro.lang.ast import Assign, AssignDecoder, ConditionalPauli, Measure, Unitary, While, sequence
+from repro.pauli.expr import PauliExpr
+from repro.pauli.pauli import PauliOperator
+from repro.vc.symbolic import symbolic_wp
+from repro.verifier.programs import correction_program
+
+
+def test_unitary_and_error_transform_atoms():
+    z1 = PauliExpr.from_label("ZI")
+    program = sequence(ConditionalPauli(BoolVar("e"), 0, "Z"), Unitary("H", (0,)))
+    result = symbolic_wp(program, [z1], 2)
+    assert len(result.atoms) == 1
+    term = result.atoms[0].expr.single_term()
+    # Backwards: H turns Z into X, which then anti-commutes with the Z error.
+    assert term.operator == PauliOperator.from_label("XI")
+    assert term.phase == ParityExpr.of_variable("e")
+
+
+def test_measurement_adds_bound_atom():
+    program = Measure("s", PauliOperator.from_label("ZZ"))
+    result = symbolic_wp(program, [PauliExpr.from_label("XX")], 2)
+    assert result.bound_outcomes == ["s"]
+    assert len(result.measurement_atoms()) == 1
+    assert result.measurement_atoms()[0].expr.single_term().phase == ParityExpr.of_variable("s")
+
+
+def test_decoder_substitution_introduces_uf_atoms():
+    post = PauliExpr.atom(PauliOperator.from_label("Z"), ParityExpr.of_variable("z_1"))
+    program = AssignDecoder(("z_1",), "f_z", ("s_1",))
+    result = symbolic_wp(program, [post], 1)
+    atoms = result.atoms[0].expr.phase_atoms()
+    assert any(getattr(a, "name", "") == "f_z[1]" for a in atoms)
+
+
+def test_classical_assignment_substitutes():
+    post = PauliExpr.atom(PauliOperator.from_label("Z"), ParityExpr.of_variable("x"))
+    result = symbolic_wp(Assign("x", BoolVar("y")), [post], 1)
+    assert result.atoms[0].expr.free_variables() == frozenset({"y"})
+
+
+def test_reassigned_measurement_variable_is_renamed():
+    observable = PauliOperator.from_label("Z")
+    program = sequence(
+        Measure("s", observable),
+        ConditionalPauli(BoolVar("s"), 0, "X"),
+        Measure("s", observable),
+    )
+    post = PauliExpr.from_label("Z")
+    result = symbolic_wp(program, [post], 1)
+    assert len(result.bound_outcomes) == 2
+    assert len(set(result.bound_outcomes)) == 2
+
+
+def test_steane_correction_program_has_expected_shape():
+    code = steane_code()
+    program = correction_program(code, error="Y", logical_gate="H", propagation=True)
+    post_atoms = [PauliExpr.atom(g) for g in code.stabilizers] + [
+        PauliExpr.atom(code.logical_zs[0], ParityExpr.of_variable("b"))
+    ]
+    result = symbolic_wp(program, post_atoms, 7)
+    # 7 postcondition atoms plus 6 measured generators.
+    assert len(result.atoms) == 13
+    assert len(result.bound_outcomes) == 6
+    # Every postcondition atom picks up error variables in its phase.
+    for atom in result.postcondition_atoms():
+        names = atom.expr.free_variables()
+        assert any(name.startswith("e_") or name.startswith("ep_") for name in names)
+
+
+def test_unsupported_statement_raises():
+    with pytest.raises(NotImplementedError):
+        symbolic_wp(While(BoolVar("b"), Unitary("X", (0,))), [PauliExpr.from_label("Z")], 1)
