@@ -3,42 +3,29 @@
 DESIGN.md calls out the enumeration heuristic of Appendix D.4 as a design
 choice; this ablation compares the heuristic threshold used by the tool
 against no splitting and against a much finer splitting, on a d = 3 surface
-code correction query.
+code correction query.  The configurations are expressed as backends over
+the same compiled task: the serial backend (no splitting) and parallel
+backends with overridden thresholds.
 """
 
 import pytest
 
-from repro.classical.expr import BoolVar
-from repro.codes import rotated_surface_code
-from repro.smt.parallel import ParallelChecker
-from repro.verifier.encodings import ErrorModel, accurate_correction_formula
+from repro.api import CorrectionTask, Engine, ParallelBackend, SerialBackend
 
 CONFIGS = {
-    "no-splitting": dict(split=False, threshold=None),
-    "paper-heuristic": dict(split=True, threshold=9),
-    "fine-splitting": dict(split=True, threshold=14),
+    "no-splitting": SerialBackend(),
+    "paper-heuristic": ParallelBackend(num_workers=1, threshold=9),
+    "fine-splitting": ParallelBackend(num_workers=1, threshold=14),
 }
 
 
 @pytest.mark.parametrize("config", sorted(CONFIGS))
 def test_ablation_split_heuristic(benchmark, config):
-    code = rotated_surface_code(3)
-    formula = accurate_correction_formula(code, error_model=ErrorModel("Y"))
-    options = CONFIGS[config]
+    task = CorrectionTask(code="surface-3", error_model="Y")
 
-    def task():
-        checker = ParallelChecker(
-            formula,
-            split_variables=[f"e_{q}" for q in range(code.num_qubits)] if options["split"] else [],
-            heuristic_weight=2 * 3,
-            threshold=options["threshold"],
-            num_workers=1,
-        )
-        return checker.run()
-
-    result = benchmark(task)
-    assert result.is_unsat
+    result = benchmark(lambda: Engine(backend=CONFIGS[config]).run(task))
+    assert result.verified
     print(
-        f"\n[ablation-split] {config}: {result.metadata.get('num_subtasks', 1)} subtasks, "
+        f"\n[ablation-split] {config}: {result.details.get('num_subtasks', 1)} subtasks, "
         f"{result.elapsed_seconds:.3f}s"
     )

@@ -3,30 +3,27 @@
 The paper's contribution is the program-logic route (wp + VC reduction); a
 natural baseline is encoding the code-level correctness condition directly
 (Section 7's general verification).  Both decide the same property of the
-Steane code; this benchmark compares their cost.
+Steane code; this benchmark compares their cost through the same engine.
 """
 
+from repro.api import CorrectionTask, Engine, ProgramTask
 from repro.codes import steane_code
-from repro.vc.pipeline import verify_triple
-from repro.verifier import VeriQEC
 from repro.verifier.programs import correction_triple
 
 
 def test_direct_code_level_encoding(benchmark):
-    verifier = VeriQEC()
-    report = benchmark(lambda: verifier.verify_correction(steane_code(), error_model="Y"))
-    assert report.verified
-    print(f"\n[ablation-vc] direct encoding: {report.num_variables} vars, "
-          f"{report.elapsed_seconds:.3f}s")
+    task = CorrectionTask(code="steane", error_model="Y")
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
+    print(f"\n[ablation-vc] direct encoding: {result.num_variables} vars, "
+          f"{result.elapsed_seconds:.3f}s")
 
 
 def test_program_logic_route(benchmark):
     scenario = correction_triple(steane_code(), error="Y", max_errors=1)
+    task = ProgramTask(triple=scenario.triple, decoder_condition=scenario.decoder_condition)
 
-    def task():
-        return verify_triple(scenario.triple, decoder_condition=scenario.decoder_condition)
-
-    report = benchmark(task)
-    assert report.verified
-    print(f"\n[ablation-vc] program-logic route: {report.num_variables} vars, "
-          f"{report.elapsed_seconds:.3f}s")
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
+    print(f"\n[ablation-vc] program-logic route: {result.num_variables} vars, "
+          f"{result.elapsed_seconds:.3f}s")

@@ -2,19 +2,18 @@
 
 import pytest
 
+from repro.api import Engine, ProgramTask
 from repro.codes import steane_code
-from repro.vc.pipeline import verify_triple
 from repro.verifier.programs import logical_cnot_with_propagation
 
 
 @pytest.mark.parametrize("error", ["X", "Z"])
 def test_fig10_logical_cnot_with_propagation(benchmark, error):
     scenario = logical_cnot_with_propagation(steane_code(), error=error, max_errors=1)
-    report = benchmark(
-        lambda: verify_triple(scenario.triple, decoder_condition=scenario.decoder_condition)
-    )
-    assert report.verified
+    task = ProgramTask(triple=scenario.triple, decoder_condition=scenario.decoder_condition)
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
     print(
         f"\n[fig10] propagated {error} errors through a transversal CNOT (14 qubits): "
-        f"{report.elapsed_seconds:.3f}s"
+        f"{result.elapsed_seconds:.3f}s"
     )

@@ -7,27 +7,27 @@ undetectable error, exactly as described in Section 7.1.
 
 import pytest
 
+from repro.api import DetectionTask, Engine
 from repro.codes import rotated_surface_code
-from repro.verifier import VeriQEC
 
 
 @pytest.mark.parametrize("distance", [3, 5])
 def test_fig6_detection_at_true_distance(benchmark, distance):
     code = rotated_surface_code(distance)
-    verifier = VeriQEC()
-    report = benchmark(lambda: verifier.verify_detection(code, trial_distance=distance))
-    assert report.verified
-    print(f"\n[fig6] d={distance}: d_t={distance} -> unsat in {report.elapsed_seconds:.3f}s")
+    task = DetectionTask(code=code, trial_distance=distance)
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
+    print(f"\n[fig6] d={distance}: d_t={distance} -> unsat in {result.elapsed_seconds:.3f}s")
 
 
 @pytest.mark.parametrize("distance", [3, 5])
 def test_fig6_minimum_weight_logical_error(benchmark, distance):
     code = rotated_surface_code(distance)
-    verifier = VeriQEC()
-    report = benchmark(lambda: verifier.verify_detection(code, trial_distance=distance + 1))
-    assert not report.verified
-    assert len(report.counterexample_qubits()) == distance
+    task = DetectionTask(code=code, trial_distance=distance + 1)
+    result = benchmark(lambda: Engine().run(task))
+    assert not result.verified
+    assert len(result.counterexample_qubits()) == distance
     print(
         f"\n[fig6] d={distance}: d_t={distance + 1} -> sat, minimum-weight undetectable error on "
-        f"qubits {report.counterexample_qubits()}"
+        f"qubits {result.counterexample_qubits()}"
     )

@@ -3,13 +3,14 @@
 The paper compares plain verification against verification under the
 locality constraint, the discreteness constraint, and both combined (which is
 what pushes the reachable code size to d = 19 / 361 qubits).  The same four
-configurations are timed here on d = 3 and d = 5 surface codes.
+configurations are expressed as tasks and timed here on d = 3 and d = 5
+surface codes.
 """
 
 import pytest
 
+from repro.api import ConstrainedTask, CorrectionTask, Engine
 from repro.codes import rotated_surface_code
-from repro.verifier import VeriQEC
 
 CONFIGURATIONS = {
     "none": {},
@@ -23,19 +24,15 @@ CONFIGURATIONS = {
 @pytest.mark.parametrize("config", sorted(CONFIGURATIONS))
 def test_fig7_constrained_verification(benchmark, distance, config):
     code = rotated_surface_code(distance)
-    verifier = VeriQEC()
     options = CONFIGURATIONS[config]
+    if options:
+        task = ConstrainedTask(code=code, error_model="Y", seed=2026, **options)
+    else:
+        task = CorrectionTask(code=code, error_model="Y")
 
-    def task():
-        if options:
-            return verifier.verify_with_constraints(
-                code, error_model="Y", seed=2026, **options
-            )
-        return verifier.verify_correction(code, error_model="Y")
-
-    report = benchmark(task)
-    assert report.verified
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
     print(
-        f"\n[fig7] d={distance} constraints={config}: {report.elapsed_seconds:.3f}s "
-        f"(vars={report.num_variables})"
+        f"\n[fig7] d={distance} constraints={config}: {result.elapsed_seconds:.3f}s "
+        f"(vars={result.num_variables})"
     )

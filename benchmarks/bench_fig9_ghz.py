@@ -2,17 +2,18 @@
 
 import pytest
 
+from repro.api import Engine, ProgramTask
 from repro.codes import steane_code
-from repro.vc.pipeline import verify_triple
 from repro.verifier.programs import ghz_preparation
 
 
 @pytest.mark.parametrize("blocks", [2, 3])
 def test_fig9_ghz_preparation(benchmark, blocks):
     scenario = ghz_preparation(steane_code(), blocks=blocks)
-    report = benchmark(lambda: verify_triple(scenario.triple))
-    assert report.verified
+    task = ProgramTask(triple=scenario.triple)
+    result = benchmark(lambda: Engine().run(task))
+    assert result.verified
     print(
         f"\n[fig9] GHZ over {blocks} Steane blocks ({7 * blocks} qubits): "
-        f"{report.elapsed_seconds:.3f}s, {report.details['num_atoms']} atoms"
+        f"{result.elapsed_seconds:.3f}s, {result.details['num_atoms']} atoms"
     )

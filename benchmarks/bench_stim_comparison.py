@@ -10,11 +10,10 @@ simulator and (b) the complete verification, and prints the coverage ratio.
 import math
 import random
 
+from repro.api import CorrectionTask, Engine
 from repro.codes import steane_code
 from repro.decoders import LookupDecoder
-from repro.pauli.pauli import PauliOperator
 from repro.pauli.tableau import StabilizerTableau
-from repro.verifier import VeriQEC
 
 
 def run_sampled_cycle(code, decoder, rng):
@@ -40,9 +39,8 @@ def test_sampling_one_cycle(benchmark):
 
 def test_complete_verification(benchmark):
     code = steane_code()
-    verifier = VeriQEC()
-    report = benchmark(lambda: verifier.verify_correction(code))
-    assert report.verified
+    result = benchmark(lambda: Engine().run(CorrectionTask(code="steane")))
+    assert result.verified
     configurations = 3 * code.num_qubits + 1
     print(
         f"\n[stim-comparison] one verification query covers all {configurations} "

@@ -2,32 +2,41 @@
 
 Every registered code is verified against its target property — accurate
 correction for the odd-distance codes, precise detection for the distance-2
-codes and the large CSS constructions — and the per-code verification time is
-printed in the same layout as Table 3.
+codes and the large CSS constructions — through the task API's registry
+sweep, and the per-code verification time is printed in the same layout as
+Table 3.  A final batch run times the whole sweep through
+``Engine.run_many``.
 """
 
 import pytest
 
+from repro.api import Engine, registry_sweep_tasks
 from repro.codes import CODE_REGISTRY, build_code
-from repro.verifier import VeriQEC
+
+SWEEP_TASKS = {task.code: task for task in registry_sweep_tasks()}
 
 
 @pytest.mark.parametrize("key", sorted(CODE_REGISTRY))
-def test_table3_row(benchmark, key):
+def test_table3_row(benchmark, engine, key):
     entry = CODE_REGISTRY[key]
     code = build_code(key)
-    verifier = VeriQEC()
+    task = SWEEP_TASKS[key]
 
-    def task():
-        if entry.target == "correction":
-            return verifier.verify_correction(code)
-        trial = code.distance if code.distance and code.distance >= 2 else 2
-        return verifier.verify_detection(code, trial_distance=trial)
-
-    report = benchmark.pedantic(task, rounds=1, iterations=1)
-    assert report.verified
+    result = benchmark.pedantic(lambda: engine.run(task), rounds=1, iterations=1)
+    assert result.verified
     n, k, d = code.parameters
     print(
         f"\n[table3] {entry.paper_name:45s} [[{n},{k},{d}]] target={entry.target:10s} "
-        f"verify time {report.elapsed_seconds:.3f}s"
+        f"verify time {result.elapsed_seconds:.3f}s"
     )
+
+
+def test_table3_batch_sweep(benchmark):
+    """The whole registry as one batch through the engine's process pool."""
+    engine = Engine()
+    results = benchmark.pedantic(
+        lambda: engine.run_many(registry_sweep_tasks(), processes=2), rounds=1, iterations=1
+    )
+    assert all(result.verified for result in results)
+    total = sum(result.elapsed_seconds for result in results)
+    print(f"\n[table3] batch sweep: {len(results)} codes, sum of task times {total:.3f}s")

@@ -4,14 +4,14 @@ The scenarios of the paper's comparison are exercised through the
 program-logic route (Sections 4-5): error-free logical operation, logical-free
 error correction (E M C), one full cycle with propagation (E L-bar E M C), and
 the bug-reporting functionality (a counterexample for an over-claimed bound).
-The printed matrix mirrors Table 4's rows for Veri-QEC.
+Each scenario becomes a ``ProgramTask`` decided by the engine; the printed
+matrix mirrors Table 4's rows for Veri-QEC.
 """
 
 import pytest
 
+from repro.api import FixedErrorTask, ProgramTask
 from repro.codes import steane_code
-from repro.vc.pipeline import verify_triple
-from repro.verifier import VeriQEC
 from repro.verifier.programs import (
     correction_triple,
     ghz_preparation,
@@ -49,34 +49,26 @@ SCENARIOS = {
 
 
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_table4_general_verification(benchmark, name):
+def test_table4_general_verification(benchmark, engine, name):
     scenario, decoder_condition = SCENARIOS[name]()
-    report = benchmark.pedantic(
-        lambda: verify_triple(scenario.triple, decoder_condition=decoder_condition),
-        rounds=1,
-        iterations=1,
-    )
-    assert report.verified
-    print(f"\n[table4] {name:28s} C=verified in {report.elapsed_seconds:.3f}s")
+    task = ProgramTask(triple=scenario.triple, decoder_condition=decoder_condition)
+    result = benchmark.pedantic(lambda: engine.run(task), rounds=1, iterations=1)
+    assert result.verified
+    print(f"\n[table4] {name:28s} C=verified in {result.elapsed_seconds:.3f}s")
 
 
-def test_table4_bug_reporting(benchmark):
+def test_table4_bug_reporting(benchmark, engine):
     """The R column: a violated specification produces a counterexample."""
     scenario = correction_triple(steane_code(), error="Y", max_errors=2)
-    report = benchmark.pedantic(
-        lambda: verify_triple(scenario.triple, decoder_condition=scenario.decoder_condition),
-        rounds=1,
-        iterations=1,
-    )
-    assert not report.verified and report.counterexample is not None
+    task = ProgramTask(triple=scenario.triple, decoder_condition=scenario.decoder_condition)
+    result = benchmark.pedantic(lambda: engine.run(task), rounds=1, iterations=1)
+    assert not result.verified and result.counterexample is not None
     print("\n[table4] bug reporting: counterexample with errors on qubits "
-          f"{report.counterexample_qubits()}")
+          f"{result.counterexample_qubits()}")
 
 
-def test_table4_fixed_errors(benchmark):
+def test_table4_fixed_errors(benchmark, engine):
     """The F column: checking one fixed error pattern (what Stim covers)."""
-    verifier = VeriQEC()
-    report = benchmark.pedantic(
-        lambda: verifier.verify_fixed_error(steane_code(), {2: "Y"}), rounds=1, iterations=1
-    )
-    assert report.verified
+    task = FixedErrorTask(code="steane", error_qubits=((2, "Y"),))
+    result = benchmark.pedantic(lambda: engine.run(task), rounds=1, iterations=1)
+    assert result.verified

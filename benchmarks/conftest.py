@@ -16,6 +16,13 @@ if str(SRC) not in sys.path:
 
 
 @pytest.fixture(scope="session")
+def engine():
+    from repro.api import Engine
+
+    return Engine()
+
+
+@pytest.fixture(scope="session")
 def verifier():
     from repro.verifier import VeriQEC
 

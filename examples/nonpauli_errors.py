@@ -5,15 +5,16 @@ Paulis, which is exactly the case the non-commuting heuristic of Section 5.1
 handles: offending atoms are repaired by multiplying in derived generators
 and the remaining measurement atoms are eliminated.  The script verifies a
 single fixed T error and a single fixed H error injected after a transversal
-logical H, for every qubit position.
+logical H, for every qubit position, batching all positions through
+``Engine.run_many``.
 """
 
+from repro.api import Engine, ProgramTask
 from repro.classical.parity import ParityExpr
 from repro.codes import steane_code
 from repro.hoare.triple import HoareTriple
 from repro.lang.ast import Unitary, sequence
 from repro.logic.assertion import conjunction, pauli_atom
-from repro.vc.pipeline import verify_triple
 from repro.verifier.programs import (
     decoder_call_and_correction,
     min_weight_decoder_condition,
@@ -43,13 +44,19 @@ def fixed_error_triple(code, error_gate: str, qubit: int) -> HoareTriple:
 
 def main() -> None:
     code = steane_code()
+    engine = Engine()
     decoder_condition = min_weight_decoder_condition(code, max_corrections=1)
 
     for error_gate in ("T", "H"):
         print(f"== Single fixed {error_gate} error after the logical Hadamard ==")
-        for qubit in range(code.num_qubits):
-            triple = fixed_error_triple(code, error_gate, qubit)
-            report = verify_triple(triple, decoder_condition=decoder_condition)
+        tasks = [
+            ProgramTask(
+                triple=fixed_error_triple(code, error_gate, qubit),
+                decoder_condition=decoder_condition,
+            )
+            for qubit in range(code.num_qubits)
+        ]
+        for qubit, report in enumerate(engine.run_many(tasks)):
             status = "verified" if report.verified else "COUNTEREXAMPLE"
             print(f"   {error_gate} on qubit {qubit + 1}: {status} ({report.elapsed_seconds:.3f}s)")
 

@@ -1,6 +1,7 @@
-"""Quickstart: verify the Steane code with Veri-QEC.
+"""Quickstart: verify the Steane code through the task API.
 
-Run with ``python examples/quickstart.py``.  The script exercises the three
+Run with ``python examples/quickstart.py`` (or try the CLI:
+``python -m repro verify --code steane``).  The script exercises the three
 basic verification tasks of the paper on the [[7,1,3]] Steane code:
 
 1. accurate decoding and correction for every error configuration of weight
@@ -12,31 +13,36 @@ basic verification tasks of the paper on the [[7,1,3]] Steane code:
    counterexample error pattern.
 """
 
+from repro.api import CorrectionTask, DetectionTask, DistanceTask, Engine
 from repro.codes import steane_code
-from repro.verifier import VeriQEC
 
 
 def main() -> None:
     code = steane_code()
-    verifier = VeriQEC()
+    engine = Engine()
     print(f"Code under verification: {code.describe()}")
 
-    report = verifier.verify_correction(code)
+    report = engine.run(CorrectionTask(code="steane"))
     print(report.summary())
 
-    detection = verifier.verify_detection(code, trial_distance=3)
+    detection = engine.run(DetectionTask(code="steane", trial_distance=3))
     print(detection.summary())
 
-    distance = verifier.find_distance(code, max_trial=5)
-    print(f"Discovered code distance: {distance}")
+    distance = engine.run(DistanceTask(code="steane", max_trial=5))
+    print(f"Discovered code distance: {distance.details['distance']}")
 
-    overclaimed = verifier.verify_correction(code, max_errors=2)
+    overclaimed = engine.run(CorrectionTask(code="steane", max_errors=2))
     print(overclaimed.summary())
     if not overclaimed.verified:
         print(
             "  counterexample: errors on qubits "
             f"{overclaimed.counterexample_qubits()} defeat a minimum-weight decoder"
         )
+
+    # The same requests round-trip as JSON, e.g. for a service API.
+    print("As JSON:", engine.run(CorrectionTask(code="steane")).to_json())
+    # `code` may also be an in-memory StabilizerCode rather than a registry key.
+    print(engine.run(CorrectionTask(code=code)).summary())
 
 
 if __name__ == "__main__":

@@ -3,8 +3,8 @@
 This example follows Sections 2, 5.2 and 7.3 of the paper: it builds the
 error-correction *programs* of Table 1 (not just the code), derives their
 weakest preconditions with the proof system of Fig. 3, reduces the resulting
-verification conditions to classical formulas and discharges them with the
-SAT back end.
+verification conditions to classical formulas and discharges them through
+the task API (``ProgramTask`` on an ``Engine``).
 
 Scenarios covered:
 
@@ -16,8 +16,8 @@ Scenarios covered:
   correction on both blocks (Fig. 10).
 """
 
+from repro.api import Engine, ProgramTask
 from repro.codes import steane_code
-from repro.vc.pipeline import verify_triple
 from repro.verifier.programs import (
     correction_triple,
     ghz_preparation,
@@ -27,28 +27,35 @@ from repro.verifier.programs import (
 
 def main() -> None:
     code = steane_code()
+    engine = Engine()
 
     print("== One cycle of error correction: Steane(Y, H) with propagated errors ==")
     scenario = correction_triple(
         code, error="Y", logical_gate="H", propagation=True, max_errors=1
     )
     print(f"   {scenario.description}")
-    report = verify_triple(scenario.triple, decoder_condition=scenario.decoder_condition)
+    report = engine.run(
+        ProgramTask(triple=scenario.triple, decoder_condition=scenario.decoder_condition)
+    )
     print("  ", report.summary())
 
     print("== Bug hunting: claiming two correctable errors ==")
     broken = correction_triple(code, error="Y", max_errors=2)
-    report = verify_triple(broken.triple, decoder_condition=broken.decoder_condition)
+    report = engine.run(
+        ProgramTask(triple=broken.triple, decoder_condition=broken.decoder_condition)
+    )
     print("  ", report.summary())
 
     print("== Fault-tolerant logical GHZ preparation over 3 blocks (21 qubits) ==")
     ghz = ghz_preparation(code, blocks=3)
-    report = verify_triple(ghz.triple)
+    report = engine.run(ProgramTask(triple=ghz.triple))
     print("  ", report.summary())
 
     print("== Logical CNOT with propagated errors (Fig. 10) ==")
     cnot = logical_cnot_with_propagation(code, error="X", max_errors=1)
-    report = verify_triple(cnot.triple, decoder_condition=cnot.decoder_condition)
+    report = engine.run(
+        ProgramTask(triple=cnot.triple, decoder_condition=cnot.decoder_condition)
+    )
     print("  ", report.summary())
 
 

@@ -1,26 +1,27 @@
 """Rotated surface codes: general and user-constrained verification.
 
-Scaled-down reproduction of the Section 7.1/7.2 experiments: for distances 3
-and 5 the script verifies accurate correction and precise detection, then
-shows how the user-provided locality and discreteness constraints shrink the
-verification problem (the paper's route to 361-qubit codes).
+Scaled-down reproduction of the Section 7.1/7.2 experiments through the task
+API: for distances 3 and 5 the script verifies accurate correction and
+precise detection, then shows how the user-provided locality and
+discreteness constraints shrink the verification problem (the paper's route
+to 361-qubit codes).
 """
 
+from repro.api import ConstrainedTask, CorrectionTask, DetectionTask, Engine
 from repro.codes import rotated_surface_code, xzzx_surface_code
-from repro.verifier import VeriQEC
 
 
 def main() -> None:
-    verifier = VeriQEC()
+    engine = Engine()
 
     for distance in (3, 5):
         code = rotated_surface_code(distance)
         print(f"== Rotated surface code d={distance} ({code.num_qubits} qubits) ==")
-        correction = verifier.verify_correction(code, error_model="Y")
+        correction = engine.run(CorrectionTask(code=code, error_model="Y"))
         print("  ", correction.summary())
-        detection = verifier.verify_detection(code, trial_distance=distance)
+        detection = engine.run(DetectionTask(code=code, trial_distance=distance))
         print("  ", detection.summary())
-        undetectable = verifier.verify_detection(code, trial_distance=distance + 1)
+        undetectable = engine.run(DetectionTask(code=code, trial_distance=distance + 1))
         print("  ", undetectable.summary())
         if not undetectable.verified:
             print(
@@ -28,14 +29,16 @@ def main() -> None:
                 f"{undetectable.counterexample_qubits()}"
             )
 
-        constrained = verifier.verify_with_constraints(
-            code, locality=True, discreteness=True, error_model="Y", seed=1
+        constrained = engine.run(
+            ConstrainedTask(
+                code=code, locality=True, discreteness=True, error_model="Y", seed=1
+            )
         )
         print("  ", constrained.summary(), f"constraints={constrained.details['constraints']}")
 
     print("== XZZX surface code d=3 ==")
     xzzx = xzzx_surface_code(3)
-    print("  ", verifier.verify_correction(xzzx).summary())
+    print("  ", engine.run(CorrectionTask(code=xzzx)).summary())
 
 
 if __name__ == "__main__":

@@ -11,11 +11,48 @@ The package layers, bottom to top:
   language, the assertion logic, and the dense operational semantics;
 * ``repro.hoare``, ``repro.vc`` -- the proof system of Fig. 3 and the
   verification-condition reduction of Section 5;
-* ``repro.verifier`` -- the Veri-QEC front end used by examples and benchmarks.
+* ``repro.api`` -- the task-based verification engine: frozen task objects,
+  pluggable serial/parallel backends, an LRU compile cache, batch execution
+  (``Engine.run_many``) and the ``python -m repro`` CLI;
+* ``repro.verifier`` -- the legacy ``VeriQEC`` facade, kept as a thin shim
+  over the engine for backward compatibility.
+
+New code should target ``repro.api``::
+
+    from repro.api import CorrectionTask, Engine
+
+    result = Engine().run(CorrectionTask(code="steane"))
 """
 
+from repro.api import (
+    ConstrainedTask,
+    CorrectionTask,
+    DetectionTask,
+    DistanceTask,
+    Engine,
+    FixedErrorTask,
+    ParallelBackend,
+    ProgramTask,
+    Result,
+    SerialBackend,
+    registry_sweep_tasks,
+)
 from repro.verifier.veriqec import VeriQEC
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["VeriQEC", "__version__"]
+__all__ = [
+    "Engine",
+    "Result",
+    "CorrectionTask",
+    "DetectionTask",
+    "DistanceTask",
+    "ConstrainedTask",
+    "FixedErrorTask",
+    "ProgramTask",
+    "SerialBackend",
+    "ParallelBackend",
+    "registry_sweep_tasks",
+    "VeriQEC",
+    "__version__",
+]

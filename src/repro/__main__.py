@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro`` dispatches to the task-API CLI."""
+
+import sys
+
+from repro.api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

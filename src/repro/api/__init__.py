@@ -1,0 +1,47 @@
+"""The task-based verification API.
+
+Reify a request as a task, hand it to an :class:`Engine`, get a unified
+:class:`Result` back::
+
+    from repro.api import CorrectionTask, Engine
+
+    result = Engine().run(CorrectionTask(code="steane"))
+    assert result.verified
+
+Batches run through :meth:`Engine.run_many`, optionally across a process
+pool; backends are pluggable (:class:`SerialBackend`, :class:`ParallelBackend`);
+``python -m repro`` exposes the same engine on the command line.
+"""
+
+from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
+from repro.api.engine import CompiledTask, Engine, registry_sweep_tasks
+from repro.api.result import Result
+from repro.api.tasks import (
+    ConstrainedTask,
+    CorrectionTask,
+    DetectionTask,
+    DistanceTask,
+    FixedErrorTask,
+    ProgramTask,
+    Task,
+    resolve_code,
+)
+
+__all__ = [
+    "Backend",
+    "SerialBackend",
+    "ParallelBackend",
+    "coerce_backend",
+    "CompiledTask",
+    "Engine",
+    "registry_sweep_tasks",
+    "Result",
+    "Task",
+    "CorrectionTask",
+    "DetectionTask",
+    "DistanceTask",
+    "ConstrainedTask",
+    "FixedErrorTask",
+    "ProgramTask",
+    "resolve_code",
+]

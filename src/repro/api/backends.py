@@ -1,0 +1,90 @@
+"""Pluggable solver backends for the verification engine.
+
+A backend decides one compiled task (a refutation formula): ``unsat`` means
+the property is verified.  Two implementations ship with the engine:
+
+* :class:`SerialBackend`   — one SAT query through :func:`repro.smt.interface.check_formula`;
+* :class:`ParallelBackend` — enumeration-based task splitting across a worker
+  pool through :class:`repro.smt.parallel.ParallelChecker` (Appendix D.4).
+
+Both are plain frozen dataclasses so they can be pickled into the batch
+executor's worker processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Protocol, runtime_checkable
+
+from repro.smt.interface import SMTCheck, check_formula
+from repro.smt.parallel import ParallelChecker
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.api.engine import CompiledTask
+
+__all__ = ["Backend", "SerialBackend", "ParallelBackend", "coerce_backend"]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can decide a compiled verification task."""
+
+    name: str
+
+    def check(self, compiled: "CompiledTask") -> SMTCheck:
+        """Decide satisfiability of ``compiled.formula`` (unsat = verified)."""
+        ...
+
+
+@dataclass(frozen=True)
+class SerialBackend:
+    """Single-query backend over the in-tree CDCL solver."""
+
+    name: ClassVar[str] = "serial"
+
+    def check(self, compiled: "CompiledTask") -> SMTCheck:
+        return check_formula(compiled.formula)
+
+
+@dataclass(frozen=True)
+class ParallelBackend:
+    """Task-splitting backend (the paper's parallel strategy).
+
+    ``heuristic_weight`` and ``threshold`` override the per-task hints the
+    compiler attaches (``2 * d`` and the qubit count); leave them ``None`` to
+    use the hints.  ``max_subtasks`` bounds the enumeration so large codes
+    cannot explode the split tree.  With ``num_workers <= 1`` the subtasks
+    still split but run sequentially, which is also what happens inside batch
+    worker processes (daemonic workers cannot spawn a nested pool).
+    """
+
+    num_workers: int = 2
+    heuristic_weight: int | None = None
+    threshold: int | None = None
+    max_subtasks: int = 256
+
+    name: ClassVar[str] = "parallel"
+
+    def check(self, compiled: "CompiledTask") -> SMTCheck:
+        checker = ParallelChecker(
+            compiled.formula,
+            split_variables=list(compiled.split_variables),
+            heuristic_weight=self.heuristic_weight or compiled.split_weight,
+            threshold=self.threshold if self.threshold is not None else compiled.split_threshold,
+            num_workers=self.num_workers,
+            max_subtasks=self.max_subtasks,
+        )
+        return checker.run()
+
+
+def coerce_backend(backend: "Backend | str | None", num_workers: int = 2) -> "Backend":
+    """Resolve a backend argument: an instance, a name, or ``None`` (serial)."""
+    if backend is None:
+        return SerialBackend()
+    if isinstance(backend, str):
+        if backend == "serial":
+            return SerialBackend()
+        if backend == "parallel":
+            return ParallelBackend(num_workers=num_workers)
+        raise ValueError(f"unknown backend {backend!r}; expected 'serial' or 'parallel'")
+    return backend

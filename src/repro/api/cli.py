@@ -1,0 +1,233 @@
+"""``python -m repro`` — the command-line front end of the verification engine.
+
+Subcommands:
+
+* ``list-codes`` — the registered benchmark codes (Table 3 rows);
+* ``verify``     — one correction/detection task on one code;
+* ``distance``   — discover a code's distance via repeated detection;
+* ``sweep``      — batch-verify many registry codes through ``Engine.run_many``.
+
+Every subcommand takes ``--json`` for machine-readable output.  Exit status:
+0 when everything verified, 1 when a counterexample was found, 2 on usage
+errors (argparse's convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Sequence
+
+from repro.codes.registry import CODE_REGISTRY, build_code
+from repro.api.backends import ParallelBackend, SerialBackend
+from repro.api.engine import Engine, registry_sweep_tasks
+from repro.api.result import Result
+from repro.api.tasks import ConstrainedTask, CorrectionTask, DetectionTask, DistanceTask
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Veri-QEC reproduction: formal verification of QEC programs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    codes = sub.add_parser("list-codes", help="list the registered benchmark codes")
+    codes.add_argument("--json", action="store_true", help="emit JSON")
+    codes.set_defaults(func=_cmd_list_codes)
+
+    verify = sub.add_parser("verify", help="verify one property of one code")
+    verify.add_argument("--code", required=True, help="registry key (see list-codes)")
+    verify.add_argument(
+        "--task",
+        choices=["correction", "detection"],
+        default=None,
+        help="property to verify (default: the code's registry target)",
+    )
+    verify.add_argument("--max-errors", type=int, default=None, help="correctable weight bound")
+    verify.add_argument("--trial-distance", type=int, default=None, help="detection trial distance")
+    verify.add_argument(
+        "--error-model", choices=["any", "X", "Y", "Z"], default="any", help="per-qubit error model"
+    )
+    verify.add_argument("--locality", action="store_true", help="restrict errors to a qubit subset")
+    verify.add_argument(
+        "--discreteness", action="store_true", help="at most one error per qubit segment"
+    )
+    verify.add_argument("--seed", type=int, default=None, help="seed for the locality subset")
+    verify.add_argument(
+        "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
+    )
+    verify.add_argument("--json", action="store_true", help="emit the result as JSON")
+    verify.set_defaults(func=_cmd_verify)
+
+    distance = sub.add_parser("distance", help="discover a code's distance")
+    distance.add_argument("--code", required=True, help="registry key (see list-codes)")
+    distance.add_argument("--max-trial", type=int, default=None, help="largest trial distance")
+    distance.add_argument("--json", action="store_true", help="emit the result as JSON")
+    distance.set_defaults(func=_cmd_distance)
+
+    sweep = sub.add_parser("sweep", help="batch-verify registry codes against their targets")
+    sweep.add_argument(
+        "--codes",
+        default=None,
+        help="comma-separated registry keys (default: the whole registry)",
+    )
+    sweep.add_argument(
+        "--backend", choices=["serial", "parallel"], default="serial", help="solver backend"
+    )
+    sweep.add_argument(
+        "--workers", type=int, default=2, help="split workers for the parallel backend"
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=1, help="process pool size across tasks (run_many)"
+    )
+    sweep.add_argument("--json", action="store_true", help="emit results as JSON")
+    sweep.set_defaults(func=_cmd_sweep)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+def _cmd_list_codes(args: argparse.Namespace) -> int:
+    rows = []
+    for key in sorted(CODE_REGISTRY):
+        entry = CODE_REGISTRY[key]
+        code = build_code(key)
+        n, k, d = code.parameters
+        rows.append(
+            {
+                "key": key,
+                "parameters": [n, k, d],
+                "target": entry.target,
+                "paper_name": entry.paper_name,
+                "note": entry.note,
+            }
+        )
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    for row in rows:
+        n, k, d = row["parameters"]
+        d_text = "?" if d is None else d
+        note = f"  ({row['note']})" if row["note"] else ""
+        print(f"{row['key']:16s} [[{n},{k},{d_text}]]  {row['target']:10s} {row['paper_name']}{note}")
+    return 0
+
+
+def _require_code(key: str) -> None:
+    if key not in CODE_REGISTRY:
+        raise SystemExit(f"error: unknown code {key!r}; try `python -m repro list-codes`")
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    _require_code(args.code)
+    task_name = args.task or CODE_REGISTRY[args.code].target
+    if task_name == "detection":
+        for flag, given in (
+            ("--locality", args.locality),
+            ("--discreteness", args.discreteness),
+            ("--max-errors", args.max_errors is not None),
+            ("--seed", args.seed is not None),
+        ):
+            if given:
+                raise SystemExit(f"error: {flag} does not apply to a detection task")
+        task = DetectionTask(
+            code=args.code, trial_distance=args.trial_distance, error_model=args.error_model
+        )
+    elif args.trial_distance is not None:
+        raise SystemExit("error: --trial-distance only applies to a detection task")
+    elif args.locality or args.discreteness:
+        task = ConstrainedTask(
+            code=args.code,
+            locality=args.locality,
+            discreteness=args.discreteness,
+            max_errors=args.max_errors,
+            error_model=args.error_model,
+            seed=args.seed,
+        )
+    else:
+        task = CorrectionTask(
+            code=args.code, max_errors=args.max_errors, error_model=args.error_model
+        )
+    backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
+    result = Engine(backend=backend).run(task)
+    return _emit(result, args.json)
+
+
+def _cmd_distance(args: argparse.Namespace) -> int:
+    _require_code(args.code)
+    result = Engine().run(DistanceTask(code=args.code, max_trial=args.max_trial))
+    if args.json:
+        print(result.to_json(indent=2))
+    else:
+        print(f"{result.subject}: distance {result.details['distance']} "
+              f"({len(result.details['trials'])} trials, {result.elapsed_seconds:.3f}s)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    keys = None
+    if args.codes is not None:
+        keys = [key.strip() for key in args.codes.split(",") if key.strip()]
+        if not keys:
+            raise SystemExit("error: --codes given but no code keys parsed")
+        for key in keys:
+            _require_code(key)
+    tasks = registry_sweep_tasks(keys)
+    backend = (
+        ParallelBackend(num_workers=args.workers) if args.backend == "parallel" else SerialBackend()
+    )
+    engine = Engine(backend=backend)
+    start = time.perf_counter()
+    results = engine.run_many(tasks, processes=args.jobs)
+    total = time.perf_counter() - start
+    if args.json:
+        payload = {
+            "backend": backend.name,
+            "jobs": args.jobs,
+            "total_seconds": total,
+            "num_tasks": len(results),
+            "num_verified": sum(result.verified for result in results),
+            "results": [result.to_dict() for result in results],
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        for result in results:
+            print(result.summary())
+        verified = sum(result.verified for result in results)
+        print(f"sweep: {verified}/{len(results)} verified in {total:.3f}s "
+              f"(backend={backend.name}, jobs={args.jobs})")
+    return 0 if all(result.verified for result in results) else 1
+
+
+def _emit(result: Result, as_json: bool) -> int:
+    if as_json:
+        print(result.to_json(indent=2))
+    else:
+        print(result.summary())
+        if not result.verified:
+            print(f"  counterexample qubits: {result.counterexample_qubits()}")
+    return 0 if result.verified else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; exit quietly.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

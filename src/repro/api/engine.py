@@ -1,0 +1,377 @@
+"""The verification engine: compile tasks once, decide them on any backend.
+
+``Engine`` is the single entry point behind the legacy ``VeriQEC`` facade,
+the ``verify_triple`` pipeline and the ``python -m repro`` CLI:
+
+* :meth:`Engine.compile_task` lowers a task to its refutation formula (one
+  place for every encoding decision), memoised in an LRU cache keyed on the
+  task value;
+* :meth:`Engine.run` decides one task on a pluggable backend and returns the
+  unified :class:`~repro.api.result.Result`;
+* :meth:`Engine.run_many` executes a batch of tasks — optionally across a
+  process pool — with per-task timing, which is how whole registry sweeps
+  (Table 3 / Table 4 style) are driven.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Sequence
+
+from repro.classical.expr import BoolExpr, BoolVar, Not
+from repro.codes.registry import CODE_REGISTRY
+from repro.verifier.constraints import discreteness_constraint, locality_constraint
+from repro.verifier.encodings import (
+    accurate_correction_formula,
+    precise_detection_formula,
+)
+from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
+from repro.api.result import Result
+from repro.api.tasks import (
+    ConstrainedTask,
+    CorrectionTask,
+    DetectionTask,
+    DistanceTask,
+    FixedErrorTask,
+    ProgramTask,
+    Task,
+)
+
+__all__ = ["CompiledTask", "Engine", "registry_sweep_tasks"]
+
+
+@dataclass
+class CompiledTask:
+    """A task lowered to its refutation formula plus backend hints."""
+
+    task: Task
+    kind: str
+    subject: str
+    formula: BoolExpr
+    split_variables: tuple[str, ...] = ()
+    split_weight: int = 2
+    split_threshold: int | None = None
+    details: dict = field(default_factory=dict)
+    compile_seconds: float = 0.0
+
+
+def _split_hints(code, error_model) -> tuple[tuple[str, ...], int, int]:
+    """Enumeration hints for the parallel strategy: the error-indicator
+    variables, the paper's heuristic weight ``2 * d`` and the threshold ``n``."""
+    if error_model.kind == "any":
+        names = tuple(
+            name for qubit in range(code.num_qubits) for name in (f"ex_{qubit}", f"ez_{qubit}")
+        )
+    else:
+        names = tuple(f"e_{qubit}" for qubit in range(code.num_qubits))
+    return names, 2 * (code.distance or 3), code.num_qubits
+
+
+class Engine:
+    """Compiles verification tasks and dispatches them to a backend."""
+
+    def __init__(self, backend: Backend | str | None = None, cache_size: int = 128):
+        self.backend: Backend = coerce_backend(backend)
+        self.cache_size = cache_size
+        self._cache: OrderedDict[Task, CompiledTask] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._uncacheable = 0
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile_task(self, task: Task) -> CompiledTask:
+        """Lower ``task`` to its formula, memoised on the task value."""
+        compiled, _ = self._compile_cached(task)
+        return compiled
+
+    def cache_info(self) -> dict:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "uncacheable": self._uncacheable,
+            "size": len(self._cache),
+            "max_size": self.cache_size,
+        }
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    def _compile_cached(self, task: Task) -> tuple[CompiledTask, bool]:
+        if not task.deterministic:
+            self._uncacheable += 1
+            return self._compile(task), False
+        try:
+            cached = self._cache.get(task)
+        except TypeError:  # unhashable payload (e.g. an ad-hoc triple)
+            self._uncacheable += 1
+            return self._compile(task), False
+        if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(task)
+            return cached, True
+        self._misses += 1
+        compiled = self._compile(task)
+        self._cache[task] = compiled
+        while len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        return compiled, False
+
+    def _compile(self, task: Task) -> CompiledTask:
+        start = time.perf_counter()
+        if isinstance(task, ConstrainedTask):
+            compiled = self._compile_constrained(task)
+        elif isinstance(task, FixedErrorTask):
+            compiled = self._compile_fixed_error(task)
+        elif isinstance(task, CorrectionTask):
+            compiled = self._compile_correction(task)
+        elif isinstance(task, DetectionTask):
+            compiled = self._compile_detection(task)
+        elif isinstance(task, ProgramTask):
+            compiled = self._compile_program(task)
+        elif isinstance(task, DistanceTask):
+            raise TypeError(
+                "DistanceTask is a meta-task driven by Engine.run(); it has no single formula"
+            )
+        else:
+            raise TypeError(f"don't know how to compile {type(task).__name__}")
+        compiled.compile_seconds = time.perf_counter() - start
+        return compiled
+
+    def _compile_correction(
+        self,
+        task: CorrectionTask,
+        *,
+        kind: str | None = None,
+        extra_constraints: Sequence[BoolExpr] = (),
+        extra_details: dict | None = None,
+    ) -> CompiledTask:
+        code = task.build()
+        max_errors = task.max_errors
+        if max_errors is None:
+            if code.distance is None:
+                raise ValueError("max_errors must be given when the code distance is unknown")
+            max_errors = (code.distance - 1) // 2
+        constraints = list(task.extra_constraints) + list(extra_constraints)
+        formula = accurate_correction_formula(
+            code,
+            max_errors=max_errors,
+            error_model=task.error_model,
+            extra_constraints=constraints or None,
+        )
+        split_variables, weight, threshold = _split_hints(code, task.error_model)
+        details = {"max_errors": max_errors, "error_model": task.error_model.kind}
+        details.update(extra_details or {})
+        return CompiledTask(
+            task=task,
+            kind=kind or task.kind,
+            subject=code.name,
+            formula=formula,
+            split_variables=split_variables,
+            split_weight=weight,
+            split_threshold=threshold,
+            details=details,
+        )
+
+    def _compile_detection(self, task: DetectionTask) -> CompiledTask:
+        code = task.build()
+        trial_distance = task.trial_distance
+        if trial_distance is None:
+            # Mirror the registry sweep default: fall back to weight-2
+            # detection when the true distance is unknown or below two.
+            trial_distance = code.distance if code.distance and code.distance >= 2 else 2
+        formula = precise_detection_formula(code, trial_distance, error_model=task.error_model)
+        split_variables, weight, threshold = _split_hints(code, task.error_model)
+        return CompiledTask(
+            task=task,
+            kind=task.kind,
+            subject=code.name,
+            formula=formula,
+            split_variables=split_variables,
+            split_weight=weight,
+            split_threshold=threshold,
+            details={"trial_distance": trial_distance, "error_model": task.error_model.kind},
+        )
+
+    def _compile_constrained(self, task: ConstrainedTask) -> CompiledTask:
+        code = task.build()
+        constraints: list[BoolExpr] = []
+        if task.locality:
+            allowed = list(task.allowed_qubits) if task.allowed_qubits is not None else None
+            constraints.append(
+                locality_constraint(
+                    code, task.error_model, allowed_qubits=allowed, seed=task.seed
+                )
+            )
+        if task.discreteness:
+            constraints.append(discreteness_constraint(code, task.error_model))
+        base = CorrectionTask(
+            code=task.code, max_errors=task.max_errors, error_model=task.error_model
+        )
+        compiled = self._compile_correction(
+            base,
+            kind=task.kind,
+            extra_constraints=constraints,
+            extra_details={"constraints": task.constraint_labels or ["none"]},
+        )
+        compiled.task = task
+        return compiled
+
+    def _compile_fixed_error(self, task: FixedErrorTask) -> CompiledTask:
+        code = task.build()
+        error_map = task.error_map
+        constraints: list[BoolExpr] = []
+        for qubit in range(code.num_qubits):
+            pauli = error_map.get(qubit)
+            for component, prefix in (("X", "ex"), ("Z", "ez")):
+                variable = BoolVar(f"{prefix}_{qubit}")
+                present = pauli in (component, "Y") if pauli else False
+                constraints.append(variable if present else Not(variable))
+        max_errors = task.max_errors if task.max_errors is not None else len(error_map)
+        base = CorrectionTask(code=task.code, max_errors=max_errors, error_model="any")
+        compiled = self._compile_correction(
+            base,
+            kind=task.kind,
+            extra_constraints=constraints,
+            extra_details={"error_qubits": error_map},
+        )
+        compiled.task = task
+        return compiled
+
+    def _compile_program(self, task: ProgramTask) -> CompiledTask:
+        from repro.vc.pipeline import compile_triple
+
+        formula, details = compile_triple(task.triple, decoder_condition=task.decoder_condition)
+        # The pipeline produces a validity formula; the backends decide
+        # satisfiability, so refute the negation (unsat = valid = verified).
+        return CompiledTask(
+            task=task,
+            kind=f"{task.kind}:{task.triple.name}",
+            subject=task.triple.name,
+            formula=Not(formula),
+            details=details,
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, task: Task, backend: Backend | str | None = None) -> Result:
+        """Decide one task and return the unified result."""
+        chosen = coerce_backend(backend) if backend is not None else self.backend
+        if isinstance(task, DistanceTask):
+            return self._run_distance(task, chosen)
+        start = time.perf_counter()
+        compiled, cached = self._compile_cached(task)
+        check = chosen.check(compiled)
+        elapsed = time.perf_counter() - start
+        details = dict(compiled.details)
+        details.update(check.metadata)
+        return Result(
+            task=compiled.kind,
+            subject=compiled.subject,
+            verified=check.is_unsat,
+            counterexample=check.model if check.is_sat else None,
+            elapsed_seconds=elapsed,
+            compile_seconds=compiled.compile_seconds,
+            backend=chosen.name,
+            cached=cached,
+            num_variables=check.num_variables,
+            num_clauses=check.num_clauses,
+            conflicts=check.conflicts,
+            details=details,
+        )
+
+    def _run_distance(self, task: DistanceTask, backend: Backend) -> Result:
+        code = task.build()
+        limit = task.max_trial or code.num_qubits + 1
+        start = time.perf_counter()
+        trials: list[dict] = []
+        distance = limit
+        last: Result | None = None
+        for trial in range(2, limit + 1):
+            probe = DetectionTask(code=task.code, trial_distance=trial)
+            last = self.run(probe, backend=backend)
+            trials.append(
+                {"trial_distance": trial, "verified": last.verified,
+                 "elapsed_seconds": last.elapsed_seconds, "conflicts": last.conflicts}
+            )
+            if not last.verified:
+                distance = trial - 1
+                break
+        elapsed = time.perf_counter() - start
+        details = {"distance": distance, "trials": trials}
+        if last is not None and last.counterexample:
+            # The witness is informative (a minimum-weight undetectable
+            # error), but `counterexample` is reserved for unverified results.
+            details["witness"] = last.counterexample
+        return Result(
+            task=task.kind,
+            subject=code.name,
+            verified=True,
+            elapsed_seconds=elapsed,
+            backend=backend.name,
+            num_variables=last.num_variables if last is not None else 0,
+            num_clauses=last.num_clauses if last is not None else 0,
+            conflicts=sum(t.get("conflicts", 0) for t in trials),
+            details=details,
+        )
+
+    def find_distance(self, code, max_trial: int | None = None) -> int:
+        """Convenience wrapper returning the discovered distance as an int."""
+        result = self.run(DistanceTask(code=code, max_trial=max_trial))
+        return result.details["distance"]
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        tasks: Iterable[Task],
+        backend: Backend | str | None = None,
+        processes: int | None = None,
+    ) -> list[Result]:
+        """Decide a batch of tasks, preserving order, with per-task timing.
+
+        With ``processes > 1`` the tasks are distributed across a process
+        pool; each worker runs its task serially end-to-end (a nested
+        :class:`ParallelBackend` pool is forced sequential because pool
+        workers are daemonic).  Tasks must be picklable for the pool path,
+        which every registry-key task is.
+        """
+        batch = list(tasks)
+        chosen = coerce_backend(backend) if backend is not None else self.backend
+        if processes and processes > 1 and len(batch) > 1:
+            worker_backend = chosen
+            if isinstance(worker_backend, ParallelBackend):
+                worker_backend = replace(worker_backend, num_workers=1)
+            payloads = [(task, worker_backend) for task in batch]
+            with multiprocessing.Pool(processes=processes) as pool:
+                return pool.map(_run_payload, payloads)
+        return [self.run(task, backend=chosen) for task in batch]
+
+
+def _run_payload(payload: tuple[Task, Backend]) -> Result:
+    task, backend = payload
+    return Engine(backend=backend).run(task)
+
+
+def registry_sweep_tasks(keys: Sequence[str] | None = None) -> list[Task]:
+    """One task per registry code, against its target property (Table 3).
+
+    Correction-target codes get a :class:`CorrectionTask` at their default
+    correctable weight; detection-target codes get a :class:`DetectionTask`
+    at their recorded distance (or weight-2 detection when unknown).
+    """
+    selected = list(keys) if keys is not None else sorted(CODE_REGISTRY)
+    tasks: list[Task] = []
+    for key in selected:
+        if key not in CODE_REGISTRY:
+            raise KeyError(f"unknown code {key!r}; known codes: {sorted(CODE_REGISTRY)}")
+        entry = CODE_REGISTRY[key]
+        if entry.target == "correction":
+            tasks.append(CorrectionTask(code=key))
+        else:
+            tasks.append(DetectionTask(code=key))
+    return tasks

@@ -1,0 +1,105 @@
+"""The unified, JSON-serializable verification result.
+
+``Result`` subsumes the legacy :class:`~repro.verifier.report.VerificationReport`:
+it carries the same verdict/counterexample/solver statistics plus the
+engine-level fields (backend, compile time, cache hit).  ``to_report`` /
+``from_report`` convert between the two so the backward-compatible shims can
+keep their historical return type.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.verifier.report import VerificationReport
+
+__all__ = ["Result"]
+
+
+@dataclass
+class Result:
+    """Outcome of one verification task.
+
+    ``verified`` is True when the property holds for *all* error
+    configurations in scope (the underlying SAT query was unsatisfiable);
+    otherwise ``counterexample`` holds a concrete falsifying assignment.
+    """
+
+    task: str
+    subject: str
+    verified: bool
+    counterexample: dict[str, bool] | None = None
+    elapsed_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    backend: str = "serial"
+    cached: bool = False
+    num_variables: int = 0
+    num_clauses: int = 0
+    conflicts: int = 0
+    details: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        status = "VERIFIED" if self.verified else "COUNTEREXAMPLE"
+        return (
+            f"[{status}] {self.task} on {self.subject} "
+            f"({self.elapsed_seconds:.3f}s, {self.num_variables} vars, "
+            f"{self.num_clauses} clauses, {self.conflicts} conflicts)"
+        )
+
+    def counterexample_qubits(self) -> list[int]:
+        """Indices of qubits carrying an error in the counterexample."""
+        if not self.counterexample:
+            return []
+        qubits = set()
+        for name, value in self.counterexample.items():
+            if value and (name.startswith("ex_") or name.startswith("ez_") or name.startswith("e_")):
+                qubits.add(int(name.rsplit("_", 1)[1]))
+        return sorted(qubits)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Result":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{key: value for key, value in payload.items() if key in known})
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "Result":
+        return cls.from_dict(json.loads(payload))
+
+    # ------------------------------------------------------------------
+    def to_report(self) -> VerificationReport:
+        """Down-convert to the legacy report type used by the shims."""
+        return VerificationReport(
+            task=self.task,
+            code_name=self.subject,
+            verified=self.verified,
+            counterexample=dict(self.counterexample) if self.counterexample else None,
+            elapsed_seconds=self.elapsed_seconds,
+            num_variables=self.num_variables,
+            num_clauses=self.num_clauses,
+            conflicts=self.conflicts,
+            details=dict(self.details),
+        )
+
+    @classmethod
+    def from_report(cls, report: VerificationReport, backend: str = "serial") -> "Result":
+        return cls(
+            task=report.task,
+            subject=report.code_name,
+            verified=report.verified,
+            counterexample=dict(report.counterexample) if report.counterexample else None,
+            elapsed_seconds=report.elapsed_seconds,
+            backend=backend,
+            num_variables=report.num_variables,
+            num_clauses=report.num_clauses,
+            conflicts=report.conflicts,
+            details=dict(report.details),
+        )

@@ -49,6 +49,7 @@ class ParallelChecker:
     heuristic_weight: int = 2
     threshold: int | None = None
     num_workers: int = 1
+    max_subtasks: int = 1024
 
     def run(self) -> SMTCheck:
         start = time.perf_counter()
@@ -68,7 +69,8 @@ class ParallelChecker:
         if threshold is None:
             threshold = max(len(self.split_variables), 1)
         assumption_sets = generate_split_assumptions(
-            self.split_variables, self.heuristic_weight, threshold
+            self.split_variables, self.heuristic_weight, threshold,
+            max_subtasks=self.max_subtasks,
         )
         return [SplitTask(assumptions, index) for index, assumptions in enumerate(assumption_sets)]
 
@@ -96,10 +98,12 @@ class ParallelChecker:
         )
 
     def _run_parallel(self, tasks: list[SplitTask]) -> SMTCheck:
-        payloads = [(self.formula, task.assumptions) for task in tasks]
+        assumption_sets = [task.assumptions for task in tasks]
         total_conflicts = 0
-        with multiprocessing.Pool(processes=self.num_workers) as pool:
-            iterator = pool.imap_unordered(_solve_payload, payloads)
+        with multiprocessing.Pool(
+            processes=self.num_workers, initializer=_worker_init, initargs=(self.formula,)
+        ) as pool:
+            iterator = pool.imap_unordered(_solve_in_worker, assumption_sets)
             for status, model, conflicts in iterator:
                 total_conflicts += conflicts
                 if status == "sat":
@@ -125,16 +129,26 @@ def _solve_encoded(encoder: FormulaEncoder, assumptions: dict[str, bool]) -> SMT
     )
 
 
-def _solve_payload(payload) -> tuple[str, dict | None, int]:
-    formula, assumptions = payload
+# Per-worker encoder, built once by the pool initializer: encoding the shared
+# formula is the expensive part, the per-subtask work is just a solve under
+# assumptions.
+_WORKER_ENCODER: FormulaEncoder | None = None
+
+
+def _worker_init(formula: BoolExpr) -> None:
+    global _WORKER_ENCODER
     encoder = FormulaEncoder()
     encoder.assert_formula(formula)
-    check = _solve_encoded(encoder, assumptions)
+    _WORKER_ENCODER = encoder
+
+
+def _solve_in_worker(assumptions: dict[str, bool]) -> tuple[str, dict | None, int]:
+    check = _solve_encoded(_WORKER_ENCODER, assumptions)
     return check.status, check.model, check.conflicts
 
 
 def generate_split_assumptions(
-    variables: list[str], heuristic_weight: int, threshold: int
+    variables: list[str], heuristic_weight: int, threshold: int, max_subtasks: int = 1024
 ) -> list[dict[str, bool]]:
     """Enumerate prefixes of ``variables`` until the heuristic fires.
 
@@ -143,6 +157,12 @@ def generate_split_assumptions(
     ``heuristic_weight * N(ones) + N(bits) > threshold`` (the paper's E_T
     condition) or all variables are enumerated.  The union of the leaves
     covers the full assignment space exactly once.
+
+    ``max_subtasks`` bounds the enumeration on large codes (the paper's
+    ``E_T`` with threshold ``n`` explodes combinatorially past a few dozen
+    qubits): once the budget is reached, remaining branches are emitted as-is,
+    each leaf covering its whole residual subspace — the cover stays exact,
+    only coarser.
     """
     if not variables:
         return [{}]
@@ -150,7 +170,11 @@ def generate_split_assumptions(
 
     def expand(index: int, assignment: dict[str, bool], ones: int) -> None:
         bits = len(assignment)
-        if index >= len(variables) or heuristic_weight * ones + bits > threshold:
+        if (
+            index >= len(variables)
+            or heuristic_weight * ones + bits > threshold
+            or len(leaves) >= max_subtasks
+        ):
             leaves.append(dict(assignment))
             return
         name = variables[index]

@@ -1,25 +1,24 @@
 """End-to-end verification of a Hoare triple (the program-logic route).
 
-``verify_triple`` mirrors the three components of the tool described in
-Section 6: the correctness-formula (here: the triple built by
-:mod:`repro.verifier.programs`), the VC generator (the compact symbolic wp of
-:mod:`repro.vc.symbolic` plus the reduction of :mod:`repro.vc.reduction`) and
-the SMT checker (:mod:`repro.smt`).
+``compile_triple`` mirrors the first two of the three components of the tool
+described in Section 6: the correctness-formula (here: the triple built by
+:mod:`repro.verifier.programs`) and the VC generator (the compact symbolic wp
+of :mod:`repro.vc.symbolic` plus the reduction of :mod:`repro.vc.reduction`).
+The third component — the SMT checker — lives behind the engine's backends;
+``verify_triple`` is kept as a thin backward-compatible shim that routes a
+triple through :class:`repro.api.Engine`.
 """
 
 from __future__ import annotations
 
-import time
-
 from repro.classical.expr import BoolExpr
 from repro.hoare.triple import HoareTriple
 from repro.logic.assertion import AndAssertion, Assertion, PauliAssertion
-from repro.smt.interface import check_valid
 from repro.vc.reduction import SpecAtom, reduce_to_classical
 from repro.vc.symbolic import symbolic_wp
 from repro.verifier.report import VerificationReport
 
-__all__ = ["verify_triple", "spec_atoms_from_assertion"]
+__all__ = ["compile_triple", "verify_triple", "spec_atoms_from_assertion"]
 
 
 def spec_atoms_from_assertion(assertion: Assertion) -> list[SpecAtom]:
@@ -46,18 +45,18 @@ def spec_atoms_from_assertion(assertion: Assertion) -> list[SpecAtom]:
     return atoms
 
 
-def verify_triple(
+def compile_triple(
     triple: HoareTriple,
     decoder_condition: BoolExpr | None = None,
-) -> VerificationReport:
-    """Verify ``{A ∧ P_c} S {B}`` and report the result.
+) -> tuple[BoolExpr, dict]:
+    """Reduce ``{A ∧ P_c} S {B}`` to a classical validity formula.
 
     The postcondition atoms are pushed backwards through the program with the
-    compact symbolic wp, the entailment against the precondition atoms is
-    reduced to a classical formula, and the formula's validity is decided by
-    the SAT back end.
+    compact symbolic wp and the entailment against the precondition atoms is
+    reduced to a classical formula.  Returns ``(formula, details)`` where the
+    formula is valid iff the triple holds and ``details`` records the wp
+    statistics the legacy report exposed.
     """
-    start = time.perf_counter()
     spec = spec_atoms_from_assertion(triple.precondition)
     postcondition_atoms = [
         assertion.expr for assertion in _pauli_parts(triple.postcondition)
@@ -70,22 +69,28 @@ def verify_triple(
         triple.classical_constraint,
         decoder_condition=decoder_condition,
     )
-    check = check_valid(formula)
-    elapsed = time.perf_counter() - start
-    return VerificationReport(
-        task=f"program-logic:{triple.name}",
-        code_name=triple.name,
-        verified=check.is_unsat,
-        counterexample=check.model if check.is_sat else None,
-        elapsed_seconds=elapsed,
-        num_variables=check.num_variables,
-        num_clauses=check.num_clauses,
-        conflicts=check.conflicts,
-        details={
-            "bound_outcomes": list(precondition.bound_outcomes),
-            "num_atoms": len(precondition.atoms),
-        },
-    )
+    details = {
+        "bound_outcomes": list(precondition.bound_outcomes),
+        "num_atoms": len(precondition.atoms),
+    }
+    return formula, details
+
+
+def verify_triple(
+    triple: HoareTriple,
+    decoder_condition: BoolExpr | None = None,
+) -> VerificationReport:
+    """Verify ``{A ∧ P_c} S {B}`` and report the result.
+
+    Backward-compatible shim over the task API: builds a
+    :class:`~repro.api.ProgramTask`, runs it on a fresh engine and converts
+    the :class:`~repro.api.Result` back to the legacy report type.
+    """
+    from repro.api.engine import Engine
+    from repro.api.tasks import ProgramTask
+
+    task = ProgramTask(triple=triple, decoder_condition=decoder_condition)
+    return Engine().run(task).to_report()
 
 
 def _pauli_parts(assertion: Assertion) -> list[PauliAssertion]:

@@ -67,6 +67,15 @@ class ErrorModel:
         if self.kind not in ("any", "X", "Y", "Z"):
             raise ValueError(f"unknown error model {self.kind!r}")
 
+    @classmethod
+    def coerce(cls, value: "ErrorModel | str") -> "ErrorModel":
+        """Normalise a user-facing ``str | ErrorModel`` argument to an ``ErrorModel``."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(value)
+        raise TypeError(f"expected an ErrorModel or a model-kind string, got {value!r}")
+
 
 def error_component_variables(
     num_qubits: int, model: ErrorModel, prefix: str = ""

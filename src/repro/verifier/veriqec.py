@@ -1,34 +1,23 @@
-"""The Veri-QEC front end.
+"""The Veri-QEC front end, now a thin facade over :class:`repro.api.Engine`.
 
-``VeriQEC`` bundles the verification functionalities evaluated in Section 7:
+``VeriQEC`` keeps the historical method-per-functionality surface evaluated
+in Section 7 — ``verify_correction`` (Fig. 4 / Table 3), ``verify_detection``
+and ``find_distance`` (Fig. 6), ``verify_with_constraints`` (Fig. 7),
+``verify_fixed_error`` and ``verify_program`` — but every call is reified as
+a task object and dispatched through the engine, so the facade and the new
+``repro.api`` layer can never drift apart.  Methods still return the legacy
+:class:`~repro.verifier.report.VerificationReport`.
 
-* ``verify_correction`` — general verification of accurate decoding and
-  correction for all error configurations up to the correctable weight
-  (Fig. 4 / Table 3);
-* ``verify_detection`` — precise detection of errors below a trial distance,
-  and ``find_distance`` which uses it to discover the true code distance
-  (Fig. 6);
-* ``verify_with_constraints`` — partial verification under user-provided
-  error constraints (Fig. 7);
-* ``verify_program`` — the program-logic route: weakest preconditions of a
-  QEC program, VC generation and SMT checking (Sections 4-5), provided by
-  :mod:`repro.hoare` and :mod:`repro.vc`.
+The ``repro.api`` imports are deferred to call time: this module is imported
+by ``repro.verifier.__init__``, which the engine itself imports for the
+encodings, and a module-level import would close that cycle.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.classical.expr import BoolExpr, bool_and
+from repro.classical.expr import BoolExpr
 from repro.codes.base import StabilizerCode
-from repro.smt.interface import check_formula
-from repro.smt.parallel import ParallelChecker
-from repro.verifier.constraints import discreteness_constraint, locality_constraint
-from repro.verifier.encodings import (
-    ErrorModel,
-    accurate_correction_formula,
-    precise_detection_formula,
-)
+from repro.verifier.encodings import ErrorModel
 from repro.verifier.report import VerificationReport
 
 __all__ = ["VeriQEC"]
@@ -40,35 +29,29 @@ class VeriQEC:
     def __init__(self, num_workers: int = 1, split_heuristic_weight: int | None = None):
         self.num_workers = num_workers
         self.split_heuristic_weight = split_heuristic_weight
+        self._engine = None
 
     # ------------------------------------------------------------------
-    def _run(self, task: str, code: StabilizerCode, formula: BoolExpr, parallel: bool) -> VerificationReport:
-        start = time.perf_counter()
+    @property
+    def engine(self):
+        """The shared :class:`repro.api.Engine` behind this facade."""
+        if self._engine is None:
+            from repro.api.engine import Engine
+
+            self._engine = Engine()
+        return self._engine
+
+    def _backend(self, parallel: bool):
+        from repro.api.backends import ParallelBackend, SerialBackend
+
         if parallel and self.num_workers > 1:
-            split_variables = [f"e_{q}" for q in range(code.num_qubits)]
-            weight = self.split_heuristic_weight or 2 * (code.distance or 3)
-            checker = ParallelChecker(
-                formula,
-                split_variables=split_variables,
-                heuristic_weight=weight,
-                threshold=code.num_qubits,
-                num_workers=self.num_workers,
+            return ParallelBackend(
+                num_workers=self.num_workers, heuristic_weight=self.split_heuristic_weight
             )
-            check = checker.run()
-        else:
-            check = check_formula(formula)
-        elapsed = time.perf_counter() - start
-        return VerificationReport(
-            task=task,
-            code_name=code.name,
-            verified=check.is_unsat,
-            counterexample=check.model if check.is_sat else None,
-            elapsed_seconds=elapsed,
-            num_variables=check.num_variables,
-            num_clauses=check.num_clauses,
-            conflicts=check.conflicts,
-            details=dict(check.metadata),
-        )
+        return SerialBackend()
+
+    def _run(self, task, parallel: bool = False) -> VerificationReport:
+        return self.engine.run(task, backend=self._backend(parallel)).to_report()
 
     # ------------------------------------------------------------------
     def verify_correction(
@@ -80,16 +63,15 @@ class VeriQEC:
         parallel: bool = False,
     ) -> VerificationReport:
         """Verify accurate decoding and correction for all errors in scope."""
-        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
-        formula = accurate_correction_formula(
-            code, max_errors=max_errors, error_model=model, extra_constraints=extra_constraints
+        from repro.api.tasks import CorrectionTask
+
+        task = CorrectionTask(
+            code=code,
+            max_errors=max_errors,
+            error_model=ErrorModel.coerce(error_model),
+            extra_constraints=tuple(extra_constraints or ()),
         )
-        report = self._run("accurate-correction", code, formula, parallel)
-        report.details["max_errors"] = (
-            max_errors if max_errors is not None else (code.distance - 1) // 2
-        )
-        report.details["error_model"] = model.kind
-        return report
+        return self._run(task, parallel)
 
     def verify_detection(
         self,
@@ -99,25 +81,21 @@ class VeriQEC:
         parallel: bool = False,
     ) -> VerificationReport:
         """Verify that every error of weight below the trial distance is detectable."""
-        if trial_distance is None:
-            if code.distance is None:
-                raise ValueError("trial_distance required when the code distance is unknown")
-            trial_distance = code.distance
-        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
-        formula = precise_detection_formula(code, trial_distance, error_model=model)
-        report = self._run("precise-detection", code, formula, parallel)
-        report.details["trial_distance"] = trial_distance
-        return report
+        from repro.api.tasks import DetectionTask
+
+        if trial_distance is None and code.distance is None:
+            raise ValueError("trial_distance required when the code distance is unknown")
+        task = DetectionTask(
+            code=code,
+            trial_distance=trial_distance,
+            error_model=ErrorModel.coerce(error_model),
+        )
+        return self._run(task, parallel)
 
     def find_distance(self, code: StabilizerCode, max_trial: int | None = None) -> int:
         """Discover the code distance by increasing the trial distance until a
         counterexample (a minimum-weight undetectable error) appears."""
-        limit = max_trial or code.num_qubits + 1
-        for trial in range(2, limit + 1):
-            report = self.verify_detection(code, trial_distance=trial)
-            if not report.verified:
-                return trial - 1
-        return limit
+        return self.engine.find_distance(code, max_trial=max_trial)
 
     def verify_with_constraints(
         self,
@@ -131,27 +109,18 @@ class VeriQEC:
         parallel: bool = False,
     ) -> VerificationReport:
         """Partial verification under user-provided error constraints (Fig. 7)."""
-        model = ErrorModel(error_model) if isinstance(error_model, str) else error_model
-        constraints: list[BoolExpr] = []
-        labels = []
-        if locality:
-            constraints.append(
-                locality_constraint(code, model, allowed_qubits=allowed_qubits, seed=seed)
-            )
-            labels.append("locality")
-        if discreteness:
-            constraints.append(discreteness_constraint(code, model))
-            labels.append("discreteness")
-        report = self.verify_correction(
-            code,
+        from repro.api.tasks import ConstrainedTask
+
+        task = ConstrainedTask(
+            code=code,
+            locality=locality,
+            discreteness=discreteness,
+            allowed_qubits=tuple(allowed_qubits) if allowed_qubits is not None else None,
             max_errors=max_errors,
-            error_model=model,
-            extra_constraints=constraints,
-            parallel=parallel,
+            error_model=ErrorModel.coerce(error_model),
+            seed=seed,
         )
-        report.task = "constrained-correction"
-        report.details["constraints"] = labels or ["none"]
-        return report
+        return self._run(task, parallel)
 
     # ------------------------------------------------------------------
     def verify_fixed_error(
@@ -161,29 +130,19 @@ class VeriQEC:
         max_errors: int | None = None,
     ) -> VerificationReport:
         """Check a single, fixed error pattern (the functionality Stim covers)."""
-        constraints: list[BoolExpr] = []
-        from repro.classical.expr import BoolVar, Not
+        from repro.api.tasks import FixedErrorTask
 
-        for qubit in range(code.num_qubits):
-            pauli = error_qubits.get(qubit)
-            for component, prefix in (("X", "ex"), ("Z", "ez")):
-                name = f"{prefix}_{qubit}"
-                present = pauli in (component, "Y") if pauli else False
-                variable = BoolVar(name)
-                constraints.append(variable if present else Not(variable))
-        report = self.verify_correction(
-            code,
-            max_errors=max_errors if max_errors is not None else len(error_qubits),
-            error_model="any",
-            extra_constraints=constraints,
+        task = FixedErrorTask(
+            code=code,
+            error_qubits=tuple(sorted(error_qubits.items())),
+            max_errors=max_errors,
         )
-        report.task = "fixed-error"
-        report.details["error_qubits"] = dict(error_qubits)
-        return report
+        return self._run(task)
 
     # ------------------------------------------------------------------
     def verify_program(self, triple, decoder_condition=None) -> VerificationReport:
         """Verify a Hoare triple about a QEC program (the program-logic route)."""
-        from repro.vc.pipeline import verify_triple
+        from repro.api.tasks import ProgramTask
 
-        return verify_triple(triple, decoder_condition=decoder_condition)
+        task = ProgramTask(triple=triple, decoder_condition=decoder_condition)
+        return self._run(task)

@@ -1,0 +1,128 @@
+"""CLI smoke tests: every subcommand, text and JSON output, module entry."""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+
+class TestListCodes:
+    def test_text_output(self, capsys):
+        assert main(["list-codes"]) == 0
+        out = capsys.readouterr().out
+        assert "steane" in out and "[[7,1,3]]" in out and "correction" in out
+
+    def test_json_output(self, capsys):
+        assert main(["list-codes", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        keys = {row["key"] for row in rows}
+        assert {"steane", "five-qubit", "surface-3"} <= keys
+        steane = next(row for row in rows if row["key"] == "steane")
+        assert steane["parameters"] == [7, 1, 3]
+
+
+class TestVerify:
+    def test_verify_steane_json(self, capsys):
+        assert main(["verify", "--code", "steane", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["verified"] is True
+        assert payload["task"] == "accurate-correction"
+        assert payload["subject"] == "steane"
+
+    def test_verify_counterexample_exit_code(self, capsys):
+        assert main(["verify", "--code", "steane", "--max-errors", "2"]) == 1
+        out = capsys.readouterr().out
+        assert "COUNTEREXAMPLE" in out and "counterexample qubits" in out
+
+    def test_verify_detection_target_default(self, capsys):
+        # detection-422's registry target is detection, so --task may be omitted.
+        assert main(["verify", "--code", "detection-422", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["task"] == "precise-detection"
+
+    def test_verify_constrained(self, capsys):
+        assert main(
+            ["verify", "--code", "surface-3", "--locality", "--discreteness",
+             "--error-model", "Y", "--seed", "1", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["task"] == "constrained-correction"
+        assert payload["details"]["constraints"] == ["locality", "discreteness"]
+
+    def test_verify_parallel_workers(self, capsys):
+        assert main(
+            ["verify", "--code", "steane", "--error-model", "Y", "--workers", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "parallel"
+
+    def test_unknown_code_errors(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "--code", "no-such-code"])
+
+    def test_inapplicable_flags_rejected(self):
+        # Correction-only flags on a detection task, and vice versa.
+        with pytest.raises(SystemExit, match="--locality"):
+            main(["verify", "--code", "detection-422", "--locality"])
+        with pytest.raises(SystemExit, match="--max-errors"):
+            main(["verify", "--code", "steane", "--task", "detection", "--max-errors", "1"])
+        with pytest.raises(SystemExit, match="--trial-distance"):
+            main(["verify", "--code", "steane", "--trial-distance", "3"])
+
+    def test_invalid_trial_distance_clean_error(self, capsys):
+        assert main(["verify", "--code", "steane", "--task", "detection",
+                     "--trial-distance", "1"]) == 2
+        assert "trial_distance must be at least 2" in capsys.readouterr().err
+
+
+class TestDistance:
+    def test_distance_text(self, capsys):
+        assert main(["distance", "--code", "steane", "--max-trial", "5"]) == 0
+        assert "distance 3" in capsys.readouterr().out
+
+    def test_distance_json(self, capsys):
+        assert main(["distance", "--code", "steane", "--max-trial", "5", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["details"]["distance"] == 3
+
+
+class TestSweep:
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "--codes", "steane,five-qubit", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_tasks"] == 2 and payload["num_verified"] == 2
+        assert [row["subject"] for row in payload["results"]] == ["steane", "five-qubit"]
+
+    def test_sweep_text(self, capsys):
+        assert main(["sweep", "--codes", "steane,detection-422"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2/2 verified" in out
+
+    def test_sweep_with_jobs_and_parallel_backend(self, capsys):
+        assert main(
+            ["sweep", "--codes", "steane,five-qubit,six-qubit", "--jobs", "2",
+             "--backend", "parallel", "--workers", "2"]
+        ) == 0
+        assert "backend=parallel, jobs=2" in capsys.readouterr().out
+
+
+def test_module_entry_point():
+    """`python -m repro list-codes` works as a subprocess (the shipped UX)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "list-codes"],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=120,
+    )
+    assert proc.returncode == 0
+    assert "steane" in proc.stdout

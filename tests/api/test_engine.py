@@ -1,0 +1,183 @@
+"""The engine: compile cache, batch execution, backend agreement."""
+
+import pytest
+
+from repro.api import (
+    ConstrainedTask,
+    CorrectionTask,
+    DetectionTask,
+    DistanceTask,
+    Engine,
+    FixedErrorTask,
+    ParallelBackend,
+    ProgramTask,
+    SerialBackend,
+    registry_sweep_tasks,
+)
+from repro.codes import steane_code
+from repro.verifier.programs import correction_triple
+
+
+class TestCompileCache:
+    def test_identical_tasks_hit_the_cache(self):
+        engine = Engine()
+        task = CorrectionTask(code="steane")
+        first = engine.compile_task(task)
+        second = engine.compile_task(CorrectionTask(code="steane"))
+        assert second is first
+        info = engine.cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1 and info["size"] == 1
+
+    def test_run_marks_cache_hits(self):
+        engine = Engine()
+        assert engine.run(CorrectionTask(code="steane")).cached is False
+        assert engine.run(CorrectionTask(code="steane")).cached is True
+
+    def test_different_tasks_miss(self):
+        engine = Engine()
+        engine.compile_task(CorrectionTask(code="steane"))
+        engine.compile_task(CorrectionTask(code="steane", max_errors=2))
+        assert engine.cache_info()["misses"] == 2
+
+    def test_cache_eviction_respects_size(self):
+        engine = Engine(cache_size=1)
+        engine.compile_task(CorrectionTask(code="steane"))
+        engine.compile_task(CorrectionTask(code="five-qubit"))
+        assert engine.cache_info()["size"] == 1
+
+    def test_clear_cache(self):
+        engine = Engine()
+        engine.compile_task(CorrectionTask(code="steane"))
+        engine.clear_cache()
+        assert engine.cache_info()["size"] == 0
+
+    def test_distance_task_has_no_single_formula(self):
+        with pytest.raises(TypeError):
+            Engine().compile_task(DistanceTask(code="steane"))
+
+    def test_unseeded_locality_is_never_cached(self):
+        # An unseeded locality constraint samples a fresh random subset per
+        # compile; serving a cached formula would silently reuse one sample.
+        engine = Engine()
+        task = ConstrainedTask(code="surface-3", locality=True, error_model="Y")
+        assert task.deterministic is False
+        engine.run(task)
+        assert engine.run(task).cached is False
+        assert engine.cache_info()["uncacheable"] == 2
+
+    def test_seeded_locality_is_cached(self):
+        engine = Engine()
+        task = ConstrainedTask(code="surface-3", locality=True, error_model="Y", seed=7)
+        engine.run(task)
+        assert engine.run(task).cached is True
+
+
+class TestRun:
+    def test_correction_and_detection(self):
+        engine = Engine()
+        correction = engine.run(CorrectionTask(code="steane"))
+        assert correction.verified and correction.details["max_errors"] == 1
+        detection = engine.run(DetectionTask(code="steane", trial_distance=3))
+        assert detection.verified and detection.details["trial_distance"] == 3
+
+    def test_counterexample_on_overclaim(self):
+        result = Engine().run(CorrectionTask(code="steane", max_errors=2))
+        assert not result.verified
+        assert 1 <= len(result.counterexample_qubits()) <= 4
+
+    def test_distance_task(self):
+        result = Engine().run(DistanceTask(code="steane", max_trial=5))
+        assert result.details["distance"] == 3
+        assert result.details["trials"][-1]["verified"] is False
+        # The minimum-weight undetectable error is reported as a witness;
+        # `counterexample` stays reserved for unverified results.
+        assert result.counterexample is None
+        assert result.details["witness"]
+
+    def test_find_distance_convenience(self):
+        assert Engine().find_distance(steane_code(), max_trial=5) == 3
+
+    def test_constrained_task_records_labels(self):
+        result = Engine().run(
+            ConstrainedTask(code="surface-3", locality=True, discreteness=True,
+                            error_model="Y", seed=1)
+        )
+        assert result.verified
+        assert result.details["constraints"] == ["locality", "discreteness"]
+
+    def test_fixed_error_task(self):
+        result = Engine().run(FixedErrorTask(code="steane", error_qubits=((3, "Y"),)))
+        assert result.verified
+        assert result.task == "fixed-error"
+        assert result.details["error_qubits"] == {3: "Y"}
+
+    def test_program_task(self):
+        scenario = correction_triple(steane_code(), error="Y", max_errors=1)
+        task = ProgramTask(triple=scenario.triple, decoder_condition=scenario.decoder_condition)
+        result = Engine().run(task)
+        assert result.verified
+        assert result.task.startswith("program-logic:")
+        assert result.details["num_atoms"] >= 1
+
+
+class TestBackends:
+    def test_parallel_backend_matches_serial(self):
+        engine = Engine()
+        task = CorrectionTask(code="steane", error_model="Y")
+        serial = engine.run(task, backend=SerialBackend())
+        parallel = engine.run(task, backend=ParallelBackend(num_workers=2))
+        assert serial.verified and parallel.verified
+        assert parallel.details["num_subtasks"] >= 1
+        assert parallel.backend == "parallel"
+
+    def test_parallel_backend_finds_counterexample(self):
+        result = Engine().run(
+            CorrectionTask(code="steane", max_errors=2, error_model="Y"),
+            backend=ParallelBackend(num_workers=2),
+        )
+        assert not result.verified
+
+    def test_backend_names_coerce(self):
+        assert Engine(backend="parallel").backend.name == "parallel"
+        assert Engine(backend="serial").backend.name == "serial"
+        with pytest.raises(ValueError):
+            Engine(backend="quantum")
+
+
+class TestRunMany:
+    KEYS = ["steane", "five-qubit", "detection-422"]
+
+    def test_batch_in_process(self):
+        engine = Engine()
+        results = engine.run_many(registry_sweep_tasks(self.KEYS))
+        assert [result.subject for result in results] == ["steane", "five-qubit", "detection-422"]
+        assert all(result.verified for result in results)
+        assert all(result.elapsed_seconds >= 0 for result in results)
+
+    def test_batch_across_process_pool(self):
+        engine = Engine()
+        results = engine.run_many(registry_sweep_tasks(self.KEYS), processes=2)
+        assert len(results) == 3 and all(result.verified for result in results)
+
+    def test_batch_preserves_order_and_matches_serial(self):
+        tasks = registry_sweep_tasks(self.KEYS)
+        serial = Engine().run_many(tasks)
+        pooled = Engine().run_many(tasks, processes=2)
+        assert [r.verified for r in serial] == [r.verified for r in pooled]
+        assert [r.subject for r in serial] == [r.subject for r in pooled]
+
+    def test_unknown_sweep_key_rejected(self):
+        with pytest.raises(KeyError):
+            registry_sweep_tasks(["steane", "not-a-code"])
+
+
+class TestFullRegistryAcceptance:
+    def test_full_sweep_backends_agree(self):
+        """Acceptance: the full registry sweep produces identical verdicts
+        through the serial and the parallel backend."""
+        tasks = registry_sweep_tasks()
+        engine = Engine()
+        serial = engine.run_many(tasks, backend=SerialBackend())
+        parallel = engine.run_many(tasks, backend=ParallelBackend(num_workers=2))
+        assert [r.verified for r in serial] == [r.verified for r in parallel]
+        assert all(r.verified for r in serial)

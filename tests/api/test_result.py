@@ -1,0 +1,50 @@
+"""The unified Result: JSON round-trip and legacy report conversion."""
+
+import json
+
+from repro.api import CorrectionTask, Engine, Result
+from repro.verifier.report import VerificationReport
+
+
+def test_json_round_trip_verified():
+    result = Engine().run(CorrectionTask(code="steane"))
+    restored = Result.from_json(result.to_json())
+    assert restored.verified is True
+    assert restored.task == result.task == "accurate-correction"
+    assert restored.subject == "steane"
+    assert restored.details["max_errors"] == 1
+    assert restored.num_variables == result.num_variables
+    assert restored.backend == "serial"
+
+
+def test_json_round_trip_counterexample():
+    result = Engine().run(CorrectionTask(code="steane", max_errors=2))
+    assert not result.verified
+    restored = Result.from_json(result.to_json(indent=2))
+    assert restored.counterexample == result.counterexample
+    assert restored.counterexample_qubits() == result.counterexample_qubits()
+
+
+def test_to_json_is_plain_json():
+    payload = json.loads(Engine().run(CorrectionTask(code="five-qubit")).to_json())
+    assert isinstance(payload, dict)
+    assert set(payload) >= {"task", "subject", "verified", "elapsed_seconds", "details"}
+
+
+def test_from_dict_ignores_unknown_keys():
+    restored = Result.from_dict(
+        {"task": "t", "subject": "s", "verified": True, "extra_field": 1}
+    )
+    assert restored.verified and restored.subject == "s"
+
+
+def test_report_round_trip():
+    result = Engine().run(CorrectionTask(code="steane"))
+    report = result.to_report()
+    assert isinstance(report, VerificationReport)
+    assert report.verified == result.verified
+    assert report.code_name == result.subject
+    assert report.details["max_errors"] == 1
+    assert "VERIFIED" in report.summary()
+    back = Result.from_report(report)
+    assert back.verified and back.subject == "steane"
