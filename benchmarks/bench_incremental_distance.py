@@ -1,0 +1,86 @@
+"""Incremental distance discovery vs the fresh-solver-per-trial baseline.
+
+Distance discovery solves one detection query per trial distance; the queries
+differ only in the weight bound.  The legacy strategy re-encoded the full
+detection formula and constructed a new solver for every trial; the engine
+now encodes the trial-independent base once and walks the trial distances on
+one incremental session, activating per-trial weight bounds through selector
+literals.  This benchmark runs both strategies on the Steane and the d=5
+rotated surface code and asserts the incremental walk discovers the same
+distance with fewer total conflicts and lower wall-clock time (the
+acceptance criterion of the session-layer rework).
+
+Conflict counts are deterministic (the solver has no randomized state), so
+they are compared exactly; wall-clock is compared on a best-of-N basis to
+damp scheduler noise.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.api import DistanceTask, Engine
+from repro.codes.registry import build_code
+from repro.smt.interface import check_formula
+from repro.verifier.encodings import ErrorModel, precise_detection_formula
+
+# Both strategies start cold on every repeat (a fresh Engine per run, so no
+# compile/session cache crosses repeats); best-of-N damps scheduler noise on
+# shared CI runners while conflict counts stay exactly deterministic.
+REPEATS = 5
+
+
+def fresh_per_trial_walk(code, max_trial):
+    """The legacy strategy: re-encode and re-solve from scratch per trial."""
+    conflicts = 0
+    distance = max_trial
+    for trial in range(2, max_trial + 1):
+        check = check_formula(precise_detection_formula(code, trial, ErrorModel("any")))
+        conflicts += check.conflicts
+        if check.is_sat:
+            distance = trial - 1
+            break
+    return distance, conflicts
+
+
+def best_of(repeats, run):
+    best = None
+    payload = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        payload = run()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return best, payload
+
+
+@pytest.mark.parametrize(
+    "key,max_trial",
+    [("steane", 5), ("surface-5", 6)],
+)
+def test_incremental_distance_beats_fresh_per_trial(key, max_trial):
+    code = build_code(key)
+
+    fresh_seconds, (fresh_distance, fresh_conflicts) = best_of(
+        REPEATS, lambda: fresh_per_trial_walk(code, max_trial)
+    )
+    incremental_seconds, result = best_of(
+        REPEATS, lambda: Engine().run(DistanceTask(code=key, max_trial=max_trial))
+    )
+
+    print(
+        f"\n[incremental-distance] {key}: distance={result.details['distance']} "
+        f"fresh={fresh_seconds:.3f}s/{fresh_conflicts} conflicts "
+        f"incremental={incremental_seconds:.3f}s/{result.conflicts} conflicts "
+        f"({result.details['session']['checks']} checks on 1 encoding)"
+    )
+
+    assert result.details["distance"] == fresh_distance
+    assert result.details["base_encodings"] == 1
+    assert result.conflicts < fresh_conflicts
+    # On shared CI runners a scheduling burst can distort a sub-100ms
+    # measurement, so the strict wall-clock comparison is local-only; CI
+    # still fails on a gross (>1.5x) slowdown.
+    slack = 1.5 if os.environ.get("CI") else 1.0
+    assert incremental_seconds < fresh_seconds * slack

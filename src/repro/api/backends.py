@@ -3,12 +3,16 @@
 A backend decides one compiled task (a refutation formula): ``unsat`` means
 the property is verified.  Two implementations ship with the engine:
 
-* :class:`SerialBackend`   — one SAT query through :func:`repro.smt.interface.check_formula`;
+* :class:`SerialBackend`   — one SAT query on a :class:`~repro.smt.interface.SolveSession`;
 * :class:`ParallelBackend` — enumeration-based task splitting across a worker
-  pool through :class:`repro.smt.parallel.ParallelChecker` (Appendix D.4).
+  pool through :class:`repro.smt.parallel.ParallelChecker` (Appendix D.4),
+  each worker holding a persistent incremental session.
 
-Both are plain frozen dataclasses so they can be pickled into the batch
-executor's worker processes.
+Both accept an optional ``session`` — a live :class:`SolveSession` that
+already holds the compiled formula — so the engine can reuse one solver (and
+its learnt clauses) across repeated runs of the same task; see
+:meth:`repro.api.engine.Engine.run`.  Backends are plain frozen dataclasses
+so they can be pickled into the batch executor's worker processes.
 """
 
 from __future__ import annotations
@@ -16,34 +20,58 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, ClassVar, Protocol, runtime_checkable
 
-from repro.smt.interface import SMTCheck, check_formula
+from repro.smt.interface import SMTCheck, SolveSession
 from repro.smt.parallel import ParallelChecker
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.engine import CompiledTask
 
-__all__ = ["Backend", "SerialBackend", "ParallelBackend", "coerce_backend"]
+__all__ = ["Backend", "SerialBackend", "ParallelBackend", "coerce_backend", "make_session"]
+
+
+def make_session(compiled: "CompiledTask") -> SolveSession:
+    """A fresh incremental session holding ``compiled``'s formula."""
+    return SolveSession(compiled.formula)
 
 
 @runtime_checkable
 class Backend(Protocol):
-    """Anything that can decide a compiled verification task."""
+    """Anything that can decide a compiled verification task.
+
+    Backends may additionally expose a ``wants_session`` attribute/property;
+    when truthy the engine builds (and caches) a persistent
+    :class:`SolveSession` for the task and passes it to :meth:`check`.  The
+    engine treats a missing attribute as ``False``, so custom backends that
+    ignore sessions need not declare it.
+    """
 
     name: str
 
-    def check(self, compiled: "CompiledTask") -> SMTCheck:
-        """Decide satisfiability of ``compiled.formula`` (unsat = verified)."""
+    def check(self, compiled: "CompiledTask", session: SolveSession | None = None) -> SMTCheck:
+        """Decide satisfiability of ``compiled.formula`` (unsat = verified).
+
+        ``session``, when given, is a live session already holding the
+        compiled formula; the backend should solve on it so learnt clauses
+        carry over to the next run of the same task.
+        """
         ...
 
 
 @dataclass(frozen=True)
 class SerialBackend:
-    """Single-query backend over the in-tree CDCL solver."""
+    """Single-query backend over the in-tree incremental CDCL solver."""
 
     name: ClassVar[str] = "serial"
 
-    def check(self, compiled: "CompiledTask") -> SMTCheck:
-        return check_formula(compiled.formula)
+    @property
+    def wants_session(self) -> bool:
+        """Whether :meth:`check` will solve on a provided persistent session
+        (the engine only builds/caches sessions for backends that will)."""
+        return True
+
+    def check(self, compiled: "CompiledTask", session: SolveSession | None = None) -> SMTCheck:
+        live = session if session is not None else make_session(compiled)
+        return live.check()
 
 
 @dataclass(frozen=True)
@@ -54,8 +82,9 @@ class ParallelBackend:
     compiler attaches (``2 * d`` and the qubit count); leave them ``None`` to
     use the hints.  ``max_subtasks`` bounds the enumeration so large codes
     cannot explode the split tree.  With ``num_workers <= 1`` the subtasks
-    still split but run sequentially, which is also what happens inside batch
-    worker processes (daemonic workers cannot spawn a nested pool).
+    still split but run sequentially on one in-process session, which is also
+    what happens inside batch worker processes (daemonic workers cannot spawn
+    a nested pool); a provided ``session`` is reused on that sequential path.
     """
 
     num_workers: int = 2
@@ -65,7 +94,13 @@ class ParallelBackend:
 
     name: ClassVar[str] = "parallel"
 
-    def check(self, compiled: "CompiledTask") -> SMTCheck:
+    @property
+    def wants_session(self) -> bool:
+        # Worker processes hold their own sessions; an in-process one is only
+        # consumed on the sequential (num_workers <= 1) path.
+        return self.num_workers <= 1
+
+    def check(self, compiled: "CompiledTask", session: SolveSession | None = None) -> SMTCheck:
         checker = ParallelChecker(
             compiled.formula,
             split_variables=list(compiled.split_variables),
@@ -73,6 +108,7 @@ class ParallelBackend:
             threshold=self.threshold if self.threshold is not None else compiled.split_threshold,
             num_workers=self.num_workers,
             max_subtasks=self.max_subtasks,
+            session=session if self.num_workers <= 1 else None,
         )
         return checker.run()
 

@@ -68,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     distance = sub.add_parser("distance", help="discover a code's distance")
     distance.add_argument("--code", required=True, help="registry key (see list-codes)")
     distance.add_argument("--max-trial", type=int, default=None, help="largest trial distance")
+    distance.add_argument(
+        "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
+    )
     distance.add_argument("--json", action="store_true", help="emit the result as JSON")
     distance.set_defaults(func=_cmd_distance)
 
@@ -161,12 +164,15 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_distance(args: argparse.Namespace) -> int:
     _require_code(args.code)
-    result = Engine().run(DistanceTask(code=args.code, max_trial=args.max_trial))
+    backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
+    result = Engine(backend=backend).run(DistanceTask(code=args.code, max_trial=args.max_trial))
     if args.json:
         print(result.to_json(indent=2))
     else:
         print(f"{result.subject}: distance {result.details['distance']} "
-              f"({len(result.details['trials'])} trials, {result.elapsed_seconds:.3f}s)")
+              f"({len(result.details['trials'])} trials, {result.elapsed_seconds:.3f}s, "
+              f"{result.conflicts} conflicts, {result.decisions} decisions, "
+              f"{result.propagations} propagations, backend={result.backend})")
     return 0
 
 

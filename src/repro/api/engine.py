@@ -23,12 +23,16 @@ from typing import Iterable, Sequence
 
 from repro.classical.expr import BoolExpr, BoolVar, Not
 from repro.codes.registry import CODE_REGISTRY
+from repro.smt.interface import SolveSession
+from repro.smt.parallel import IncrementalSplitSession
 from repro.verifier.constraints import discreteness_constraint, locality_constraint
 from repro.verifier.encodings import (
+    ErrorModel,
     accurate_correction_formula,
+    precise_detection_base,
     precise_detection_formula,
 )
-from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
+from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend, make_session
 from repro.api.result import Result
 from repro.api.tasks import (
     ConstrainedTask,
@@ -73,10 +77,20 @@ def _split_hints(code, error_model) -> tuple[tuple[str, ...], int, int]:
 class Engine:
     """Compiles verification tasks and dispatches them to a backend."""
 
-    def __init__(self, backend: Backend | str | None = None, cache_size: int = 128):
+    def __init__(
+        self,
+        backend: Backend | str | None = None,
+        cache_size: int = 128,
+        session_cache_size: int = 32,
+    ):
         self.backend: Backend = coerce_backend(backend)
         self.cache_size = cache_size
+        self.session_cache_size = session_cache_size
         self._cache: OrderedDict[Task, CompiledTask] = OrderedDict()
+        # Live incremental solver sessions keyed like the compile cache, so
+        # repeated runs of one task (`run_many` sweeps, retries) reuse learnt
+        # clauses instead of reconstructing a solver per query.
+        self._sessions: OrderedDict[Task, SolveSession] = OrderedDict()
         self._hits = 0
         self._misses = 0
         self._uncacheable = 0
@@ -96,10 +110,34 @@ class Engine:
             "uncacheable": self._uncacheable,
             "size": len(self._cache),
             "max_size": self.cache_size,
+            "sessions": len(self._sessions),
         }
 
     def clear_cache(self) -> None:
         self._cache.clear()
+        self._sessions.clear()
+
+    def _session_for(self, task: Task, compiled: CompiledTask) -> SolveSession | None:
+        """The live solver session for a cacheable task (created on first use).
+
+        Only deterministic, hashable tasks get a persistent session — exactly
+        the tasks eligible for the compile cache — so a session always holds
+        the formula its task compiles to.
+        """
+        if not task.deterministic:
+            return None
+        try:
+            session = self._sessions.get(task)
+        except TypeError:  # unhashable payload
+            return None
+        if session is None:
+            session = make_session(compiled)
+            self._sessions[task] = session
+            while len(self._sessions) > self.session_cache_size:
+                self._sessions.popitem(last=False)
+        else:
+            self._sessions.move_to_end(task)
+        return session
 
     def _compile_cached(self, task: Task) -> tuple[CompiledTask, bool]:
         if not task.deterministic:
@@ -266,7 +304,10 @@ class Engine:
             return self._run_distance(task, chosen)
         start = time.perf_counter()
         compiled, cached = self._compile_cached(task)
-        check = chosen.check(compiled)
+        session = None
+        if getattr(chosen, "wants_session", False):
+            session = self._session_for(task, compiled)
+        check = chosen.check(compiled, session=session)
         elapsed = time.perf_counter() - start
         details = dict(compiled.details)
         details.update(check.metadata)
@@ -282,12 +323,101 @@ class Engine:
             num_variables=check.num_variables,
             num_clauses=check.num_clauses,
             conflicts=check.conflicts,
+            decisions=check.decisions,
+            propagations=check.propagations,
             details=details,
         )
 
     def _run_distance(self, task: DistanceTask, backend: Backend) -> Result:
+        """Distance discovery as ONE incremental solving session.
+
+        The trial-independent detection base (non-trivial, syndrome-free,
+        logically acting error) is encoded exactly once; each trial ``t``
+        then adds a selector-guarded cardinality constraint
+        ``weight <= t - 1`` and re-solves under that selector, so the
+        solver's learnt clauses and heuristic state flow from trial to
+        trial.  With a parallel backend the same walk runs across a
+        persistent worker pool, every worker holding its own live session
+        (enumeration subtasks stay fixed across trials).
+        """
         code = task.build()
         limit = task.max_trial or code.num_qubits + 1
+        if not isinstance(backend, (SerialBackend, ParallelBackend)):
+            # A custom backend decides formulas its own way; honour the
+            # Backend protocol by probing one monolithic DetectionTask per
+            # trial through backend.check() instead of our session walk.
+            return self._run_distance_probes(task, backend, code, limit)
+        start = time.perf_counter()
+        compile_start = time.perf_counter()
+        error_model = ErrorModel("any")
+        base, weight = precise_detection_base(code, error_model)
+        num_workers = getattr(backend, "num_workers", 1)
+        if isinstance(backend, ParallelBackend):
+            split_variables, split_weight, split_threshold = _split_hints(code, error_model)
+            session = IncrementalSplitSession(
+                base,
+                split_variables=list(split_variables),
+                heuristic_weight=backend.heuristic_weight or split_weight,
+                threshold=backend.threshold if backend.threshold is not None else split_threshold,
+                num_workers=num_workers,
+                max_subtasks=backend.max_subtasks,
+            )
+        else:
+            session = IncrementalSplitSession(base, num_workers=1)
+        compile_seconds = time.perf_counter() - compile_start
+
+        trials: list[dict] = []
+        distance = limit
+        last = None
+        try:
+            for trial in range(2, limit + 1):
+                selector = session.add_weight_guard(f"trial_{trial}", weight, trial - 1)
+                trial_start = time.perf_counter()
+                last = session.check(select=(selector,))
+                trials.append(
+                    {"trial_distance": trial, "verified": last.is_unsat,
+                     "elapsed_seconds": time.perf_counter() - trial_start,
+                     "conflicts": last.conflicts, "decisions": last.decisions}
+                )
+                if last.is_sat:
+                    distance = trial - 1
+                    break
+        finally:
+            session.close()
+        elapsed = time.perf_counter() - start
+        stats = session.stats()
+        details = {
+            "distance": distance,
+            "trials": trials,
+            "base_encodings": 1,
+            "session": stats,
+        }
+        if num_workers > 1:
+            details["num_workers"] = num_workers
+        if last is not None and last.model:
+            # The witness is informative (a minimum-weight undetectable
+            # error), but `counterexample` is reserved for unverified results.
+            details["witness"] = last.model
+        return Result(
+            task=task.kind,
+            subject=code.name,
+            verified=True,
+            elapsed_seconds=elapsed,
+            compile_seconds=compile_seconds,
+            backend=backend.name,
+            num_variables=last.num_variables if last is not None else 0,
+            num_clauses=last.num_clauses if last is not None else 0,
+            conflicts=stats["conflicts"],
+            decisions=stats["decisions"],
+            propagations=stats["propagations"],
+            details=details,
+        )
+
+    def _run_distance_probes(
+        self, task: DistanceTask, backend: Backend, code, limit: int
+    ) -> Result:
+        """Legacy trial walk for third-party backends: one monolithic
+        detection probe per trial, each decided by ``backend.check``."""
         start = time.perf_counter()
         trials: list[dict] = []
         distance = limit
@@ -297,32 +427,33 @@ class Engine:
             last = self.run(probe, backend=backend)
             trials.append(
                 {"trial_distance": trial, "verified": last.verified,
-                 "elapsed_seconds": last.elapsed_seconds, "conflicts": last.conflicts}
+                 "elapsed_seconds": last.elapsed_seconds, "conflicts": last.conflicts,
+                 "decisions": last.decisions}
             )
             if not last.verified:
                 distance = trial - 1
                 break
-        elapsed = time.perf_counter() - start
         details = {"distance": distance, "trials": trials}
         if last is not None and last.counterexample:
-            # The witness is informative (a minimum-weight undetectable
-            # error), but `counterexample` is reserved for unverified results.
             details["witness"] = last.counterexample
         return Result(
             task=task.kind,
             subject=code.name,
             verified=True,
-            elapsed_seconds=elapsed,
+            elapsed_seconds=time.perf_counter() - start,
             backend=backend.name,
             num_variables=last.num_variables if last is not None else 0,
             num_clauses=last.num_clauses if last is not None else 0,
             conflicts=sum(t.get("conflicts", 0) for t in trials),
+            decisions=sum(t.get("decisions", 0) for t in trials),
             details=details,
         )
 
-    def find_distance(self, code, max_trial: int | None = None) -> int:
+    def find_distance(
+        self, code, max_trial: int | None = None, backend: Backend | str | None = None
+    ) -> int:
         """Convenience wrapper returning the discovered distance as an int."""
-        result = self.run(DistanceTask(code=code, max_trial=max_trial))
+        result = self.run(DistanceTask(code=code, max_trial=max_trial), backend=backend)
         return result.details["distance"]
 
     # ------------------------------------------------------------------

@@ -37,6 +37,8 @@ class Result:
     num_variables: int = 0
     num_clauses: int = 0
     conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
     details: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -45,8 +47,15 @@ class Result:
         return (
             f"[{status}] {self.task} on {self.subject} "
             f"({self.elapsed_seconds:.3f}s, {self.num_variables} vars, "
-            f"{self.num_clauses} clauses, {self.conflicts} conflicts)"
+            f"{self.num_clauses} clauses, {self.conflicts} conflicts, "
+            f"{self.decisions} decisions, {self.propagations} propagations)"
         )
+
+    def session_stats(self) -> dict | None:
+        """Cumulative per-session solver statistics, when a persistent
+        session decided this task (see ``details["session"]``)."""
+        stats = self.details.get("session")
+        return dict(stats) if isinstance(stats, dict) else None
 
     def counterexample_qubits(self) -> list[int]:
         """Indices of qubits carrying an error in the counterexample."""

@@ -4,14 +4,15 @@ The paper discharges classical verification conditions with Z3/CVC5.  Those
 solvers are not available offline, so this package provides the equivalent
 machinery: a boolean formula encoder (Tseitin transformation, parity chains,
 sequential-counter cardinality constraints, bounded integer comparisons) and
-a CDCL SAT solver, plus a small front end mirroring the check-sat / model
-interface the verifier needs, including parallel task splitting.
+an incremental CDCL SAT solver, plus a small front end mirroring the
+check-sat / model interface the verifier needs, including persistent solving
+sessions (:class:`SolveSession`) and parallel task splitting.
 """
 
 from repro.smt.cnf import CNF
 from repro.smt.solver import SATSolver, SolverResult
 from repro.smt.encoder import FormulaEncoder
-from repro.smt.interface import SMTCheck, check_formula, check_valid
+from repro.smt.interface import SMTCheck, SolveSession, check_formula, check_valid
 
 __all__ = [
     "CNF",
@@ -19,6 +20,7 @@ __all__ = [
     "SolverResult",
     "FormulaEncoder",
     "SMTCheck",
+    "SolveSession",
     "check_formula",
     "check_valid",
 ]

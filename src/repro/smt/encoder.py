@@ -66,6 +66,34 @@ class FormulaEncoder:
                 result[key[1]] = var
         return result
 
+    def selector(self, name: str) -> int:
+        """The CNF literal of a named selector (assumption guard).
+
+        Selectors live in their own namespace so they never show up in
+        :meth:`named_literals` (and therefore never pollute extracted models).
+        Asserting a selector literal as an assumption activates every
+        constraint guarded by it; leaving it free deactivates them, because
+        the solver may simply set the selector false.
+        """
+        return self.cnf.var_for(("sel", name))
+
+    def assert_formula_if(self, name: str, expr: BoolExpr) -> int:
+        """Constrain ``selector(name) -> expr`` and return the selector literal."""
+        guard = self.selector(name)
+        self.cnf.add_clause([-guard, self.encode(expr)])
+        return guard
+
+    def assert_le_if(self, name: str, left: IntExpr, right: IntExpr) -> int:
+        """Constrain ``selector(name) -> (left <= right)``; return the selector.
+
+        The comparison reuses the shared unary counters, so emitting guards
+        for many thresholds over the same sum (one per trial distance, say)
+        costs one counter construction plus one clause per guard.
+        """
+        guard = self.selector(name)
+        self.cnf.add_clause([-guard, self.encode(IntLe(left, right))])
+        return guard
+
     def true_literal(self) -> int:
         if self._constant_true is None:
             self._constant_true = self.cnf.new_var(("const", True))

@@ -4,6 +4,15 @@ This mirrors the role Z3's Python API plays in the original Veri-QEC: the
 verifier builds a classical formula, asks whether it is satisfiable (bug
 hunting) or valid (verification), and reads back a model (counterexample)
 when one exists.
+
+:class:`SolveSession` is the persistent, incremental variant: one encoder and
+one live CDCL solver shared across many closely related queries.  Clauses
+added between checks are attached to the running solver (never re-encoded or
+re-propagated from scratch), learnt clauses and heuristic state survive, and
+selector-guarded constraints allow one base encoding to serve many
+weight/distance thresholds.  Every layer above — the parallel enumeration
+driver, the engine's trial-distance walk, the batch sweeps — routes its
+queries through a session.
 """
 
 from __future__ import annotations
@@ -11,16 +20,22 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from repro.classical.expr import BoolExpr, Not
+from repro.classical.expr import BoolExpr, IntConst, IntExpr, Not
 from repro.smt.encoder import FormulaEncoder
 from repro.smt.solver import SATSolver
 
-__all__ = ["SMTCheck", "check_formula", "check_valid"]
+__all__ = ["SMTCheck", "SolveSession", "check_formula", "check_valid"]
 
 
 @dataclass
 class SMTCheck:
-    """Result of a satisfiability or validity check."""
+    """Result of a satisfiability or validity check.
+
+    Solver statistics (``conflicts``, ``decisions``, ``propagations``) are
+    per-check deltas; a session's running totals live in
+    :meth:`SolveSession.stats` and are mirrored into ``metadata`` under
+    ``"session"`` by :meth:`SolveSession.check`.
+    """
 
     status: str  # "sat" or "unsat"
     model: dict[str, bool] | None = None
@@ -29,6 +44,7 @@ class SMTCheck:
     num_clauses: int = 0
     conflicts: int = 0
     decisions: int = 0
+    propagations: int = 0
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -47,6 +63,116 @@ def _extract_model(encoder: FormulaEncoder, raw_model: dict[int, bool]) -> dict[
     return named
 
 
+class SolveSession:
+    """A persistent incremental solving session over one growing encoding.
+
+    The session owns a :class:`FormulaEncoder` and lazily constructs one
+    :class:`SATSolver` at the first :meth:`check`.  Formulas asserted (or
+    guard constraints added) after that point are synchronised into the live
+    solver clause-by-clause, so the solver keeps its learnt clauses, variable
+    activities and saved phases across the whole lifetime of the session.
+
+    Assumptions come in two named forms: ``assumptions`` fixes program
+    variables (the enumeration subtasks of Appendix D.4), ``select``
+    activates selector guards added with :meth:`add_guard` /
+    :meth:`add_weight_guard` (the trial-distance mechanism).
+    """
+
+    def __init__(self, formula: BoolExpr | None = None, encoder: FormulaEncoder | None = None,
+                 max_conflicts: int | None = None):
+        self.encoder = encoder or FormulaEncoder()
+        self.max_conflicts = max_conflicts
+        self._solver: SATSolver | None = None
+        self._synced_clauses = 0
+        self._synced_vars = 0
+        self.num_checks = 0
+        self.elapsed_seconds = 0.0
+        if formula is not None:
+            self.assert_formula(formula)
+
+    # ------------------------------------------------------------------
+    # Building up the encoding
+    # ------------------------------------------------------------------
+    def assert_formula(self, formula: BoolExpr) -> None:
+        """Unconditionally constrain the session's formula."""
+        self.encoder.assert_formula(formula)
+
+    def add_guard(self, name: str, formula: BoolExpr) -> str:
+        """Add ``formula`` guarded by selector ``name``; activate via ``select``."""
+        self.encoder.assert_formula_if(name, formula)
+        return name
+
+    def add_weight_guard(self, name: str, weight: IntExpr, bound: int) -> str:
+        """Add the cardinality constraint ``weight <= bound`` under selector ``name``.
+
+        Repeated guards over the same ``weight`` expression share one unary
+        counter, which is what lets a single base encoding serve every trial
+        distance of a distance walk.
+        """
+        self.encoder.assert_le_if(name, weight, IntConst(bound))
+        return name
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _sync_solver(self) -> SATSolver:
+        cnf = self.encoder.cnf
+        if self._solver is None:
+            self._solver = SATSolver(cnf, max_conflicts=self.max_conflicts)
+            self._synced_vars = cnf.num_vars
+            self._synced_clauses = cnf.num_clauses
+            return self._solver
+        if cnf.num_vars > self._synced_vars:
+            self._solver.grow_variables(cnf.num_vars)
+            self._synced_vars = cnf.num_vars
+        while self._synced_clauses < cnf.num_clauses:
+            self._solver.add_clause(cnf.clauses[self._synced_clauses])
+            self._synced_clauses += 1
+        return self._solver
+
+    def check(
+        self,
+        assumptions: dict[str, bool] | None = None,
+        select: tuple[str, ...] | list[str] = (),
+    ) -> SMTCheck:
+        """Decide satisfiability under the given assumptions and selectors."""
+        start = time.perf_counter()
+        literals = []
+        for name, value in (assumptions or {}).items():
+            literal = self.encoder.variable(name)
+            literals.append(literal if value else -literal)
+        for name in select:
+            literals.append(self.encoder.selector(name))
+        solver = self._sync_solver()
+        result = solver.solve(assumptions=literals)
+        elapsed = time.perf_counter() - start
+        self.num_checks += 1
+        self.elapsed_seconds += elapsed
+        return SMTCheck(
+            status="sat" if result.satisfiable else "unsat",
+            model=_extract_model(self.encoder, result.model) if result.satisfiable else None,
+            elapsed_seconds=elapsed,
+            num_variables=self.encoder.cnf.num_vars,
+            num_clauses=self.encoder.cnf.num_clauses,
+            conflicts=result.conflicts,
+            decisions=result.decisions,
+            propagations=result.propagations,
+            metadata={"session": self.stats()},
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cumulative statistics over every check run through this session."""
+        solver = self._solver
+        return {
+            "checks": self.num_checks,
+            "conflicts": solver.conflicts if solver else 0,
+            "decisions": solver.decisions if solver else 0,
+            "propagations": solver.propagations if solver else 0,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
 def check_formula(
     formula: BoolExpr,
     assumptions: dict[str, bool] | None = None,
@@ -56,27 +182,11 @@ def check_formula(
 
     ``assumptions`` fixes the value of named boolean variables, which is how
     the parallel driver and the "fixed error pattern" functionality pin down
-    selected error indicators.
+    selected error indicators.  One-shot convenience over a throwaway
+    :class:`SolveSession`.
     """
-    start = time.perf_counter()
-    enc = encoder or FormulaEncoder()
-    enc.assert_formula(formula)
-    assumption_literals = []
-    for name, value in (assumptions or {}).items():
-        literal = enc.variable(name)
-        assumption_literals.append(literal if value else -literal)
-    solver = SATSolver(enc.cnf)
-    result = solver.solve(assumptions=assumption_literals)
-    elapsed = time.perf_counter() - start
-    return SMTCheck(
-        status="sat" if result.satisfiable else "unsat",
-        model=_extract_model(enc, result.model) if result.satisfiable else None,
-        elapsed_seconds=elapsed,
-        num_variables=enc.cnf.num_vars,
-        num_clauses=enc.cnf.num_clauses,
-        conflicts=result.conflicts,
-        decisions=result.decisions,
-    )
+    session = SolveSession(formula, encoder=encoder)
+    return session.check(assumptions)
 
 
 def check_valid(formula: BoolExpr, assumptions: dict[str, bool] | None = None) -> SMTCheck:

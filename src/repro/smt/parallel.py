@@ -11,6 +11,14 @@ where ``N(bits)`` counts enumerated indicators and ``N(ones)`` counts the
 ones among them.  Subtasks run across a process pool; as in the paper the
 driver cancels outstanding work as soon as one subtask reports a
 counterexample.
+
+Each worker process holds ONE live :class:`~repro.smt.interface.SolveSession`
+for the shared base encoding: every subtask is an incremental
+``solve(assumptions)`` call on that session, so learnt clauses and heuristic
+state accumulate across subtasks instead of being rebuilt per query.
+:class:`IncrementalSplitSession` exposes the same machinery as a long-lived
+object supporting repeated guarded checks (the engine's trial-distance walk),
+with selector-guarded weight bounds broadcast lazily to the workers.
 """
 
 from __future__ import annotations
@@ -19,12 +27,15 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 
-from repro.classical.expr import BoolExpr
-from repro.smt.encoder import FormulaEncoder
-from repro.smt.interface import SMTCheck, _extract_model
-from repro.smt.solver import SATSolver
+from repro.classical.expr import BoolExpr, IntExpr
+from repro.smt.interface import SMTCheck, SolveSession
 
-__all__ = ["SplitTask", "ParallelChecker", "generate_split_assumptions"]
+__all__ = [
+    "SplitTask",
+    "ParallelChecker",
+    "IncrementalSplitSession",
+    "generate_split_assumptions",
+]
 
 
 @dataclass
@@ -35,13 +46,196 @@ class SplitTask:
     index: int = 0
 
 
+class IncrementalSplitSession:
+    """Persistent enumeration session over one base formula.
+
+    With ``num_workers <= 1`` the subtasks run sequentially on a single
+    in-process :class:`SolveSession`; otherwise a process pool is created
+    whose workers each hold a live session for the base encoding.  Either
+    way, :meth:`check` may be called repeatedly — with selector-guarded
+    weight bounds added between calls — and the solvers retain their learnt
+    clauses throughout.  Guards are broadcast to pool workers lazily (each
+    payload carries the guard specs; a worker applies the ones it has not
+    seen), so no explicit synchronisation round is needed.
+
+    After a ``sat`` verdict from the pool path the outstanding subtasks are
+    cancelled and the pool is discarded; a later :meth:`check` transparently
+    starts a fresh pool (the usual driver stops at the first counterexample
+    anyway, so this path is rare).
+    """
+
+    def __init__(
+        self,
+        formula: BoolExpr,
+        split_variables: list[str] | tuple[str, ...] = (),
+        heuristic_weight: int = 2,
+        threshold: int | None = None,
+        num_workers: int = 1,
+        max_subtasks: int = 1024,
+        session: SolveSession | None = None,
+    ):
+        self.formula = formula
+        self.num_workers = num_workers
+        if threshold is None:
+            threshold = max(len(split_variables), 1)
+        self.assumption_sets = generate_split_assumptions(
+            list(split_variables), heuristic_weight, threshold, max_subtasks=max_subtasks
+        )
+        self._guards: list[tuple[str, str, object, object]] = []
+        self._pool = None
+        self._local: SolveSession | None = None
+        if num_workers <= 1 or len(self.assumption_sets) <= 1:
+            self._local = session if session is not None else SolveSession(formula)
+        # Cumulative statistics aggregated across every subtask and worker.
+        self.total_conflicts = 0
+        self.total_decisions = 0
+        self.total_propagations = 0
+        self.num_checks = 0
+        self.elapsed_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def add_guard(self, name: str, formula: BoolExpr) -> str:
+        self._guards.append(("formula", name, formula, None))
+        if self._local is not None:
+            self._local.add_guard(name, formula)
+        return name
+
+    def add_weight_guard(self, name: str, weight: IntExpr, bound: int) -> str:
+        self._guards.append(("weight", name, weight, bound))
+        if self._local is not None:
+            self._local.add_weight_guard(name, weight, bound)
+        return name
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.num_workers,
+                initializer=_worker_init,
+                initargs=(self.formula,),
+            )
+        return self._pool
+
+    def check(self, select: tuple[str, ...] | list[str] = ()) -> SMTCheck:
+        """Decide the (guard-selected) formula across all enumeration subtasks."""
+        start = time.perf_counter()
+        self.num_checks += 1
+        if self._local is not None:
+            result = self._check_sequential(select)
+        else:
+            result = self._check_pool(select)
+        result.elapsed_seconds = time.perf_counter() - start
+        self.elapsed_seconds += result.elapsed_seconds
+        result.metadata["session"] = self.stats()
+        return result
+
+    def _finish(
+        self,
+        check: SMTCheck,
+        num_variables: int,
+        num_clauses: int,
+        conflicts: int,
+        decisions: int,
+        propagations: int,
+    ) -> SMTCheck:
+        """Record a check's aggregated per-call statistics (deltas, like
+        :class:`SMTCheck` everywhere else; cumulative totals are in
+        :meth:`stats` and the ``"session"`` metadata entry)."""
+        self.total_conflicts += conflicts
+        self.total_decisions += decisions
+        self.total_propagations += propagations
+        check.num_variables = num_variables
+        check.num_clauses = num_clauses
+        check.conflicts = conflicts
+        check.decisions = decisions
+        check.propagations = propagations
+        check.metadata["num_subtasks"] = len(self.assumption_sets)
+        check.metadata["num_workers"] = self.num_workers
+        return check
+
+    def _check_sequential(self, select) -> SMTCheck:
+        session = self._local
+        conflicts = decisions = propagations = 0
+        last: SMTCheck | None = None
+        for assumptions in self.assumption_sets:
+            last = session.check(assumptions, select=select)
+            conflicts += last.conflicts
+            decisions += last.decisions
+            propagations += last.propagations
+            if last.is_sat:
+                break
+        result = SMTCheck(status=last.status, model=last.model)
+        return self._finish(
+            result, last.num_variables, last.num_clauses, conflicts, decisions, propagations
+        )
+
+    def _check_pool(self, select) -> SMTCheck:
+        pool = self._ensure_pool()
+        # Chunk the subtasks so the guard specs (which embed whole weight
+        # expressions) are pickled once per chunk, not once per subtask; a
+        # worker stops inside its chunk at the first counterexample.
+        guards = tuple(self._guards)
+        chunk_count = max(1, min(len(self.assumption_sets), self.num_workers * 4))
+        payloads = [
+            (self.assumption_sets[index::chunk_count], tuple(select), guards)
+            for index in range(chunk_count)
+        ]
+        num_variables = num_clauses = 0
+        conflicts = decisions = propagations = 0
+        sat_model = None
+        for status, model, stats in pool.imap_unordered(_solve_chunk_in_worker, payloads):
+            conflicts += stats["conflicts"]
+            decisions += stats["decisions"]
+            propagations += stats["propagations"]
+            num_variables = max(num_variables, stats["num_variables"])
+            num_clauses = max(num_clauses, stats["num_clauses"])
+            if status == "sat":
+                sat_model = model
+                # Cancel outstanding subtasks; the worker sessions die with
+                # the pool, so drop it and let a later check start fresh.
+                pool.terminate()
+                pool.join()
+                self._pool = None
+                break
+        result = SMTCheck(status="sat" if sat_model is not None else "unsat", model=sat_model)
+        return self._finish(
+            result, num_variables, num_clauses, conflicts, decisions, propagations
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cumulative statistics; same schema as :meth:`SolveSession.stats`."""
+        return {
+            "checks": self.num_checks,
+            "conflicts": self.total_conflicts,
+            "decisions": self.total_decisions,
+            "propagations": self.total_propagations,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "IncrementalSplitSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
 @dataclass
 class ParallelChecker:
     """Drives parallel (or sequential) checking of one formula.
 
     Parameters mirror the tool configuration in the paper: the set of
     variables eligible for enumeration (usually the error indicators), the
-    heuristic weight ``2 * d`` and the worker count.
+    heuristic weight ``2 * d`` and the worker count.  One-shot facade over
+    :class:`IncrementalSplitSession`; pass ``session`` to reuse a live
+    sequential solver across ``run`` calls (the engine's session cache does
+    this for repeated tasks).
     """
 
     formula: BoolExpr
@@ -50,20 +244,26 @@ class ParallelChecker:
     threshold: int | None = None
     num_workers: int = 1
     max_subtasks: int = 1024
+    session: SolveSession | None = None
 
     def run(self) -> SMTCheck:
         start = time.perf_counter()
-        tasks = self.make_tasks()
-        if self.num_workers <= 1 or len(tasks) <= 1:
-            result = self._run_sequential(tasks)
-        else:
-            result = self._run_parallel(tasks)
+        split = IncrementalSplitSession(
+            self.formula,
+            split_variables=self.split_variables,
+            heuristic_weight=self.heuristic_weight,
+            threshold=self.threshold,
+            num_workers=self.num_workers,
+            max_subtasks=self.max_subtasks,
+            session=self.session,
+        )
+        try:
+            result = split.check()
+        finally:
+            split.close()
         result.elapsed_seconds = time.perf_counter() - start
-        result.metadata["num_subtasks"] = len(tasks)
-        result.metadata["num_workers"] = self.num_workers
         return result
 
-    # ------------------------------------------------------------------
     def make_tasks(self) -> list[SplitTask]:
         threshold = self.threshold
         if threshold is None:
@@ -74,77 +274,55 @@ class ParallelChecker:
         )
         return [SplitTask(assumptions, index) for index, assumptions in enumerate(assumption_sets)]
 
-    # ------------------------------------------------------------------
-    def _run_sequential(self, tasks: list[SplitTask]) -> SMTCheck:
-        total_conflicts = 0
-        total_decisions = 0
-        encoder = FormulaEncoder()
-        encoder.assert_formula(self.formula)
-        for task in tasks:
-            check = _solve_encoded(encoder, task.assumptions)
-            total_conflicts += check.conflicts
-            total_decisions += check.decisions
-            if check.is_sat:
-                check.conflicts = total_conflicts
-                check.decisions = total_decisions
-                return check
-        return SMTCheck(
-            status="unsat",
-            model=None,
-            num_variables=encoder.cnf.num_vars,
-            num_clauses=encoder.cnf.num_clauses,
-            conflicts=total_conflicts,
-            decisions=total_decisions,
-        )
 
-    def _run_parallel(self, tasks: list[SplitTask]) -> SMTCheck:
-        assumption_sets = [task.assumptions for task in tasks]
-        total_conflicts = 0
-        with multiprocessing.Pool(
-            processes=self.num_workers, initializer=_worker_init, initargs=(self.formula,)
-        ) as pool:
-            iterator = pool.imap_unordered(_solve_in_worker, assumption_sets)
-            for status, model, conflicts in iterator:
-                total_conflicts += conflicts
-                if status == "sat":
-                    pool.terminate()
-                    return SMTCheck(status="sat", model=model, conflicts=total_conflicts)
-        return SMTCheck(status="unsat", model=None, conflicts=total_conflicts)
-
-
-def _solve_encoded(encoder: FormulaEncoder, assumptions: dict[str, bool]) -> SMTCheck:
-    assumption_literals = []
-    for name, value in assumptions.items():
-        literal = encoder.variable(name)
-        assumption_literals.append(literal if value else -literal)
-    solver = SATSolver(encoder.cnf)
-    result = solver.solve(assumptions=assumption_literals)
-    return SMTCheck(
-        status="sat" if result.satisfiable else "unsat",
-        model=_extract_model(encoder, result.model) if result.satisfiable else None,
-        num_variables=encoder.cnf.num_vars,
-        num_clauses=encoder.cnf.num_clauses,
-        conflicts=result.conflicts,
-        decisions=result.decisions,
-    )
-
-
-# Per-worker encoder, built once by the pool initializer: encoding the shared
-# formula is the expensive part, the per-subtask work is just a solve under
-# assumptions.
-_WORKER_ENCODER: FormulaEncoder | None = None
+# Per-worker session, built once by the pool initializer: encoding the shared
+# formula (and constructing the solver) is the expensive part; every subtask
+# afterwards is an incremental solve under assumptions on the live solver.
+_WORKER_SESSION: SolveSession | None = None
+_WORKER_GUARDS: set[str] = set()
 
 
 def _worker_init(formula: BoolExpr) -> None:
-    global _WORKER_ENCODER
-    encoder = FormulaEncoder()
-    encoder.assert_formula(formula)
-    _WORKER_ENCODER = encoder
+    global _WORKER_SESSION, _WORKER_GUARDS
+    _WORKER_SESSION = SolveSession(formula)
+    _WORKER_GUARDS = set()
 
 
-def _solve_in_worker(assumptions: dict[str, bool]) -> tuple[str, dict | None, int]:
-    check = _solve_encoded(_WORKER_ENCODER, assumptions)
-    return check.status, check.model, check.conflicts
+def _solve_chunk_in_worker(payload) -> tuple[str, dict | None, dict]:
+    """Solve a chunk of enumeration subtasks on this worker's live session.
+
+    Guard specs the worker has not yet seen are applied first (payloads carry
+    the full cumulative list so a worker that sat out earlier checks catches
+    up).  The chunk stops at its first satisfiable subtask.
+    """
+    assumption_sets, select, guards = payload
+    for kind, name, operand, bound in guards:
+        if name in _WORKER_GUARDS:
+            continue
+        if kind == "weight":
+            _WORKER_SESSION.add_weight_guard(name, operand, bound)
+        else:
+            _WORKER_SESSION.add_guard(name, operand)
+        _WORKER_GUARDS.add(name)
+    stats = {
+        "conflicts": 0,
+        "decisions": 0,
+        "propagations": 0,
+        "num_variables": 0,
+        "num_clauses": 0,
+    }
+    status, model = "unsat", None
+    for assumptions in assumption_sets:
+        check = _WORKER_SESSION.check(assumptions, select=select)
+        stats["conflicts"] += check.conflicts
+        stats["decisions"] += check.decisions
+        stats["propagations"] += check.propagations
+        stats["num_variables"] = max(stats["num_variables"], check.num_variables)
+        stats["num_clauses"] = max(stats["num_clauses"], check.num_clauses)
+        if check.is_sat:
+            status, model = "sat", check.model
+            break
+    return status, model, stats
 
 
 def generate_split_assumptions(

@@ -1,4 +1,4 @@
-"""A CDCL SAT solver.
+"""A CDCL SAT solver with incremental solving support.
 
 The solver implements the standard conflict-driven clause-learning loop:
 two-watched-literal unit propagation, first-UIP conflict analysis with
@@ -10,6 +10,18 @@ the benchmarks (thousands of variables, tens of thousands of clauses).
 Assumption literals are supported so the parallel verifier can split a task
 into subtasks by fixing selected error indicators, mirroring the enumeration
 strategy of Appendix D.4.
+
+The solver is *incremental* in the MiniSat sense: :meth:`SATSolver.solve` may
+be called repeatedly (with different assumption sets), and between calls new
+clauses and variables may be added with :meth:`SATSolver.add_clause` and
+:meth:`SATSolver.grow_variables`.  Learnt clauses, VSIDS activities, saved
+phases and the root-level trail all survive across calls, which is what makes
+closely related queries (enumeration subtasks, trial-distance walks, registry
+sweeps) dramatically cheaper than re-solving from scratch.  Learnt clauses
+are sound across calls because first-UIP learning only resolves over reason
+clauses — assumption literals enter learnt clauses negatively instead of
+being resolved away, so every learnt clause is a consequence of the clause
+database alone.
 """
 
 from __future__ import annotations
@@ -25,7 +37,7 @@ _FALSE = -1
 
 @dataclass
 class SolverResult:
-    """Outcome of a solve call."""
+    """Outcome of one solve call; statistics are per-call deltas."""
 
     satisfiable: bool
     model: dict[int, bool] | None = None
@@ -68,6 +80,8 @@ class SATSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.num_solves = 0
+        self._restart_count = 0
         self._activity_increment = 1.0
         self._activity_decay = 0.95
         self._contradiction = False
@@ -75,7 +89,58 @@ class SATSolver:
         for clause in cnf.clauses:
             self._attach_clause(list(clause), learnt=False)
 
-        self.first_learnt_index = len(self.clauses)
+        # Problem clauses and learnt clauses interleave once add_clause is
+        # used, so the learnt population is tracked as a count, not a
+        # boundary index into self.clauses.
+        self.num_problem_clauses = len(self.clauses)
+
+    # ------------------------------------------------------------------
+    # Incremental interface
+    # ------------------------------------------------------------------
+    def grow_variables(self, num_vars: int) -> None:
+        """Extend the variable range to ``num_vars`` (no-op when not larger)."""
+        if num_vars <= self.num_vars:
+            return
+        extra = num_vars - self.num_vars
+        self.assignment.extend([_UNASSIGNED] * extra)
+        self.level.extend([0] * extra)
+        self.reason.extend([None] * extra)
+        self.activity.extend([0.0] * extra)
+        self.polarity.extend([False] * extra)
+        self.num_vars = num_vars
+
+    def add_clause(self, clause) -> None:
+        """Attach a clause after construction (between :meth:`solve` calls).
+
+        The clause is simplified against the permanent root-level assignment:
+        literals false at level 0 are dropped and clauses satisfied at level 0
+        are skipped entirely, so the two chosen watches are never false and
+        the watched-literal invariant is preserved without repair passes.
+        Units are enqueued on the root trail; the next :meth:`solve` call
+        propagates them before doing any search.
+        """
+        if self._decision_level() != 0:
+            raise RuntimeError("clauses may only be added at decision level 0")
+        seen: set[int] = set()
+        simplified: list[int] = []
+        for lit in clause:
+            lit = int(lit)
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise ValueError(f"literal {lit} out of range")
+            if -lit in seen:
+                return  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            value = self._value(lit)
+            if value == _TRUE:
+                return  # permanently satisfied at level 0
+            if value == _FALSE:
+                continue  # permanently falsified literal
+            simplified.append(lit)
+        index = self._attach_clause(simplified, learnt=False)
+        if index is not None:
+            self.num_problem_clauses += 1
 
     # ------------------------------------------------------------------
     # Clause management
@@ -257,32 +322,50 @@ class SATSolver:
     # Main loop
     # ------------------------------------------------------------------
     def solve(self, assumptions=()) -> SolverResult:
-        """Decide satisfiability under the given assumption literals."""
+        """Decide satisfiability under the given assumption literals.
+
+        May be called repeatedly; learnt clauses and heuristic state persist
+        between calls.  The returned statistics are per-call deltas — the
+        cumulative counters stay available as ``solver.conflicts`` etc.
+        """
+        self.num_solves += 1
+        start = (self.conflicts, self.decisions, self.propagations)
+
+        def _result(satisfiable: bool, model=None) -> SolverResult:
+            return SolverResult(
+                satisfiable,
+                model,
+                self.conflicts - start[0],
+                self.decisions - start[1],
+                self.propagations - start[2],
+            )
+
         if self._contradiction:
-            return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+            return _result(False)
 
         conflict = self._propagate()
         if conflict is not None:
-            return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+            # A conflict while propagating the root trail is independent of
+            # any assumptions: the formula itself is unsatisfiable.  Latch it,
+            # because propagation cannot rediscover a consumed conflict.
+            self._contradiction = True
+            return _result(False)
 
         root_level = 0
         for lit in assumptions:
             if self._value(lit) == _FALSE:
                 self._cancel_until(0)
-                return SolverResult(False, None, self.conflicts, self.decisions, self.propagations)
+                return _result(False)
             if self._value(lit) == _UNASSIGNED:
                 self.trail_limits.append(len(self.trail))
                 self._enqueue(lit, None)
                 conflict = self._propagate()
                 if conflict is not None:
                     self._cancel_until(0)
-                    return SolverResult(
-                        False, None, self.conflicts, self.decisions, self.propagations
-                    )
+                    return _result(False)
         root_level = self._decision_level()
 
-        restart_count = 0
-        conflicts_until_restart = 100 * _luby(restart_count + 1)
+        conflicts_until_restart = 100 * _luby(self._restart_count + 1)
         conflicts_since_restart = 0
         max_learnt = max(1000, len(self.clauses) // 3)
 
@@ -291,14 +374,18 @@ class SATSolver:
             if conflict is not None:
                 self.conflicts += 1
                 conflicts_since_restart += 1
-                if self.max_conflicts is not None and self.conflicts > self.max_conflicts:
+                if (
+                    self.max_conflicts is not None
+                    and self.conflicts - start[0] > self.max_conflicts
+                ):
                     self._cancel_until(0)
                     raise RuntimeError("conflict budget exhausted")
                 if self._decision_level() <= root_level:
+                    if root_level == 0:
+                        # Conflict below any assumption: permanently UNSAT.
+                        self._contradiction = True
                     self._cancel_until(0)
-                    return SolverResult(
-                        False, None, self.conflicts, self.decisions, self.propagations
-                    )
+                    return _result(False)
                 learnt, backjump_level = self._analyze(conflict)
                 self._cancel_until(max(backjump_level, root_level))
                 if len(learnt) == 1:
@@ -310,11 +397,11 @@ class SATSolver:
             else:
                 if conflicts_since_restart >= conflicts_until_restart:
                     conflicts_since_restart = 0
-                    restart_count += 1
-                    conflicts_until_restart = 100 * _luby(restart_count + 1)
+                    self._restart_count += 1
+                    conflicts_until_restart = 100 * _luby(self._restart_count + 1)
                     self._cancel_until(root_level)
                     continue
-                if len(self.clauses) - self.first_learnt_index > max_learnt:
+                if len(self.clauses) - self.num_problem_clauses > max_learnt:
                     max_learnt = int(max_learnt * 1.5)
                 variable = self._pick_branch_variable()
                 if variable is None:
@@ -323,9 +410,7 @@ class SATSolver:
                         for var in range(1, self.num_vars + 1)
                     }
                     self._cancel_until(0)
-                    return SolverResult(
-                        True, model, self.conflicts, self.decisions, self.propagations
-                    )
+                    return _result(True, model)
                 self.decisions += 1
                 self.trail_limits.append(len(self.trail))
                 preferred = variable if self.polarity[variable] else -variable

@@ -48,6 +48,7 @@ __all__ = [
     "anticommutation_parity",
     "syndrome_definitions",
     "accurate_correction_formula",
+    "precise_detection_base",
     "precise_detection_formula",
 ]
 
@@ -214,6 +215,34 @@ def accurate_correction_formula(
     return bool_and(conjuncts)
 
 
+def precise_detection_base(
+    code: StabilizerCode,
+    error_model: ErrorModel = ErrorModel("any"),
+):
+    """Trial-independent part of the precise-detection query (Eqn. 15).
+
+    Returns ``(formula, weight)``: the formula constrains the error to be
+    non-trivial (weight at least one), syndrome-free, and logically acting —
+    everything except the per-trial upper weight bound — and ``weight`` is
+    the integer expression for the error weight.  A distance walk asserts
+    this base once and activates ``weight <= t - 1`` per trial ``t`` through
+    selector-guarded cardinality constraints, sharing one encoding (and one
+    incremental solver) across every trial distance.
+    """
+    error_x, error_z, indicators = error_component_variables(
+        code.num_qubits, error_model, prefix=""
+    )
+    conjuncts: list[BoolExpr] = []
+    weight = error_weight_indicators(indicators)
+    conjuncts.append(IntLe(IntConst(1), weight))
+    # All syndromes are zero: the error commutes with every generator.
+    for generator in code.stabilizers:
+        conjuncts.append(Not(anticommutation_parity(generator, error_x, error_z)))
+    # Yet the error acts non-trivially on the codespace.
+    conjuncts.append(_logical_flip(code, error_x, error_z))
+    return bool_and(conjuncts), weight
+
+
 def precise_detection_formula(
     code: StabilizerCode,
     trial_distance: int,
@@ -230,16 +259,5 @@ def precise_detection_formula(
     """
     if trial_distance < 2:
         raise ValueError("trial_distance must be at least 2")
-    error_x, error_z, indicators = error_component_variables(
-        code.num_qubits, error_model, prefix=""
-    )
-    conjuncts: list[BoolExpr] = []
-    weight = error_weight_indicators(indicators)
-    conjuncts.append(IntLe(IntConst(1), weight))
-    conjuncts.append(IntLe(weight, IntConst(trial_distance - 1)))
-    # All syndromes are zero: the error commutes with every generator.
-    for generator in code.stabilizers:
-        conjuncts.append(Not(anticommutation_parity(generator, error_x, error_z)))
-    # Yet the error acts non-trivially on the codespace.
-    conjuncts.append(_logical_flip(code, error_x, error_z))
-    return bool_and(conjuncts)
+    base, weight = precise_detection_base(code, error_model)
+    return bool_and([base, IntLe(weight, IntConst(trial_distance - 1))])

@@ -94,8 +94,15 @@ class VeriQEC:
 
     def find_distance(self, code: StabilizerCode, max_trial: int | None = None) -> int:
         """Discover the code distance by increasing the trial distance until a
-        counterexample (a minimum-weight undetectable error) appears."""
-        return self.engine.find_distance(code, max_trial=max_trial)
+        counterexample (a minimum-weight undetectable error) appears.
+
+        The whole walk runs as one incremental solving session (the base
+        detection encoding is shared across every trial distance); with
+        ``num_workers > 1`` the session spans a persistent worker pool.
+        """
+        return self.engine.find_distance(
+            code, max_trial=max_trial, backend=self._backend(parallel=True)
+        )
 
     def verify_with_constraints(
         self,

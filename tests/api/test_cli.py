@@ -85,12 +85,31 @@ class TestVerify:
 class TestDistance:
     def test_distance_text(self, capsys):
         assert main(["distance", "--code", "steane", "--max-trial", "5"]) == 0
-        assert "distance 3" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "distance 3" in out
+        assert "conflicts" in out and "decisions" in out and "propagations" in out
 
     def test_distance_json(self, capsys):
         assert main(["distance", "--code", "steane", "--max-trial", "5", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["details"]["distance"] == 3
+        assert payload["details"]["base_encodings"] == 1
+        assert payload["decisions"] >= 0 and payload["propagations"] > 0
+
+    def test_distance_parallel_workers(self, capsys):
+        assert main(
+            ["distance", "--code", "steane", "--max-trial", "5", "--workers", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["details"]["distance"] == 3
+        assert payload["backend"] == "parallel"
+        assert payload["details"]["num_workers"] == 2
+
+    def test_distance_workers_text_names_backend(self, capsys):
+        assert main(
+            ["distance", "--code", "steane", "--max-trial", "5", "--workers", "2"]
+        ) == 0
+        assert "backend=parallel" in capsys.readouterr().out
 
 
 class TestSweep:

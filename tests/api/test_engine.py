@@ -94,6 +94,34 @@ class TestRun:
         assert result.counterexample is None
         assert result.details["witness"]
 
+    def test_distance_walk_encodes_the_base_exactly_once(self, monkeypatch):
+        import repro.api.engine as engine_module
+
+        calls = []
+        original = engine_module.precise_detection_base
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(engine_module, "precise_detection_base", counting)
+        result = Engine().run(DistanceTask(code="steane", max_trial=5))
+        assert result.details["distance"] == 3
+        assert len(result.details["trials"]) == 3
+        assert len(calls) == 1
+        assert result.details["base_encodings"] == 1
+        # All three trials ran through one session on one encoding.
+        assert result.details["session"]["checks"] == 3
+
+    def test_distance_task_parallel_backend(self):
+        result = Engine().run(
+            DistanceTask(code="steane", max_trial=5), backend=ParallelBackend(num_workers=2)
+        )
+        assert result.details["distance"] == 3
+        assert result.backend == "parallel"
+        assert result.details["num_workers"] == 2
+        assert result.details["witness"]
+
     def test_find_distance_convenience(self):
         assert Engine().find_distance(steane_code(), max_trial=5) == 3
 
@@ -120,6 +148,48 @@ class TestRun:
         assert result.details["num_atoms"] >= 1
 
 
+class TestSessionReuse:
+    def test_repeated_runs_share_one_live_solver(self):
+        engine = Engine()
+        task = CorrectionTask(code="steane")
+        first = engine.run(task)
+        second = engine.run(task)
+        assert first.verified and second.verified
+        assert engine.cache_info()["sessions"] == 1
+        stats = second.session_stats()
+        assert stats is not None and stats["checks"] == 2
+        # The reused solver retained everything it learnt: deciding the same
+        # already-refuted query again takes no new conflicts.
+        assert second.conflicts == 0
+        assert second.conflicts + first.conflicts == stats["conflicts"]
+
+    def test_nondeterministic_tasks_get_no_session(self):
+        engine = Engine()
+        task = ConstrainedTask(code="surface-3", locality=True, error_model="Y")
+        engine.run(task)
+        engine.run(task)
+        assert engine.cache_info()["sessions"] == 0
+
+    def test_session_cache_is_bounded(self):
+        engine = Engine(session_cache_size=1)
+        engine.run(CorrectionTask(code="steane"))
+        engine.run(CorrectionTask(code="five-qubit"))
+        assert engine.cache_info()["sessions"] == 1
+
+    def test_clear_cache_drops_sessions(self):
+        engine = Engine()
+        engine.run(CorrectionTask(code="steane"))
+        engine.clear_cache()
+        assert engine.cache_info()["sessions"] == 0
+
+    def test_result_carries_full_solver_statistics(self):
+        result = Engine().run(CorrectionTask(code="steane"))
+        assert result.conflicts > 0
+        assert result.decisions > 0
+        assert result.propagations > 0
+        assert "decisions" in result.summary() and "propagations" in result.summary()
+
+
 class TestBackends:
     def test_parallel_backend_matches_serial(self):
         engine = Engine()
@@ -136,6 +206,27 @@ class TestBackends:
             backend=ParallelBackend(num_workers=2),
         )
         assert not result.verified
+
+    def test_distance_probes_through_custom_backends(self):
+        # The incremental session walk is an in-tree optimisation; a
+        # third-party Backend must still decide every trial itself.
+        from repro.smt.interface import check_formula
+
+        class CountingBackend:
+            name = "counting"
+
+            def __init__(self):
+                self.calls = 0
+
+            def check(self, compiled, session=None):
+                self.calls += 1
+                return check_formula(compiled.formula)
+
+        backend = CountingBackend()
+        result = Engine().run(DistanceTask(code="steane", max_trial=5), backend=backend)
+        assert result.details["distance"] == 3
+        assert backend.calls == 3
+        assert result.backend == "counting"
 
     def test_backend_names_coerce(self):
         assert Engine(backend="parallel").backend.name == "parallel"

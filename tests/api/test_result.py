@@ -15,6 +15,11 @@ def test_json_round_trip_verified():
     assert restored.details["max_errors"] == 1
     assert restored.num_variables == result.num_variables
     assert restored.backend == "serial"
+    # The full solver statistics survive the round trip.
+    assert restored.conflicts == result.conflicts
+    assert restored.decisions == result.decisions > 0
+    assert restored.propagations == result.propagations > 0
+    assert restored.session_stats() == result.session_stats()
 
 
 def test_json_round_trip_counterexample():

@@ -1,0 +1,187 @@
+"""Incremental-vs-fresh equivalence: a reused solver must decide like a new one.
+
+The incremental session machinery (persistent solvers, learnt-clause
+retention, selector-guarded bounds) is only sound if a session reused across
+many queries returns exactly the verdicts a fresh solver would.  These tests
+check that property over randomized CNFs, over clause addition between solve
+calls, over the selector-guarded distance machinery, and over every registry
+code — including the assumption-leak case (solve under assumptions, then
+without: nothing assumed must stick).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical.expr import IntConst
+from repro.codes.registry import CODE_REGISTRY
+from repro.smt.cnf import CNF
+from repro.smt.interface import SolveSession, check_formula
+from repro.smt.solver import SATSolver
+from repro.verifier.encodings import (
+    ErrorModel,
+    precise_detection_base,
+    precise_detection_formula,
+)
+
+
+def build_cnf(num_vars, clauses):
+    cnf = CNF()
+    for _ in range(num_vars):
+        cnf.new_var()
+    for clause in clauses:
+        cnf.add_clause(clause)
+    return cnf
+
+
+def fresh_verdict(num_vars, clauses, assumptions):
+    return SATSolver(build_cnf(num_vars, clauses)).solve(assumptions).satisfiable
+
+
+clause_lists = st.integers(2, 8).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.lists(
+                st.integers(1, n).flatmap(lambda v: st.sampled_from([v, -v])),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+)
+
+
+class TestRandomizedEquivalence:
+    @settings(max_examples=80, deadline=None)
+    @given(clause_lists, st.data())
+    def test_reused_session_matches_fresh_under_assumption_sequences(self, instance, data):
+        num_vars, clauses = instance
+        solver = SATSolver(build_cnf(num_vars, clauses))
+        assumption_sets = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(1, num_vars).flatmap(lambda v: st.sampled_from([v, -v])),
+                    min_size=0,
+                    max_size=3,
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        # The leak case: always end with an unassumed solve after the
+        # assumed ones — nothing from earlier assumptions may persist.
+        assumption_sets.append([])
+        for assumptions in assumption_sets:
+            reused = solver.solve(assumptions).satisfiable
+            assert reused == fresh_verdict(num_vars, clauses, assumptions)
+
+    @settings(max_examples=60, deadline=None)
+    @given(clause_lists, clause_lists)
+    def test_clause_addition_matches_fresh_solver(self, first, second):
+        num_vars = max(first[0], second[0])
+        solver = SATSolver(build_cnf(num_vars, first[1]))
+        solver.solve()
+        for clause in second[1]:
+            solver.add_clause(clause)
+        combined = first[1] + second[1]
+        assert solver.solve().satisfiable == fresh_verdict(num_vars, combined, [])
+        # And once more under an assumption, after the unassumed solve.
+        assert solver.solve([1]).satisfiable == fresh_verdict(num_vars, combined, [1])
+
+
+class TestIncrementalSolverBasics:
+    def test_grow_variables_extends_range(self):
+        cnf = build_cnf(2, [[1, 2]])
+        solver = SATSolver(cnf)
+        assert solver.solve().satisfiable
+        solver.grow_variables(4)
+        solver.add_clause([3, 4])
+        solver.add_clause([-3])
+        result = solver.solve()
+        assert result.satisfiable and result.model[4]
+
+    def test_permanent_conflict_is_latched(self):
+        solver = SATSolver(build_cnf(2, [[1, 2]]))
+        assert solver.solve().satisfiable
+        solver.add_clause([-1])
+        solver.add_clause([-2])
+        assert not solver.solve().satisfiable
+        # The root-level contradiction must persist across further calls
+        # (a consumed conflict cannot be rediscovered by propagation).
+        assert not solver.solve().satisfiable
+        assert not solver.solve([1]).satisfiable
+
+    def test_statistics_are_per_call_deltas(self):
+        solver = SATSolver(build_cnf(3, [[1, 2], [-1, 3], [-2, -3]]))
+        first = solver.solve()
+        second = solver.solve()
+        assert first.satisfiable and second.satisfiable
+        # The second call re-solves an already-satisfied formula; its
+        # per-call counters must not include the first call's work.
+        assert second.decisions <= first.decisions + solver.num_vars
+        assert solver.conflicts == first.conflicts + second.conflicts
+        assert solver.num_solves == 2
+
+    def test_add_clause_rejected_mid_search(self):
+        solver = SATSolver(build_cnf(2, [[1, 2]]))
+        solver.trail_limits.append(0)  # simulate an open decision level
+        with pytest.raises(RuntimeError):
+            solver.add_clause([1])
+
+
+class TestSessionEquivalence:
+    def test_session_assumption_leak(self):
+        # steane correction formula: sat under a forced error of weight > 1,
+        # unsat without assumptions; the session must recover.
+        from repro.api.engine import Engine
+        from repro.api.tasks import CorrectionTask
+
+        compiled = Engine().compile_task(CorrectionTask(code="steane", error_model="Y"))
+        session = SolveSession(compiled.formula)
+        free = session.check()
+        assert free.is_unsat
+        pinned = session.check({"e_0": True, "e_1": True, "e_2": True})
+        assert pinned.status == check_formula(
+            compiled.formula, {"e_0": True, "e_1": True, "e_2": True}
+        ).status
+        again = session.check()
+        assert again.is_unsat
+
+    def test_selector_guards_match_monolithic_formulas(self):
+        # The guarded base encoding must agree with the per-trial monolithic
+        # formula for every trial distance — this is the distance machinery.
+        from repro.codes import steane_code
+
+        code = steane_code()
+        base, weight = precise_detection_base(code, ErrorModel("any"))
+        session = SolveSession(base)
+        for trial in range(2, 6):
+            name = session.add_weight_guard(f"t{trial}", weight, trial - 1)
+            incremental = session.check(select=(name,))
+            fresh = check_formula(
+                precise_detection_formula(code, trial, ErrorModel("any"))
+            )
+            assert incremental.status == fresh.status, f"trial {trial}"
+        # Selectors must not leak into extracted models.
+        witness = session.check(select=("t5",))
+        assert witness.is_sat
+        assert not any(name in {f"t{t}" for t in range(2, 6)} for name in witness.model)
+
+    @pytest.mark.parametrize("key", sorted(CODE_REGISTRY))
+    def test_registry_code_session_matches_fresh(self, key):
+        """For every registry code: a session reused across assumption sets
+        (and after them, unassumed) returns the verdicts of fresh solvers."""
+        from repro.api.engine import Engine, registry_sweep_tasks
+
+        engine = Engine()
+        compiled = engine.compile_task(registry_sweep_tasks([key])[0])
+        indicator = compiled.split_variables[0]
+        session = SolveSession(compiled.formula)
+        assumption_sets = [{}, {indicator: True}, {indicator: False}, {}]
+        for assumptions in assumption_sets:
+            reused = session.check(assumptions)
+            fresh = check_formula(compiled.formula, assumptions)
+            assert reused.status == fresh.status, (key, assumptions)

@@ -1,7 +1,11 @@
 """Parallel task-splitting driver tests."""
 
 from repro.classical.expr import And, BoolVar, IntConst, IntLe, Not, Or, sum_of
-from repro.smt.parallel import ParallelChecker, generate_split_assumptions
+from repro.smt.parallel import (
+    IncrementalSplitSession,
+    ParallelChecker,
+    generate_split_assumptions,
+)
 
 
 class TestSplitting:
@@ -57,3 +61,69 @@ class TestChecker:
             num_workers=2,
         )
         assert checker.run().is_unsat
+
+
+class TestStatisticsAggregation:
+    def formula(self):
+        e = [BoolVar(f"e{i}") for i in range(6)]
+        return And((IntLe(sum_of(e), IntConst(2)), e[0], e[1], e[2]))
+
+    def test_sequential_totals_cover_all_subtasks(self):
+        result = ParallelChecker(
+            self.formula(), split_variables=[f"e{i}" for i in range(6)], threshold=6
+        ).run()
+        assert result.is_unsat
+        assert result.metadata["num_subtasks"] > 1
+        # Every subtask's work is aggregated, not just the last one's.
+        assert result.propagations > 0
+        assert result.num_variables > 0 and result.num_clauses > 0
+        session = result.metadata["session"]
+        assert session["conflicts"] == result.conflicts
+        assert session["propagations"] == result.propagations
+
+    def test_pool_totals_cover_all_subtasks(self):
+        result = ParallelChecker(
+            self.formula(),
+            split_variables=[f"e{i}" for i in range(6)],
+            threshold=6,
+            num_workers=2,
+        ).run()
+        assert result.is_unsat
+        assert result.propagations > 0
+        assert result.num_variables > 0 and result.num_clauses > 0
+        assert result.metadata["num_workers"] == 2
+
+
+class TestIncrementalSplitSession:
+    def test_repeated_guarded_checks_one_encoding(self):
+        e = [BoolVar(f"e{i}") for i in range(4)]
+        # Base: at least two indicators set (via e0 & e1 pinned on).
+        base = And((e[0], e[1]))
+        weight = sum_of(e)
+        with IncrementalSplitSession(base, split_variables=["e2", "e3"]) as session:
+            tight = session.add_weight_guard("le1", weight, 1)
+            assert session.check(select=(tight,)).is_unsat
+            loose = session.add_weight_guard("le2", weight, 2)
+            assert session.check(select=(loose,)).is_sat
+            assert session.stats()["checks"] == 2
+
+    def test_pool_guarded_checks_match_sequential(self):
+        e = [BoolVar(f"e{i}") for i in range(5)]
+        base = And((e[0], e[1]))
+        weight = sum_of(e)
+        sequential = IncrementalSplitSession(base, split_variables=["e2", "e3", "e4"])
+        pooled = IncrementalSplitSession(
+            base, split_variables=["e2", "e3", "e4"], num_workers=2
+        )
+        try:
+            for bound in (1, 2, 3):
+                name = f"le{bound}"
+                sequential.add_weight_guard(name, weight, bound)
+                pooled.add_weight_guard(name, weight, bound)
+                assert (
+                    sequential.check(select=(name,)).status
+                    == pooled.check(select=(name,)).status
+                )
+        finally:
+            sequential.close()
+            pooled.close()
