@@ -1,11 +1,12 @@
 """Incremental distance discovery vs the fresh-solver-per-trial baseline.
 
-Distance discovery solves one detection query per trial distance; the queries
-differ only in the weight bound.  The legacy strategy re-encoded the full
+Distance discovery solves one detection query per weight bound; the queries
+differ only in that bound.  The legacy strategy re-encoded the full
 detection formula and constructed a new solver for every trial; the engine
-now encodes the trial-independent base once and walks the trial distances on
-one incremental session, activating per-trial weight bounds through selector
-literals.  This benchmark runs both strategies on the Steane and the d=5
+now encodes the trial-independent base once and binary-searches the weight
+bounds on one incremental session, activating per-probe bounds through
+selector literals (see ``bench_binary_search_distance.py`` for the
+search-policy comparison).  This benchmark runs both on the Steane and d=5
 rotated surface code and asserts the incremental walk discovers the same
 distance with fewer total conflicts and lower wall-clock time (the
 acceptance criterion of the session-layer rework).

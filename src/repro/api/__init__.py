@@ -15,6 +15,13 @@ pool; backends are pluggable (:class:`SerialBackend`, :class:`ParallelBackend`);
 
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
 from repro.api.engine import CompiledTask, Engine, registry_sweep_tasks
+from repro.api.resources import (
+    CodeContext,
+    ContextView,
+    PoolManager,
+    ResourceManager,
+    SessionCache,
+)
 from repro.api.result import Result
 from repro.api.tasks import (
     ConstrainedTask,
@@ -35,6 +42,11 @@ __all__ = [
     "CompiledTask",
     "Engine",
     "registry_sweep_tasks",
+    "CodeContext",
+    "ContextView",
+    "PoolManager",
+    "ResourceManager",
+    "SessionCache",
     "Result",
     "Task",
     "CorrectionTask",

@@ -39,10 +39,14 @@ class Backend(Protocol):
     """Anything that can decide a compiled verification task.
 
     Backends may additionally expose a ``wants_session`` attribute/property;
-    when truthy the engine builds (and caches) a persistent
-    :class:`SolveSession` for the task and passes it to :meth:`check`.  The
-    engine treats a missing attribute as ``False``, so custom backends that
-    ignore sessions need not declare it.
+    when truthy the engine builds a persistent session view for the task
+    (shared per code through the engine's resource layer) and passes it to
+    :meth:`check`.  A ``wants_resources`` attribute/property additionally
+    opts the backend into the engine's
+    :class:`~repro.api.resources.ResourceManager` (passed as a ``resources``
+    keyword), which is how the parallel backend obtains persistent worker
+    pools.  The engine treats missing attributes as ``False``, so custom
+    backends that ignore sessions and resources need not declare them.
     """
 
     name: str
@@ -51,8 +55,10 @@ class Backend(Protocol):
         """Decide satisfiability of ``compiled.formula`` (unsat = verified).
 
         ``session``, when given, is a live session already holding the
-        compiled formula; the backend should solve on it so learnt clauses
-        carry over to the next run of the same task.
+        compiled formula (possibly guarded behind a task selector); the
+        backend should solve on it so learnt clauses carry over to the next
+        run of the same task — and, when the session is a shared per-code
+        view, to every other task kind on the same code.
         """
         ...
 
@@ -100,12 +106,38 @@ class ParallelBackend:
         # consumed on the sequential (num_workers <= 1) path.
         return self.num_workers <= 1
 
-    def check(self, compiled: "CompiledTask", session: SolveSession | None = None) -> SMTCheck:
+    @property
+    def wants_resources(self) -> bool:
+        """Whether :meth:`check` uses the engine's resource layer (persistent
+        worker pools keyed by base formula) when one is provided."""
+        return True
+
+    def check(
+        self,
+        compiled: "CompiledTask",
+        session: SolveSession | None = None,
+        resources=None,
+    ) -> SMTCheck:
+        heuristic_weight = self.heuristic_weight or compiled.split_weight
+        threshold = self.threshold if self.threshold is not None else compiled.split_threshold
+        if resources is not None and self.num_workers > 1:
+            # Engine-owned persistent pool: worker sessions (and their learnt
+            # clauses) survive this check and serve the next run of any task
+            # compiling to the same formula.
+            split = resources.pools.split_session(
+                compiled.formula,
+                split_variables=tuple(compiled.split_variables),
+                heuristic_weight=heuristic_weight,
+                threshold=threshold,
+                num_workers=self.num_workers,
+                max_subtasks=self.max_subtasks,
+            )
+            return split.check()
         checker = ParallelChecker(
             compiled.formula,
             split_variables=list(compiled.split_variables),
-            heuristic_weight=self.heuristic_weight or compiled.split_weight,
-            threshold=self.threshold if self.threshold is not None else compiled.split_threshold,
+            heuristic_weight=heuristic_weight,
+            threshold=threshold,
             num_workers=self.num_workers,
             max_subtasks=self.max_subtasks,
             session=session if self.num_workers <= 1 else None,

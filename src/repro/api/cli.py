@@ -62,6 +62,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
     )
+    verify.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="cache dir for learnt-clause state; repeated invocations warm-start",
+    )
     verify.add_argument("--json", action="store_true", help="emit the result as JSON")
     verify.set_defaults(func=_cmd_verify)
 
@@ -70,6 +76,12 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument("--max-trial", type=int, default=None, help="largest trial distance")
     distance.add_argument(
         "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
+    )
+    distance.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="cache dir for learnt-clause state; repeated invocations warm-start",
     )
     distance.add_argument("--json", action="store_true", help="emit the result as JSON")
     distance.set_defaults(func=_cmd_distance)
@@ -89,10 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=1, help="process pool size across tasks (run_many)"
     )
+    sweep.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="cache dir for learnt-clause state; repeated invocations warm-start",
+    )
     sweep.add_argument("--json", action="store_true", help="emit results as JSON")
     sweep.set_defaults(func=_cmd_sweep)
 
     return parser
+
+
+def _make_engine(backend, args: argparse.Namespace) -> Engine:
+    engine = Engine(backend=backend)
+    if getattr(args, "warm_cache", None):
+        engine.resources.enable_warm_cache(args.warm_cache)
+    return engine
+
+
+def _finish_engine(engine: Engine, args: argparse.Namespace) -> None:
+    if getattr(args, "warm_cache", None):
+        engine.resources.save_warm()
 
 
 # ----------------------------------------------------------------------
@@ -158,19 +188,24 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             code=args.code, max_errors=args.max_errors, error_model=args.error_model
         )
     backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
-    result = Engine(backend=backend).run(task)
+    engine = _make_engine(backend, args)
+    result = engine.run(task)
+    _finish_engine(engine, args)
     return _emit(result, args.json)
 
 
 def _cmd_distance(args: argparse.Namespace) -> int:
     _require_code(args.code)
     backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
-    result = Engine(backend=backend).run(DistanceTask(code=args.code, max_trial=args.max_trial))
+    engine = _make_engine(backend, args)
+    result = engine.run(DistanceTask(code=args.code, max_trial=args.max_trial))
+    _finish_engine(engine, args)
     if args.json:
         print(result.to_json(indent=2))
     else:
         print(f"{result.subject}: distance {result.details['distance']} "
-              f"({len(result.details['trials'])} trials, {result.elapsed_seconds:.3f}s, "
+              f"({len(result.details['trials'])} probes, binary search, "
+              f"{result.elapsed_seconds:.3f}s, "
               f"{result.conflicts} conflicts, {result.decisions} decisions, "
               f"{result.propagations} propagations, backend={result.backend})")
     return 0
@@ -188,10 +223,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     backend = (
         ParallelBackend(num_workers=args.workers) if args.backend == "parallel" else SerialBackend()
     )
-    engine = Engine(backend=backend)
+    engine = _make_engine(backend, args)
     start = time.perf_counter()
     results = engine.run_many(tasks, processes=args.jobs)
     total = time.perf_counter() - start
+    _finish_engine(engine, args)
+    stats = engine.resources.stats()
     if args.json:
         payload = {
             "backend": backend.name,
@@ -199,6 +236,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "total_seconds": total,
             "num_tasks": len(results),
             "num_verified": sum(result.verified for result in results),
+            "resources": stats,
             "results": [result.to_dict() for result in results],
         }
         print(json.dumps(payload, indent=2, default=str))
@@ -208,7 +246,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         verified = sum(result.verified for result in results)
         print(f"sweep: {verified}/{len(results)} verified in {total:.3f}s "
               f"(backend={backend.name}, jobs={args.jobs})")
+        print(_resource_table(stats))
     return 0 if all(result.verified for result in results) else 1
+
+
+def _resource_table(stats: dict) -> str:
+    """Summary table of the engine's solver-resource counters."""
+    lines = ["resource      count   detail"]
+    lines.append(f"{'contexts':12s} {stats.get('contexts', 0):6d}   "
+                 f"hits {stats.get('context_hits', 0)}, misses {stats.get('context_misses', 0)}")
+    lines.append(f"{'pools':12s} {stats.get('pools', 0):6d}   "
+                 f"hits {stats.get('pool_hits', 0)}, misses {stats.get('pool_misses', 0)}")
+    lines.append(f"{'learnt':12s} {stats.get('learnt_kept', 0):6d}   "
+                 f"kept {stats.get('learnt_kept', 0)}, deleted {stats.get('learnt_deleted', 0)}")
+    if "warm_hits" in stats:
+        lines.append(f"{'warm-cache':12s} {stats.get('warm_absorbed', 0):6d}   "
+                     f"hits {stats.get('warm_hits', 0)}, misses {stats.get('warm_misses', 0)}")
+    return "\n".join(lines)
 
 
 def _emit(result: Result, as_json: bool) -> int:

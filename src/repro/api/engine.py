@@ -24,15 +24,16 @@ from typing import Iterable, Sequence
 from repro.classical.expr import BoolExpr, BoolVar, Not
 from repro.codes.registry import CODE_REGISTRY
 from repro.smt.interface import SolveSession
-from repro.smt.parallel import IncrementalSplitSession
 from repro.verifier.constraints import discreteness_constraint, locality_constraint
 from repro.verifier.encodings import (
     ErrorModel,
     accurate_correction_formula,
+    model_error_weight,
     precise_detection_base,
     precise_detection_formula,
 )
-from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend, make_session
+from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
+from repro.api.resources import ResourceManager
 from repro.api.result import Result
 from repro.api.tasks import (
     ConstrainedTask,
@@ -82,15 +83,19 @@ class Engine:
         backend: Backend | str | None = None,
         cache_size: int = 128,
         session_cache_size: int = 32,
+        max_pools: int = 4,
     ):
         self.backend: Backend = coerce_backend(backend)
         self.cache_size = cache_size
         self.session_cache_size = session_cache_size
         self._cache: OrderedDict[Task, CompiledTask] = OrderedDict()
-        # Live incremental solver sessions keyed like the compile cache, so
-        # repeated runs of one task (`run_many` sweeps, retries) reuse learnt
-        # clauses instead of reconstructing a solver per query.
-        self._sessions: OrderedDict[Task, SolveSession] = OrderedDict()
+        # Engine-owned solver resources: one shared live session per *code*
+        # (correction, detection and distance queries on a code share learnt
+        # clauses through task-selector guards) and persistent worker pools
+        # keyed by base formula, kept alive across run/run_many calls.
+        self.resources = ResourceManager(
+            max_contexts=session_cache_size, max_pools=max_pools
+        )
         self._hits = 0
         self._misses = 0
         self._uncacheable = 0
@@ -110,34 +115,16 @@ class Engine:
             "uncacheable": self._uncacheable,
             "size": len(self._cache),
             "max_size": self.cache_size,
-            "sessions": len(self._sessions),
+            "sessions": self.resources.num_contexts(),
         }
 
     def clear_cache(self) -> None:
         self._cache.clear()
-        self._sessions.clear()
+        self.resources.clear_contexts()
 
-    def _session_for(self, task: Task, compiled: CompiledTask) -> SolveSession | None:
-        """The live solver session for a cacheable task (created on first use).
-
-        Only deterministic, hashable tasks get a persistent session — exactly
-        the tasks eligible for the compile cache — so a session always holds
-        the formula its task compiles to.
-        """
-        if not task.deterministic:
-            return None
-        try:
-            session = self._sessions.get(task)
-        except TypeError:  # unhashable payload
-            return None
-        if session is None:
-            session = make_session(compiled)
-            self._sessions[task] = session
-            while len(self._sessions) > self.session_cache_size:
-                self._sessions.popitem(last=False)
-        else:
-            self._sessions.move_to_end(task)
-        return session
+    def close(self) -> None:
+        """Release live solver resources (worker pools, warm-cache flush)."""
+        self.resources.close()
 
     def _compile_cached(self, task: Task) -> tuple[CompiledTask, bool]:
         if not task.deterministic:
@@ -306,11 +293,16 @@ class Engine:
         compiled, cached = self._compile_cached(task)
         session = None
         if getattr(chosen, "wants_session", False):
-            session = self._session_for(task, compiled)
-        check = chosen.check(compiled, session=session)
+            session = self.resources.session_for(task, compiled)
+        if getattr(chosen, "wants_resources", False):
+            check = chosen.check(compiled, session=session, resources=self.resources)
+        else:
+            check = chosen.check(compiled, session=session)
         elapsed = time.perf_counter() - start
         details = dict(compiled.details)
         details.update(check.metadata)
+        if session is not None or getattr(chosen, "wants_resources", False):
+            details["resources"] = self.resources.stats()
         return Result(
             task=compiled.kind,
             subject=compiled.subject,
@@ -329,16 +321,20 @@ class Engine:
         )
 
     def _run_distance(self, task: DistanceTask, backend: Backend) -> Result:
-        """Distance discovery as ONE incremental solving session.
+        """Distance discovery: binary search on ONE shared solving session.
 
         The trial-independent detection base (non-trivial, syndrome-free,
-        logically acting error) is encoded exactly once; each trial ``t``
-        then adds a selector-guarded cardinality constraint
-        ``weight <= t - 1`` and re-solves under that selector, so the
-        solver's learnt clauses and heuristic state flow from trial to
-        trial.  With a parallel backend the same walk runs across a
-        persistent worker pool, every worker holding its own live session
-        (enumeration subtasks stay fixed across trials).
+        logically acting error) is encoded exactly once — on the code's
+        shared :class:`~repro.api.resources.CodeContext` for serial runs, or
+        on a persistent worker pool from the :class:`PoolManager` for
+        parallel runs.  Instead of walking the trial distance linearly, the
+        walk *binary-searches* the minimum undetectable-error weight: each
+        probe activates selector-guarded bounds ``lo <= weight <= mid`` (the
+        lower bound is sound because every weight below ``lo`` has already
+        been refuted), a SAT probe clamps the upper end to the witness's
+        actual weight, an UNSAT probe raises the lower end past ``mid``.
+        That issues O(log d) solver calls where the linear walk issued O(d),
+        while learnt clauses flow between probes on the same live solver.
         """
         code = task.build()
         limit = task.max_trial or code.num_qubits + 1
@@ -350,54 +346,114 @@ class Engine:
         start = time.perf_counter()
         compile_start = time.perf_counter()
         error_model = ErrorModel("any")
-        base, weight = precise_detection_base(code, error_model)
         num_workers = getattr(backend, "num_workers", 1)
-        if isinstance(backend, ParallelBackend):
+        used_resources = True
+        context = None
+        # On the shared context session the extracted witness also assigns
+        # variables of other guarded task formulas; restrict it to the base
+        # encoding's own variables.  The pool/fallback sessions hold only the
+        # base, so no restriction is needed there.
+        base_variables: frozenset[str] | None = None
+        if num_workers > 1:
+            base, weight = precise_detection_base(code, error_model)
             split_variables, split_weight, split_threshold = _split_hints(code, error_model)
-            session = IncrementalSplitSession(
+            session = self.resources.pools.split_session(
                 base,
-                split_variables=list(split_variables),
+                split_variables=split_variables,
                 heuristic_weight=backend.heuristic_weight or split_weight,
                 threshold=backend.threshold if backend.threshold is not None else split_threshold,
                 num_workers=num_workers,
                 max_subtasks=backend.max_subtasks,
             )
+            base_selectors: tuple[str, ...] = ()
         else:
-            session = IncrementalSplitSession(base, num_workers=1)
+            if task.deterministic:
+                context = self.resources.context_for(task.code)
+            if context is not None:
+                weight, base_guard, base_variables = context.detection_base(
+                    error_model.kind,
+                    lambda: precise_detection_base(code, error_model),
+                )
+                context.maybe_warm_load()
+                session = context.session
+                base_selectors = (base_guard,)
+            else:
+                base, weight = precise_detection_base(code, error_model)
+                session = SolveSession(base)
+                base_selectors = ()
+                used_resources = False
+
+        if context is not None:
+
+            def upper(bound: int) -> str:
+                return context.weight_upper_guard(error_model.kind, weight, bound)
+
+            def lower(bound: int) -> str:
+                return context.weight_lower_guard(error_model.kind, weight, bound)
+
+        else:
+
+            def upper(bound: int) -> str:
+                return session.add_weight_guard(f"w:le:{bound}", weight, bound)
+
+            def lower(bound: int) -> str:
+                return session.add_weight_lower_guard(f"w:ge:{bound}", weight, bound)
+
         compile_seconds = time.perf_counter() - compile_start
 
         trials: list[dict] = []
         distance = limit
+        witness = None
+        conflicts = decisions = propagations = 0
         last = None
-        try:
-            for trial in range(2, limit + 1):
-                selector = session.add_weight_guard(f"trial_{trial}", weight, trial - 1)
-                trial_start = time.perf_counter()
-                last = session.check(select=(selector,))
-                trials.append(
-                    {"trial_distance": trial, "verified": last.is_unsat,
-                     "elapsed_seconds": time.perf_counter() - trial_start,
-                     "conflicts": last.conflicts, "decisions": last.decisions}
-                )
-                if last.is_sat:
-                    distance = trial - 1
-                    break
-        finally:
-            session.close()
+        lo, hi = 1, limit - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            selectors = list(base_selectors)
+            if lo > 1:
+                selectors.append(lower(lo))
+            selectors.append(upper(mid))
+            trial_start = time.perf_counter()
+            last = session.check(select=tuple(selectors))
+            conflicts += last.conflicts
+            decisions += last.decisions
+            propagations += last.propagations
+            trials.append(
+                {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
+                 "verified": last.is_unsat,
+                 "elapsed_seconds": time.perf_counter() - trial_start,
+                 "conflicts": last.conflicts, "decisions": last.decisions}
+            )
+            if last.is_sat:
+                # The witness pins the distance to its own weight; everything
+                # strictly below stays open for the next probe.
+                model = last.model or {}
+                if base_variables is not None:
+                    model = {name: value for name, value in model.items()
+                             if name in base_variables}
+                found = max(1, model_error_weight(model, error_model))
+                distance = found
+                witness = model
+                hi = found - 1
+            else:
+                lo = mid + 1
         elapsed = time.perf_counter() - start
         stats = session.stats()
         details = {
             "distance": distance,
             "trials": trials,
             "base_encodings": 1,
+            "strategy": "binary-search",
             "session": stats,
         }
+        if used_resources:
+            details["resources"] = self.resources.stats()
         if num_workers > 1:
             details["num_workers"] = num_workers
-        if last is not None and last.model:
+        if witness:
             # The witness is informative (a minimum-weight undetectable
             # error), but `counterexample` is reserved for unverified results.
-            details["witness"] = last.model
+            details["witness"] = witness
         return Result(
             task=task.kind,
             subject=code.name,
@@ -407,9 +463,9 @@ class Engine:
             backend=backend.name,
             num_variables=last.num_variables if last is not None else 0,
             num_clauses=last.num_clauses if last is not None else 0,
-            conflicts=stats["conflicts"],
-            decisions=stats["decisions"],
-            propagations=stats["propagations"],
+            conflicts=conflicts,
+            decisions=decisions,
+            propagations=propagations,
             details=details,
         )
 

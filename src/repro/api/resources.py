@@ -1,0 +1,437 @@
+"""Engine-owned solver resources: shared per-code sessions, persistent pools.
+
+Before this layer existed, session ownership was scattered: each task kind
+built its own solver, the parallel backend spun up (and tore down) a worker
+pool per task, and the engine's session cache was keyed per-task, so
+correction and detection on the same code re-learnt everything from scratch.
+This module centralizes those resources *per code*:
+
+* :class:`CodeContext` — ONE live :class:`~repro.smt.interface.SolveSession`
+  per code.  Every task's refutation formula is asserted under a
+  task-selector guard literal, so correction, detection, constrained and
+  distance queries all solve against one clause database and share learnt
+  clauses across task kinds.  The shared error/syndrome sub-encoding is
+  emitted once: the encoder's expression cache maps the identical error
+  variables, syndrome parities and weight counters of later task formulas
+  onto the literals the first task allocated.
+* :class:`ContextView` — a task's window onto its context: ``check`` solves
+  the shared session under the task's selector, which is the session surface
+  the backends already expect.
+* :class:`PoolManager` — persistent worker pools keyed by base formula, kept
+  alive across ``Engine.run`` / ``run_many`` calls (registry sweeps stop
+  paying pool startup and re-encoding per task) and torn down when the
+  owning engine is garbage-collected, on eviction, or at interpreter exit.
+* :class:`SessionCache` — serialize/restore a session's learnt clauses to a
+  cache directory (the CLI's ``--warm-cache``), keyed by a fingerprint of
+  the exact CNF so stale state can never be absorbed.
+* :class:`ResourceManager` — the engine-facing facade tying the above
+  together, with hit/miss counters surfaced in ``Result.session_stats()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import weakref
+from collections import OrderedDict
+
+from repro.classical.expr import free_variables
+from repro.smt.interface import SMTCheck, SolveSession
+from repro.smt.parallel import IncrementalSplitSession
+
+__all__ = [
+    "CodeContext",
+    "ContextView",
+    "PoolManager",
+    "ResourceManager",
+    "SessionCache",
+]
+
+
+class ContextView:
+    """One task's session-shaped window onto a shared :class:`CodeContext`.
+
+    The view carries the task's selector literals; ``check`` merges them into
+    every solve, so backends built against the plain
+    :class:`~repro.smt.interface.SolveSession` surface (``check``,
+    ``add_guard``, ``add_weight_guard``, ``stats``) drive the shared session
+    without knowing it is shared.  Extracted models are restricted to the
+    task formula's own variables: the shared session also names the
+    variables of every *other* guarded task formula, which are unconstrained
+    during this task's check and must not leak into its counterexamples.
+    """
+
+    def __init__(
+        self,
+        context: "CodeContext",
+        selectors: tuple[str, ...],
+        variables: frozenset[str] | None = None,
+    ):
+        self.context = context
+        self.selectors = tuple(selectors)
+        self.variables = variables
+
+    def check(
+        self,
+        assumptions: dict[str, bool] | None = None,
+        select: tuple[str, ...] | list[str] = (),
+    ) -> SMTCheck:
+        self.context.maybe_warm_load()
+        check = self.context.session.check(
+            assumptions, select=self.selectors + tuple(select)
+        )
+        if check.model is not None and self.variables is not None:
+            check.model = {
+                name: value for name, value in check.model.items()
+                if name in self.variables
+            }
+        return check
+
+    # Guard forwarding keeps the view usable wherever a SolveSession is
+    # expected (e.g. the sequential path of IncrementalSplitSession).
+    def add_guard(self, name: str, formula) -> str:
+        return self.context.session.add_guard(name, formula)
+
+    def add_weight_guard(self, name: str, weight, bound: int) -> str:
+        return self.context.session.add_weight_guard(name, weight, bound)
+
+    def add_weight_lower_guard(self, name: str, weight, bound: int) -> str:
+        return self.context.session.add_weight_lower_guard(name, weight, bound)
+
+    def stats(self) -> dict:
+        return self.context.session.stats()
+
+
+class CodeContext:
+    """Shared solver resources for one code: one session, many task guards.
+
+    Task formulas are asserted exactly once each, guarded by a fresh selector
+    keyed on the task value; re-running a task re-selects its guard on the
+    live solver (a context *hit*), and different task kinds on the same code
+    share every learnt clause the session has accumulated.
+    """
+
+    def __init__(self, key, warm_cache: "SessionCache | None" = None):
+        self.key = key
+        self.session = SolveSession()
+        self.warm_cache = warm_cache
+        self.hits = 0
+        self.misses = 0
+        self._task_guards: dict[object, tuple[str, frozenset[str]]] = {}
+        self._detection_bases: dict[str, tuple[object, str, frozenset[str]]] = {}
+        self._weight_guards: set[str] = set()
+        self._warm_attempted = False
+        self._warm_fingerprint: str | None = None
+        self._warm_vars = 0
+        self.warm_absorbed = 0
+
+    # ------------------------------------------------------------------
+    def task_view(self, task, formula) -> ContextView:
+        """The guarded view for ``task``, asserting ``formula`` on first use."""
+        entry = self._task_guards.get(task)
+        if entry is None:
+            self.misses += 1
+            guard = f"task:{len(self._task_guards)}"
+            self.session.add_guard(guard, formula)
+            entry = (guard, free_variables(formula))
+            self._task_guards[task] = entry
+        else:
+            self.hits += 1
+        guard, variables = entry
+        return ContextView(self, (guard,), variables=variables)
+
+    def detection_base(self, model_kind: str, factory) -> tuple[object, str, frozenset[str]]:
+        """The guarded trial-independent detection base for ``model_kind``.
+
+        ``factory`` builds ``(base_formula, weight_expr)``; it runs once per
+        context and error model, which is the "encode the base once" property
+        the distance walk (and any DetectionTask sharing the context) relies
+        on.  Returns ``(weight_expr, base_selector, base_variables)`` —
+        witnesses extracted during a walk must be restricted to
+        ``base_variables`` for the same reason :class:`ContextView` filters
+        its models.
+        """
+        entry = self._detection_bases.get(model_kind)
+        if entry is None:
+            self.misses += 1
+            base, weight = factory()
+            guard = f"detection-base:{model_kind}"
+            self.session.add_guard(guard, base)
+            entry = (weight, guard, free_variables(base))
+            self._detection_bases[model_kind] = entry
+        else:
+            self.hits += 1
+        return entry
+
+    def weight_upper_guard(self, model_kind: str, weight, bound: int) -> str:
+        """Memoised selector for ``weight <= bound`` (shared unary counter)."""
+        name = f"w:{model_kind}:le:{bound}"
+        if name not in self._weight_guards:
+            self.session.add_weight_guard(name, weight, bound)
+            self._weight_guards.add(name)
+        return name
+
+    def weight_lower_guard(self, model_kind: str, weight, bound: int) -> str:
+        """Memoised selector for ``weight >= bound``."""
+        name = f"w:{model_kind}:ge:{bound}"
+        if name not in self._weight_guards:
+            self.session.add_weight_lower_guard(name, weight, bound)
+            self._weight_guards.add(name)
+        return name
+
+    # ------------------------------------------------------------------
+    # Warm cache: learnt clauses round-trip through the cache directory,
+    # keyed on the CNF fingerprint at the moment of the first check (the
+    # point identical CLI invocations reach with an identical encoding).
+    def maybe_warm_load(self) -> None:
+        if self.warm_cache is None or self._warm_attempted:
+            return
+        self._warm_attempted = True
+        self._warm_fingerprint = self.session.fingerprint()
+        self._warm_vars = self.session.encoder.cnf.num_vars
+        learnt = self.warm_cache.load(self._warm_fingerprint)
+        if learnt:
+            self.warm_absorbed = self.session.absorb_learnt(learnt)
+
+    def save_warm(self) -> None:
+        if self.warm_cache is None or not self._warm_attempted:
+            return
+        self.warm_cache.store(
+            self._warm_fingerprint, self.session.learnt_clauses(max_var=self._warm_vars)
+        )
+
+
+class SessionCache:
+    """On-disk learnt-clause cache (the CLI's ``--warm-cache`` directory).
+
+    Entries are JSON files named by the CNF fingerprint they belong to; a
+    lookup with a different fingerprint simply misses, so absorbing stale or
+    foreign state is impossible by construction.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> str:
+        return os.path.join(self.directory, f"{fingerprint}.json")
+
+    def load(self, fingerprint: str) -> list[list[int]] | None:
+        try:
+            with open(self._path(fingerprint), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        learnt = payload.get("learnt")
+        if payload.get("fingerprint") != fingerprint or not isinstance(learnt, list):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return [[int(lit) for lit in clause] for clause in learnt]
+
+    def store(self, fingerprint: str, learnt: list[list[int]]) -> None:
+        payload = {"fingerprint": fingerprint, "learnt": learnt}
+        path = self._path(fingerprint)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _close_split_sessions(sessions: "OrderedDict") -> None:
+    for session in list(sessions.values()):
+        try:
+            session.close()
+        except Exception:
+            pass
+    sessions.clear()
+
+
+class PoolManager:
+    """Persistent :class:`IncrementalSplitSession` pools keyed by base formula.
+
+    A split session (and therefore its worker pool, each worker holding a
+    live solver for the base encoding) survives across ``Engine.run`` calls:
+    re-running a task with the same formula and split configuration is a pool
+    *hit* that skips pool startup and per-worker re-encoding entirely.  The
+    manager is LRU-bounded (evicted sessions are closed), closes everything
+    when the owning engine is garbage-collected (``weakref.finalize``), and
+    the pools themselves are additionally registered for atexit termination
+    by :mod:`repro.smt.parallel` — so a KeyboardInterrupt mid-check cannot
+    leak semaphores or worker processes.
+    """
+
+    def __init__(self, max_pools: int = 4):
+        self.max_pools = max_pools
+        self.hits = 0
+        self.misses = 0
+        self._sessions: OrderedDict[tuple, IncrementalSplitSession] = OrderedDict()
+        # The finalizer must not reference self (that would keep the manager
+        # alive forever); closing over the sessions dict alone is enough.
+        self._finalizer = weakref.finalize(self, _close_split_sessions, self._sessions)
+
+    def split_session(
+        self,
+        formula,
+        split_variables: tuple[str, ...] = (),
+        heuristic_weight: int = 2,
+        threshold: int | None = None,
+        num_workers: int = 2,
+        max_subtasks: int = 1024,
+    ) -> IncrementalSplitSession:
+        key = (formula, tuple(split_variables), heuristic_weight, threshold,
+               num_workers, max_subtasks)
+        session = self._sessions.get(key)
+        if session is not None:
+            self.hits += 1
+            self._sessions.move_to_end(key)
+            return session
+        self.misses += 1
+        session = IncrementalSplitSession(
+            formula,
+            split_variables=list(split_variables),
+            heuristic_weight=heuristic_weight,
+            threshold=threshold,
+            num_workers=num_workers,
+            max_subtasks=max_subtasks,
+        )
+        self._sessions[key] = session
+        while len(self._sessions) > self.max_pools:
+            _, evicted = self._sessions.popitem(last=False)
+            evicted.close()
+        return session
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def close_all(self) -> None:
+        _close_split_sessions(self._sessions)
+
+
+class ResourceManager:
+    """The engine's solver-resource facade: contexts, pools, warm cache."""
+
+    def __init__(self, max_contexts: int = 32, max_pools: int = 4):
+        self.max_contexts = max_contexts
+        self.pools = PoolManager(max_pools=max_pools)
+        self.warm_cache: SessionCache | None = None
+        self._contexts: OrderedDict[object, CodeContext] = OrderedDict()
+        # Deterministic tasks WITHOUT a code to key a context on (the
+        # program-logic route) still get a persistent per-task session, so
+        # repeated runs reuse learnt clauses as they did before the
+        # per-code contexts existed.
+        self._task_sessions: OrderedDict[object, SolveSession] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def context_for(self, key) -> CodeContext | None:
+        """The live context for a code key (LRU, created on first use)."""
+        try:
+            context = self._contexts.get(key)
+        except TypeError:  # unhashable key
+            return None
+        if context is None:
+            context = CodeContext(key, warm_cache=self.warm_cache)
+            self._contexts[key] = context
+            while len(self._contexts) > self.max_contexts:
+                evicted_key, evicted = self._contexts.popitem(last=False)
+                evicted.save_warm()
+        else:
+            self._contexts.move_to_end(key)
+        return context
+
+    def session_for(self, task, compiled) -> ContextView | SolveSession | None:
+        """A persistent session for ``task``: a guarded shared-context view
+        for code tasks, a dedicated per-task session for code-less tasks
+        (the program-logic route), or None when the task cannot safely share
+        (nondeterministic compile, unhashable payload)."""
+        if not getattr(task, "deterministic", False):
+            return None
+        code_key = getattr(task, "code", None)
+        if code_key is None:
+            return self._task_session_for(task, compiled)
+        context = self.context_for(code_key)
+        if context is None:
+            return None
+        try:
+            return context.task_view(task, compiled.formula)
+        except TypeError:  # unhashable task payload
+            return None
+
+    def _task_session_for(self, task, compiled) -> SolveSession | None:
+        try:
+            session = self._task_sessions.get(task)
+        except TypeError:  # unhashable payload
+            return None
+        if session is None:
+            session = SolveSession(compiled.formula)
+            self._task_sessions[task] = session
+            while len(self._task_sessions) > self.max_contexts:
+                self._task_sessions.popitem(last=False)
+        else:
+            self._task_sessions.move_to_end(task)
+        return session
+
+    # ------------------------------------------------------------------
+    def enable_warm_cache(self, directory: str) -> SessionCache:
+        self.warm_cache = SessionCache(directory)
+        for context in self._contexts.values():
+            if context.warm_cache is None:
+                context.warm_cache = self.warm_cache
+        return self.warm_cache
+
+    def save_warm(self) -> None:
+        for context in self._contexts.values():
+            context.save_warm()
+
+    # ------------------------------------------------------------------
+    def num_contexts(self) -> int:
+        return len(self._contexts) + len(self._task_sessions)
+
+    def clear_contexts(self) -> None:
+        self._contexts.clear()
+        self._task_sessions.clear()
+
+    def close(self) -> None:
+        self.save_warm()
+        self._contexts.clear()
+        self._task_sessions.clear()
+        self.pools.close_all()
+
+    def stats(self) -> dict:
+        """Resource counters surfaced through ``Result.session_stats()``."""
+        learnt_kept = 0
+        learnt_deleted = 0
+        context_hits = 0
+        context_misses = 0
+        warm_absorbed = 0
+        for context in self._contexts.values():
+            session_stats = context.session.stats()
+            learnt_kept += session_stats.get("learnt_kept", 0)
+            learnt_deleted += session_stats.get("learnt_deleted", 0)
+            context_hits += context.hits
+            context_misses += context.misses
+            warm_absorbed += context.warm_absorbed
+        stats = {
+            "contexts": len(self._contexts),
+            "context_hits": context_hits,
+            "context_misses": context_misses,
+            "pools": len(self.pools),
+            "pool_hits": self.pools.hits,
+            "pool_misses": self.pools.misses,
+            "learnt_kept": learnt_kept,
+            "learnt_deleted": learnt_deleted,
+        }
+        if self.warm_cache is not None:
+            stats["warm_hits"] = self.warm_cache.hits
+            stats["warm_misses"] = self.warm_cache.misses
+            stats["warm_absorbed"] = warm_absorbed
+        return stats

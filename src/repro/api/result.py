@@ -53,9 +53,22 @@ class Result:
 
     def session_stats(self) -> dict | None:
         """Cumulative per-session solver statistics, when a persistent
-        session decided this task (see ``details["session"]``)."""
+        session decided this task (see ``details["session"]``), merged with
+        the engine's resource counters (context/pool hits and misses,
+        learnt clauses kept/deleted) when the resource layer was involved
+        (``details["resources"]``)."""
         stats = self.details.get("session")
-        return dict(stats) if isinstance(stats, dict) else None
+        resources = self.details.get("resources")
+        merged: dict = {}
+        # Resource counters first, session counters second: where the keys
+        # overlap (learnt_kept/learnt_deleted), the per-session values — the
+        # ones describing the session that decided THIS task — win over the
+        # engine-wide sums, which stay available under details["resources"].
+        if isinstance(resources, dict):
+            merged.update(resources)
+        if isinstance(stats, dict):
+            merged.update(stats)
+        return merged or None
 
     def counterexample_qubits(self) -> list[int]:
         """Indices of qubits carrying an error in the counterexample."""

@@ -94,6 +94,19 @@ class FormulaEncoder:
         self.cnf.add_clause([-guard, self.encode(IntLe(left, right))])
         return guard
 
+    def assert_ge_if(self, name: str, left: IntExpr, right: IntExpr) -> int:
+        """Constrain ``selector(name) -> (left >= right)``; return the selector.
+
+        The guarded *lower* bound is what lets distance discovery binary-search
+        the trial distance: once every weight up to ``lo - 1`` is refuted, a
+        query may be narrowed to ``lo <= weight <= mid`` without giving up the
+        shared counter encoding (``left >= right`` is ``right <= left``, so
+        the same unary counter bits serve both directions).
+        """
+        guard = self.selector(name)
+        self.cnf.add_clause([-guard, self.encode(IntLe(right, left))])
+        return guard
+
     def true_literal(self) -> int:
         if self._constant_true is None:
             self._constant_true = self.cnf.new_var(("const", True))

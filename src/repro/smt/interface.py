@@ -17,6 +17,7 @@ queries through a session.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 
@@ -112,6 +113,16 @@ class SolveSession:
         self.encoder.assert_le_if(name, weight, IntConst(bound))
         return name
 
+    def add_weight_lower_guard(self, name: str, weight: IntExpr, bound: int) -> str:
+        """Add ``weight >= bound`` under selector ``name`` (binary-search distance).
+
+        Shares the same unary counter as the upper-bound guards over the same
+        ``weight`` expression, so narrowing a query to ``lo <= weight <= mid``
+        costs two selector clauses, not a re-encoding.
+        """
+        self.encoder.assert_ge_if(name, weight, IntConst(bound))
+        return name
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -161,6 +172,44 @@ class SolveSession:
         )
 
     # ------------------------------------------------------------------
+    # Warm-cache support: fingerprinting + learnt-clause round-tripping
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash of the session's current CNF (variables + clauses).
+
+        Two sessions whose encodings were built identically (same formulas,
+        same order) share a fingerprint, which is the safety condition for
+        re-absorbing serialized learnt clauses: a learnt clause is only a
+        consequence of *this exact* clause database.
+        """
+        cnf = self.encoder.cnf
+        digest = hashlib.sha256()
+        digest.update(f"v{cnf.num_vars}".encode())
+        for clause in cnf.clauses:
+            digest.update(",".join(map(str, clause)).encode())
+            digest.update(b";")
+        return digest.hexdigest()
+
+    def learnt_clauses(self, max_var: int | None = None) -> list[list[int]]:
+        """Learnt clauses of the live solver (empty before the first check)."""
+        if self._solver is None:
+            return []
+        return self._solver.learnt_clauses(max_var)
+
+    def absorb_learnt(self, clauses) -> int:
+        """Re-attach serialized learnt clauses; returns how many were kept.
+
+        Only sound when the session's CNF matches the one the clauses were
+        learnt against — callers gate this on :meth:`fingerprint`.
+        """
+        solver = self._sync_solver()
+        absorbed = 0
+        for clause in clauses:
+            if solver.absorb_learnt(clause):
+                absorbed += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
     def stats(self) -> dict:
         """Cumulative statistics over every check run through this session."""
         solver = self._solver
@@ -169,6 +218,10 @@ class SolveSession:
             "conflicts": solver.conflicts if solver else 0,
             "decisions": solver.decisions if solver else 0,
             "propagations": solver.propagations if solver else 0,
+            "learnt_kept": solver.num_learnt if solver else 0,
+            "learnt_deleted": solver.learnt_deleted if solver else 0,
+            "reductions": solver.reductions if solver else 0,
+            "minimized_literals": solver.minimized_literals if solver else 0,
             "elapsed_seconds": self.elapsed_seconds,
         }
 

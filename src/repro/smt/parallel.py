@@ -23,8 +23,10 @@ with selector-guarded weight bounds broadcast lazily to the workers.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import time
+import weakref
 from dataclasses import dataclass, field
 
 from repro.classical.expr import BoolExpr, IntExpr
@@ -36,6 +38,26 @@ __all__ = [
     "IncrementalSplitSession",
     "generate_split_assumptions",
 ]
+
+
+# Every live worker pool is tracked here (weakly, so normal close() paths do
+# not need to deregister) and terminated at interpreter exit.  This is what
+# keeps a KeyboardInterrupt mid-check from leaking the pool's semaphores and
+# worker processes: the exception may unwind past any try/finally, but the
+# atexit hook still runs on interpreter shutdown.
+_LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def _terminate_live_pools() -> None:
+    for pool in list(_LIVE_POOLS):
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+
+
+atexit.register(_terminate_live_pools)
 
 
 @dataclass
@@ -82,6 +104,7 @@ class IncrementalSplitSession:
             list(split_variables), heuristic_weight, threshold, max_subtasks=max_subtasks
         )
         self._guards: list[tuple[str, str, object, object]] = []
+        self._guard_names: set[str] = set()
         self._pool = None
         self._local: SolveSession | None = None
         if num_workers <= 1 or len(self.assumption_sets) <= 1:
@@ -94,16 +117,34 @@ class IncrementalSplitSession:
         self.elapsed_seconds = 0.0
 
     # ------------------------------------------------------------------
+    # Guards are idempotent by name so long-lived sessions (the engine's pool
+    # manager keeps them across runs) can re-request a bound without growing
+    # the broadcast list.
     def add_guard(self, name: str, formula: BoolExpr) -> str:
+        if name in self._guard_names:
+            return name
+        self._guard_names.add(name)
         self._guards.append(("formula", name, formula, None))
         if self._local is not None:
             self._local.add_guard(name, formula)
         return name
 
     def add_weight_guard(self, name: str, weight: IntExpr, bound: int) -> str:
+        if name in self._guard_names:
+            return name
+        self._guard_names.add(name)
         self._guards.append(("weight", name, weight, bound))
         if self._local is not None:
             self._local.add_weight_guard(name, weight, bound)
+        return name
+
+    def add_weight_lower_guard(self, name: str, weight: IntExpr, bound: int) -> str:
+        if name in self._guard_names:
+            return name
+        self._guard_names.add(name)
+        self._guards.append(("weight_ge", name, weight, bound))
+        if self._local is not None:
+            self._local.add_weight_lower_guard(name, weight, bound)
         return name
 
     # ------------------------------------------------------------------
@@ -114,6 +155,7 @@ class IncrementalSplitSession:
                 initializer=_worker_init,
                 initargs=(self.formula,),
             )
+            _LIVE_POOLS.add(self._pool)
         return self._pool
 
     def check(self, select: tuple[str, ...] | list[str] = ()) -> SMTCheck:
@@ -204,14 +246,25 @@ class IncrementalSplitSession:
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """Cumulative statistics; same schema as :meth:`SolveSession.stats`."""
-        return {
+        """Cumulative statistics; same schema as :meth:`SolveSession.stats`.
+
+        Clause-management counters are only observable on the sequential path
+        (pool workers hold their solvers in other processes); they are merged
+        in when a local session exists.
+        """
+        stats = {
             "checks": self.num_checks,
             "conflicts": self.total_conflicts,
             "decisions": self.total_decisions,
             "propagations": self.total_propagations,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        if self._local is not None and hasattr(self._local, "stats"):
+            local = self._local.stats()
+            for key in ("learnt_kept", "learnt_deleted", "reductions", "minimized_literals"):
+                if key in local:
+                    stats[key] = local[key]
+        return stats
 
     def close(self) -> None:
         if self._pool is not None:
@@ -301,6 +354,8 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | None, dict]:
             continue
         if kind == "weight":
             _WORKER_SESSION.add_weight_guard(name, operand, bound)
+        elif kind == "weight_ge":
+            _WORKER_SESSION.add_weight_lower_guard(name, operand, bound)
         else:
             _WORKER_SESSION.add_guard(name, operand)
         _WORKER_GUARDS.add(name)

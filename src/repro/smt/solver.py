@@ -22,6 +22,16 @@ are sound across calls because first-UIP learning only resolves over reason
 clauses — assumption literals enter learnt clauses negatively instead of
 being resolved away, so every learnt clause is a consequence of the clause
 database alone.
+
+Long-lived shared sessions need the learnt database managed, not merely
+retained: learnt clauses are scored by their literal-block distance (LBD, the
+number of distinct decision levels among their literals) and minimized with
+the recursive (MiniSat-style) redundant-literal elimination before being
+attached; when the learnt population outgrows its budget, the worst half
+(highest LBD, breaking ties on length) is deleted, keeping "glue" clauses
+(LBD <= 2) and clauses currently locked as reasons.  Clauses restored from a
+warm cache enter through :meth:`SATSolver.absorb_learnt`, so they stay
+deletable like any other learnt clause.
 """
 
 from __future__ import annotations
@@ -61,10 +71,25 @@ def _luby(index: int) -> int:
 class SATSolver:
     """Conflict-driven clause-learning solver over a :class:`~repro.smt.cnf.CNF`."""
 
-    def __init__(self, cnf, max_conflicts: int | None = None):
+    def __init__(
+        self,
+        cnf,
+        max_conflicts: int | None = None,
+        max_learnt: int | None = None,
+    ):
         self.num_vars = cnf.num_vars
         self.clauses: list[list[int]] = []
         self.max_conflicts = max_conflicts
+        # Learnt-clause budget: None derives the classic len(clauses)/3 floor
+        # per solve call; an explicit value (used by tests and by callers that
+        # keep sessions alive for very long) fixes the reduction trigger.
+        self.max_learnt = max_learnt
+        self.clause_is_learnt: list[bool] = []
+        self.clause_lbd: list[int] = []
+        self.num_learnt = 0
+        self.learnt_deleted = 0
+        self.reductions = 0
+        self.minimized_literals = 0
 
         size = self.num_vars + 1
         self.assignment = [_UNASSIGNED] * size
@@ -119,6 +144,52 @@ class SATSolver:
         Units are enqueued on the root trail; the next :meth:`solve` call
         propagates them before doing any search.
         """
+        simplified = self._simplify_against_root(clause)
+        if simplified is None:
+            return
+        index = self._attach_clause(simplified, learnt=False)
+        if index is not None:
+            self.num_problem_clauses += 1
+
+    def absorb_learnt(self, clause) -> bool:
+        """Attach a clause known to be a consequence of the formula.
+
+        This is the warm-cache entry point: learnt clauses serialized from an
+        earlier session over the *same* formula may be re-attached here.  They
+        enter the database as learnt clauses (scored by their length, since
+        the original LBD is meaningless against a fresh trail), so the
+        periodic reduction can still delete them.  Returns whether the clause
+        survived root-level simplification and was stored.
+        """
+        simplified = self._simplify_against_root(clause)
+        if simplified is None:
+            return False
+        index = self._attach_clause(simplified, learnt=True, lbd=len(simplified))
+        return index is not None
+
+    def learnt_clauses(self, max_var: int | None = None) -> list[list[int]]:
+        """The current learnt clauses, optionally restricted to ``var <= max_var``.
+
+        The restriction is what makes serialization safe for sessions whose
+        encoding keeps growing: clauses over variables that a fresh session
+        will allocate identically (the base encoding) round-trip; clauses over
+        later auxiliary variables are filtered out.
+        """
+        result = []
+        for index, clause in enumerate(self.clauses):
+            if not self.clause_is_learnt[index]:
+                continue
+            if max_var is not None and any(abs(lit) > max_var for lit in clause):
+                continue
+            result.append(list(clause))
+        return result
+
+    def _simplify_against_root(self, clause) -> list[int] | None:
+        """Root-level simplification shared by the clause entry points.
+
+        Returns the simplified literal list, or None when the clause is a
+        tautology or permanently satisfied and need not be stored.
+        """
         if self._decision_level() != 0:
             raise RuntimeError("clauses may only be added at decision level 0")
         seen: set[int] = set()
@@ -128,24 +199,22 @@ class SATSolver:
             if lit == 0 or abs(lit) > self.num_vars:
                 raise ValueError(f"literal {lit} out of range")
             if -lit in seen:
-                return  # tautology
+                return None  # tautology
             if lit in seen:
                 continue
             seen.add(lit)
             value = self._value(lit)
             if value == _TRUE:
-                return  # permanently satisfied at level 0
+                return None  # permanently satisfied at level 0
             if value == _FALSE:
                 continue  # permanently falsified literal
             simplified.append(lit)
-        index = self._attach_clause(simplified, learnt=False)
-        if index is not None:
-            self.num_problem_clauses += 1
+        return simplified
 
     # ------------------------------------------------------------------
     # Clause management
     # ------------------------------------------------------------------
-    def _attach_clause(self, clause: list[int], learnt: bool) -> int | None:
+    def _attach_clause(self, clause: list[int], learnt: bool, lbd: int = 0) -> int | None:
         if not clause:
             self._contradiction = True
             return None
@@ -157,9 +226,63 @@ class SATSolver:
             return None
         index = len(self.clauses)
         self.clauses.append(clause)
+        self.clause_is_learnt.append(learnt)
+        self.clause_lbd.append(lbd if learnt else 0)
+        if learnt:
+            self.num_learnt += 1
         for lit in clause[:2]:
             self.watches.setdefault(-lit, []).append(index)
         return index
+
+    def _reduce_learnt(self) -> None:
+        """Delete the worst half of the deletable learnt clauses.
+
+        Deletable means: learnt, not currently the reason of an assigned
+        literal (locked), and not glue (LBD > 2).  Worst is highest LBD,
+        breaking ties on clause length.  The clause list is compacted and the
+        watch lists and reason indices remapped, so the method is safe at any
+        decision level (the solve loop calls it between propagation and the
+        next decision).
+        """
+        locked = {index for index in self.reason if index is not None}
+        candidates = [
+            index
+            for index in range(len(self.clauses))
+            if self.clause_is_learnt[index]
+            and self.clause_lbd[index] > 2
+            and index not in locked
+        ]
+        if len(candidates) < 2:
+            return
+        candidates.sort(key=lambda index: (self.clause_lbd[index], len(self.clauses[index])))
+        drop = set(candidates[len(candidates) // 2 :])
+        if not drop:
+            return
+        mapping: dict[int, int] = {}
+        clauses: list[list[int]] = []
+        is_learnt: list[bool] = []
+        lbds: list[int] = []
+        for index, clause in enumerate(self.clauses):
+            if index in drop:
+                continue
+            mapping[index] = len(clauses)
+            clauses.append(clause)
+            is_learnt.append(self.clause_is_learnt[index])
+            lbds.append(self.clause_lbd[index])
+        self.clauses = clauses
+        self.clause_is_learnt = is_learnt
+        self.clause_lbd = lbds
+        self.watches = {}
+        for index, clause in enumerate(self.clauses):
+            for lit in clause[:2]:
+                self.watches.setdefault(-lit, []).append(index)
+        for var in range(1, self.num_vars + 1):
+            reason_index = self.reason[var]
+            if reason_index is not None:
+                self.reason[var] = mapping[reason_index]
+        self.num_learnt -= len(drop)
+        self.learnt_deleted += len(drop)
+        self.reductions += 1
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -272,14 +395,63 @@ class SATSolver:
             clause_index = self.reason[abs(lit)]
         learnt[0] = -lit
 
+        if len(learnt) > 2:
+            learnt = self._minimize_learnt(learnt, seen)
+
         if len(learnt) == 1:
             backjump_level = 0
+            lbd = 1
         else:
             # Move the literal with the highest level (other than the UIP) to slot 1.
             best = max(range(1, len(learnt)), key=lambda i: self.level[abs(learnt[i])])
             learnt[1], learnt[best] = learnt[best], learnt[1]
             backjump_level = self.level[abs(learnt[1])]
-        return learnt, backjump_level
+            lbd = len({self.level[abs(learnt_lit)] for learnt_lit in learnt})
+        return learnt, backjump_level, lbd
+
+    def _minimize_learnt(self, learnt: list[int], seen: list[bool]) -> list[int]:
+        """Recursive clause minimization (MiniSat's redundant-literal test).
+
+        A non-UIP literal is redundant when its reason clause — and,
+        recursively, the reasons of that clause's literals — grounds out
+        entirely in literals already in the learnt clause (``seen``) or fixed
+        at level 0.  ``seen`` doubles as the memo: literals proven reachable
+        stay marked, failed probes unwind their own marks only.
+        """
+        levels = {self.level[abs(lit)] for lit in learnt[1:]}
+        to_clear: list[int] = []
+        kept = [learnt[0]]
+        for lit in learnt[1:]:
+            if self.reason[abs(lit)] is None or not self._lit_redundant(
+                lit, seen, levels, to_clear
+            ):
+                kept.append(lit)
+        self.minimized_literals += len(learnt) - len(kept)
+        return kept
+
+    def _lit_redundant(
+        self, lit: int, seen: list[bool], levels: set[int], to_clear: list[int]
+    ) -> bool:
+        stack = [lit]
+        top = len(to_clear)
+        while stack:
+            current = stack.pop()
+            clause = self.clauses[self.reason[abs(current)]]
+            for other in clause:
+                var = abs(other)
+                if var == abs(current) or seen[var] or self.level[var] == 0:
+                    continue
+                if self.reason[var] is None or self.level[var] not in levels:
+                    # Grounds in a decision/assumption or leaves the clause's
+                    # levels: not redundant.  Unwind this probe's marks.
+                    for marked in to_clear[top:]:
+                        seen[marked] = False
+                    del to_clear[top:]
+                    return False
+                seen[var] = True
+                stack.append(other)
+                to_clear.append(var)
+        return True
 
     def _bump_activity(self, var: int) -> None:
         self.activity[var] += self._activity_increment
@@ -367,7 +539,9 @@ class SATSolver:
 
         conflicts_until_restart = 100 * _luby(self._restart_count + 1)
         conflicts_since_restart = 0
-        max_learnt = max(1000, len(self.clauses) // 3)
+        max_learnt = self.max_learnt
+        if max_learnt is None:
+            max_learnt = max(1000, len(self.clauses) // 3)
 
         while True:
             conflict = self._propagate()
@@ -386,12 +560,12 @@ class SATSolver:
                         self._contradiction = True
                     self._cancel_until(0)
                     return _result(False)
-                learnt, backjump_level = self._analyze(conflict)
+                learnt, backjump_level, lbd = self._analyze(conflict)
                 self._cancel_until(max(backjump_level, root_level))
                 if len(learnt) == 1:
                     self._enqueue(learnt[0], None)
                 else:
-                    index = self._attach_clause(learnt, learnt=True)
+                    index = self._attach_clause(learnt, learnt=True, lbd=lbd)
                     self._enqueue(learnt[0], index)
                 self._decay_activities()
             else:
@@ -401,8 +575,9 @@ class SATSolver:
                     conflicts_until_restart = 100 * _luby(self._restart_count + 1)
                     self._cancel_until(root_level)
                     continue
-                if len(self.clauses) - self.num_problem_clauses > max_learnt:
-                    max_learnt = int(max_learnt * 1.5)
+                if self.num_learnt > max_learnt:
+                    self._reduce_learnt()
+                    max_learnt = int(max_learnt * 1.1)
                 variable = self._pick_branch_variable()
                 if variable is None:
                     model = {

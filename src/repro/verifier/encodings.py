@@ -48,6 +48,7 @@ __all__ = [
     "anticommutation_parity",
     "syndrome_definitions",
     "accurate_correction_formula",
+    "model_error_weight",
     "precise_detection_base",
     "precise_detection_formula",
 ]
@@ -109,6 +110,31 @@ def error_component_variables(
 def error_weight_indicators(indicators: list[BoolExpr]):
     """Integer expression for the number of qubits hit by an error."""
     return sum_of(indicators)
+
+
+def model_error_weight(model: dict[str, bool], error_model: "ErrorModel | None" = None) -> int:
+    """Weight of the error a satisfying assignment describes.
+
+    Counts the distinct qubits whose injected-error indicators are set:
+    ``ex_i`` / ``ez_i`` under the general model, ``e_i`` under the
+    single-Pauli models, either namespace when ``error_model`` is None.
+    Binary-search distance discovery uses this to clamp its upper end to the
+    *actual* weight of a witness rather than the probed bound — passing the
+    active error model matters there, because on a shared per-code session
+    the model may also assign indicator variables of *other* guarded task
+    formulas, which are unconstrained during this probe and must not count.
+    """
+    if error_model is None:
+        prefixes: tuple[str, ...] = ("ex_", "ez_", "e_")
+    elif error_model.kind == "any":
+        prefixes = ("ex_", "ez_")
+    else:
+        prefixes = ("e_",)
+    qubits: set[int] = set()
+    for name, value in model.items():
+        if value and name.startswith(prefixes):
+            qubits.add(int(name.rsplit("_", 1)[1]))
+    return len(qubits)
 
 
 def anticommutation_parity(

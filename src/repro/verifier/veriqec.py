@@ -93,12 +93,13 @@ class VeriQEC:
         return self._run(task, parallel)
 
     def find_distance(self, code: StabilizerCode, max_trial: int | None = None) -> int:
-        """Discover the code distance by increasing the trial distance until a
-        counterexample (a minimum-weight undetectable error) appears.
+        """Discover the code distance (the weight of the minimum undetectable
+        logical error) by binary-searching guarded weight bounds.
 
-        The whole walk runs as one incremental solving session (the base
-        detection encoding is shared across every trial distance); with
-        ``num_workers > 1`` the session spans a persistent worker pool.
+        The whole search runs as one incremental solving session (the base
+        detection encoding is shared across every probe, via the engine's
+        per-code resource layer); with ``num_workers > 1`` the session spans
+        a persistent worker pool.
         """
         return self.engine.find_distance(
             code, max_trial=max_trial, backend=self._backend(parallel=True)

@@ -105,13 +105,22 @@ class TestRun:
             return original(*args, **kwargs)
 
         monkeypatch.setattr(engine_module, "precise_detection_base", counting)
-        result = Engine().run(DistanceTask(code="steane", max_trial=5))
+        engine = Engine()
+        result = engine.run(DistanceTask(code="steane", max_trial=5))
         assert result.details["distance"] == 3
-        assert len(result.details["trials"]) == 3
+        # Binary search over weight bounds 1..4 probes mid=2 (unsat) and
+        # mid=3 (sat, witness weight 3) — strictly fewer checks than the
+        # three trials the linear walk needed.
+        assert len(result.details["trials"]) == 2
+        assert result.details["strategy"] == "binary-search"
         assert len(calls) == 1
         assert result.details["base_encodings"] == 1
-        # All three trials ran through one session on one encoding.
-        assert result.details["session"]["checks"] == 3
+        # Both probes ran through one session on one encoding.
+        assert result.details["session"]["checks"] == 2
+        # A second walk reuses the context's guarded base: no re-encoding.
+        again = engine.run(DistanceTask(code="steane", max_trial=5))
+        assert again.details["distance"] == 3
+        assert len(calls) == 1
 
     def test_distance_task_parallel_backend(self):
         result = Engine().run(

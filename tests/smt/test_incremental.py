@@ -132,6 +132,129 @@ class TestIncrementalSolverBasics:
             solver.add_clause([1])
 
 
+class TestLearntClauseManagement:
+    @settings(max_examples=60, deadline=None)
+    @given(clause_lists, st.data())
+    def test_reduction_preserves_verdicts(self, instance, data):
+        """A solver forced to delete learnt clauses aggressively (budget 1)
+        must still agree with an unmanaged fresh solver on every query."""
+        num_vars, clauses = instance
+        managed = SATSolver(build_cnf(num_vars, clauses), max_learnt=1)
+        assumption_sets = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(1, num_vars).flatmap(lambda v: st.sampled_from([v, -v])),
+                    min_size=0,
+                    max_size=3,
+                ),
+                min_size=1,
+                max_size=4,
+            )
+        )
+        assumption_sets.append([])
+        for assumptions in assumption_sets:
+            assert managed.solve(assumptions).satisfiable == fresh_verdict(
+                num_vars, clauses, assumptions
+            )
+
+    def test_reduction_counters_and_locked_clauses(self):
+        # A formula hard enough to learn on: pigeonhole-ish parity chains.
+        from repro.codes import steane_code
+        from repro.smt.encoder import FormulaEncoder
+        from repro.verifier.encodings import accurate_correction_formula
+
+        encoder = FormulaEncoder()
+        encoder.assert_formula(accurate_correction_formula(steane_code(), max_errors=2))
+        solver = SATSolver(encoder.cnf, max_learnt=5)
+        solver.solve()
+        assert solver.reductions > 0
+        assert solver.learnt_deleted > 0
+        assert solver.num_learnt == sum(solver.clause_is_learnt)
+        # Deletion never touches problem clauses.
+        assert sum(not learnt for learnt in solver.clause_is_learnt) == solver.num_problem_clauses
+
+    def test_minimization_shrinks_learnt_clauses(self):
+        from repro.codes import steane_code
+        from repro.smt.encoder import FormulaEncoder
+        from repro.verifier.encodings import accurate_correction_formula
+
+        encoder = FormulaEncoder()
+        encoder.assert_formula(accurate_correction_formula(steane_code(), max_errors=1))
+        solver = SATSolver(encoder.cnf)
+        solver.solve()
+        assert solver.minimized_literals > 0
+
+    def test_absorb_learnt_round_trip(self):
+        cnf_clauses = [[1, 2], [-1, 3], [-2, 3], [-3, 4]]
+        first = SATSolver(build_cnf(4, cnf_clauses))
+        first.solve([-4])
+        exported = first.learnt_clauses()
+        second = SATSolver(build_cnf(4, cnf_clauses))
+        for clause in exported:
+            assert all(abs(lit) <= 4 for lit in clause)
+            second.absorb_learnt(clause)
+        # Absorbed clauses are consequences: verdicts are unchanged.
+        for assumptions in ([], [-4], [1], [-3]):
+            assert (
+                second.solve(assumptions).satisfiable
+                == fresh_verdict(4, cnf_clauses, assumptions)
+            )
+
+    def test_learnt_clauses_filters_by_max_var(self):
+        solver = SATSolver(build_cnf(3, [[1, 2], [-1, 3], [-2, -3], [1, -3], [-1, -2, 3]]))
+        solver.solve([3])
+        solver.solve([-3])
+        for clause in solver.learnt_clauses(max_var=2):
+            assert all(abs(lit) <= 2 for lit in clause)
+
+
+class TestCrossTaskGuardSharing:
+    def test_correction_and_detection_share_one_session(self):
+        """The resource-layer pattern at the smt level: both task formulas
+        guarded on ONE session must agree with dedicated fresh checks, in
+        both directions, with traffic interleaved (guard-leak check)."""
+        from repro.api.engine import Engine
+        from repro.api.tasks import CorrectionTask, DetectionTask
+
+        engine = Engine()
+        correction = engine.compile_task(CorrectionTask(code="steane")).formula
+        detection = engine.compile_task(DetectionTask(code="steane", trial_distance=3)).formula
+        session = SolveSession()
+        correction_guard = session.add_guard("task:correction", correction)
+        detection_guard = session.add_guard("task:detection", detection)
+        for _ in range(2):  # interleave twice: learnt clauses flow both ways
+            assert session.check(select=(correction_guard,)).status == check_formula(
+                correction
+            ).status
+            assert session.check(select=(detection_guard,)).status == check_formula(
+                detection
+            ).status
+        # An unguarded check on the same session is unconstrained by either
+        # task formula (both selectors may go false): no guard leaks.
+        assert session.check().is_sat
+
+    def test_lower_weight_guards_match_monolithic_window(self):
+        """`lo <= weight <= hi` through guards equals the conjunction checked
+        monolithically, for every window over the steane detection base."""
+        from repro.classical.expr import IntLe
+        from repro.codes import steane_code
+
+        code = steane_code()
+        base, weight = precise_detection_base(code, ErrorModel("any"))
+        session = SolveSession(base)
+        for lo in range(1, 5):
+            for hi in range(lo, 5):
+                lower = session.add_weight_lower_guard(f"ge{lo}", weight, lo)
+                upper = session.add_weight_guard(f"le{hi}", weight, hi)
+                windowed = session.check(select=(lower, upper))
+                from repro.classical.expr import And
+
+                monolithic = check_formula(
+                    And((base, IntLe(IntConst(lo), weight), IntLe(weight, IntConst(hi))))
+                )
+                assert windowed.status == monolithic.status, (lo, hi)
+
+
 class TestSessionEquivalence:
     def test_session_assumption_leak(self):
         # steane correction formula: sat under a forced error of weight > 1,
