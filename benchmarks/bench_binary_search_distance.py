@@ -87,3 +87,48 @@ def test_binary_search_beats_linear_walk(key, max_trial, expected_distance):
     # still fails on a gross (>1.5x) slowdown.
     slack = 1.5 if os.environ.get("CI") else 1.0
     assert binary_seconds < linear_seconds * slack
+
+
+@pytest.mark.parametrize("key,max_trial,expected_distance", [("steane", 16, 3)])
+def test_galloping_beats_bisection_on_wide_spans(key, max_trial, expected_distance):
+    """The adaptive search policy: when the span is much wider than the
+    distance, the galloping start (1, 2, 4, ...) reaches the answer through
+    exponentially spaced CHEAP probes, while plain bisection opens with the
+    most expensive query of the walk (the mid-span window).  Probe cost is
+    proxied by the activated upper bound (the live width of the unary weight
+    counter), which is deterministic; wall-clock is compared with CI slack.
+    """
+    gallop_seconds, gallop = best_of(
+        REPEATS,
+        lambda: Engine().run(
+            DistanceTask(code=key, max_trial=max_trial, strategy="galloping")
+        ),
+    )
+    bisect_seconds, bisect = best_of(
+        REPEATS,
+        lambda: Engine().run(
+            DistanceTask(code=key, max_trial=max_trial, strategy="binary")
+        ),
+    )
+    auto = Engine().run(DistanceTask(code=key, max_trial=max_trial))
+
+    gallop_bounds = [trial["bound"] for trial in gallop.details["trials"]]
+    bisect_bounds = [trial["bound"] for trial in bisect.details["trials"]]
+    print(
+        f"\n[galloping-distance] {key}: distance={gallop.details['distance']} "
+        f"gallop={gallop_seconds:.3f}s/bounds={gallop_bounds} "
+        f"bisect={bisect_seconds:.3f}s/bounds={bisect_bounds} "
+        f"auto-strategy={auto.details['strategy']}"
+    )
+
+    assert gallop.details["distance"] == bisect.details["distance"] == expected_distance
+    assert gallop.details["strategy"] == "galloping"
+    # The probe-cost heuristic selects galloping on its own for this span.
+    assert auto.details["strategy"] == "galloping"
+    assert auto.details["distance"] == expected_distance
+    # No more solver calls, strictly cheaper probes (smaller activated
+    # bounds), and no gross wall-clock regression.
+    assert len(gallop_bounds) <= len(bisect_bounds)
+    assert sum(gallop_bounds) < sum(bisect_bounds)
+    slack = 1.5 if os.environ.get("CI") else 1.2
+    assert gallop_seconds < bisect_seconds * slack

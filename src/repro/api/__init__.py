@@ -11,10 +11,35 @@ Reify a request as a task, hand it to an :class:`Engine`, get a unified
 Batches run through :meth:`Engine.run_many`, optionally across a process
 pool; backends are pluggable (:class:`SerialBackend`, :class:`ParallelBackend`);
 ``python -m repro`` exposes the same engine on the command line.
+
+The job-oriented surface layers on top: :meth:`Engine.submit` returns a
+:class:`Job` handle (stream typed events, await the result, cancel, bound by
+a deadline), :class:`AsyncEngine` mirrors it for asyncio, and
+:mod:`repro.api.events` defines the versioned event schema the streams
+speak::
+
+    job = Engine().submit(DistanceTask(code="surface-5"), deadline=30.0)
+    for event in job.events():
+        ...
+    result = job.result()
 """
 
+from repro.api.aio import AsyncEngine, AsyncJob
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
 from repro.api.engine import CompiledTask, Engine, registry_sweep_tasks
+from repro.api.events import (
+    SCHEMA_VERSION,
+    DistanceProbe,
+    Event,
+    JobCancelled,
+    JobCompleted,
+    JobFailed,
+    JobSubmitted,
+    SolverStats,
+    SubtaskStarted,
+    TaskCompiled,
+)
+from repro.api.jobs import Job, JobCancelledError, JobExecutor, JobStatus
 from repro.api.resources import (
     CodeContext,
     ContextView,
@@ -42,6 +67,22 @@ __all__ = [
     "CompiledTask",
     "Engine",
     "registry_sweep_tasks",
+    "AsyncEngine",
+    "AsyncJob",
+    "Job",
+    "JobCancelledError",
+    "JobExecutor",
+    "JobStatus",
+    "SCHEMA_VERSION",
+    "Event",
+    "JobSubmitted",
+    "TaskCompiled",
+    "SubtaskStarted",
+    "DistanceProbe",
+    "SolverStats",
+    "JobCompleted",
+    "JobCancelled",
+    "JobFailed",
     "CodeContext",
     "ContextView",
     "PoolManager",

@@ -1,0 +1,165 @@
+"""Asyncio facade over the job API: ``await engine.arun(task)``.
+
+:class:`AsyncEngine` wraps a (possibly shared) synchronous
+:class:`~repro.api.engine.Engine` and exposes its job lifecycle to an event
+loop without blocking it: submission is non-blocking by construction, results
+resolve through done-callbacks bridged with ``loop.call_soon_threadsafe``,
+and ``async for event in job.events()`` consumes the same replay-then-live
+typed event stream the synchronous :meth:`~repro.api.jobs.Job.events`
+iterator yields.  Many jobs multiplex over the engine's persistent solver
+resources (per-code shared sessions, worker pools); execution itself is
+serialized by the engine's dispatcher, which is what keeps those shared
+solvers single-threaded.
+
+    async with AsyncEngine() as engine:
+        job = engine.submit(DistanceTask(code="surface-5"), deadline=30.0)
+        async for event in job.events():
+            ...
+        result = await job.result()
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import AsyncIterator, Iterable
+
+from repro.api.engine import Engine
+from repro.api.events import Event
+from repro.api.jobs import Job, JobStatus
+from repro.api.result import Result
+from repro.api.tasks import Task
+
+__all__ = ["AsyncEngine", "AsyncJob"]
+
+
+class AsyncJob:
+    """An awaitable view of one :class:`~repro.api.jobs.Job`."""
+
+    def __init__(self, job: Job):
+        self.job = job
+
+    @property
+    def id(self) -> str:
+        return self.job.id
+
+    @property
+    def status(self) -> JobStatus:
+        return self.job.status
+
+    def cancel(self) -> "AsyncJob":
+        self.job.cancel()
+        return self
+
+    async def result(self) -> Result:
+        """Await the job's result; raises
+        :class:`~repro.api.jobs.JobCancelledError` on cancellation and the
+        original exception on failure, like the blocking accessor."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[Result] = loop.create_future()
+
+        def _resolve(finished: Job) -> None:
+            def _set() -> None:
+                if future.cancelled():
+                    return
+                try:
+                    future.set_result(finished.result(timeout=0))
+                except BaseException as error:  # noqa: BLE001 - relay verbatim
+                    future.set_exception(error)
+
+            loop.call_soon_threadsafe(_set)
+
+        self.job.add_done_callback(_resolve)
+        return await future
+
+    async def events(self) -> AsyncIterator[Event]:
+        """Async-iterate the event stream: full replay, then live events,
+        ending with the job's single terminal event."""
+        loop = asyncio.get_running_loop()
+        feed: asyncio.Queue[Event] = asyncio.Queue()
+
+        def _push(event: Event) -> None:
+            loop.call_soon_threadsafe(feed.put_nowait, event)
+
+        self.job.subscribe(_push)
+        while True:
+            event = await feed.get()
+            yield event
+            if event.TERMINAL:
+                return
+
+    async def wait(self) -> "AsyncJob":
+        """Await the terminal state without consuming the result."""
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future[None] = loop.create_future()
+        self.job.add_done_callback(
+            lambda _job: loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(None)
+            )
+        )
+        await future
+        return self
+
+
+class AsyncEngine:
+    """The async entry point: submit/stream/await jobs from an event loop."""
+
+    def __init__(self, engine: Engine | None = None, **engine_kwargs):
+        self.engine = engine if engine is not None else Engine(**engine_kwargs)
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        task: Task,
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        backend=None,
+    ) -> AsyncJob:
+        """Enqueue ``task`` (non-blocking) and return its async handle."""
+        return AsyncJob(
+            self.engine.submit(
+                task, priority=priority, deadline=deadline, backend=backend
+            )
+        )
+
+    async def arun(
+        self,
+        task: Task,
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        backend=None,
+    ) -> Result:
+        """Submit and await one task — the async mirror of ``Engine.run``."""
+        return await self.submit(
+            task, priority=priority, deadline=deadline, backend=backend
+        ).result()
+
+    async def arun_many(
+        self,
+        tasks: Iterable[Task],
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        backend=None,
+    ) -> list[Result]:
+        """Submit a batch and await all results, preserving order."""
+        jobs = [
+            self.submit(task, priority=priority, deadline=deadline, backend=backend)
+            for task in tasks
+        ]
+        return list(await asyncio.gather(*(job.result() for job in jobs)))
+
+    # ------------------------------------------------------------------
+    async def aclose(self) -> None:
+        """Release engine resources without blocking the loop."""
+        await asyncio.get_running_loop().run_in_executor(None, self.engine.close)
+
+    def close(self) -> None:
+        self.engine.close()
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, ClassVar, Protocol, runtime_checkable
 
 from repro.smt.interface import SMTCheck, SolveSession
 from repro.smt.parallel import ParallelChecker
+from repro.smt.solver import SolveControl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.api.engine import CompiledTask
@@ -68,6 +69,10 @@ class SerialBackend:
     """Single-query backend over the in-tree incremental CDCL solver."""
 
     name: ClassVar[str] = "serial"
+    # The engine only forwards a job's SolveControl (deadline / cancellation)
+    # to backends that declare they honor it; third-party backends without
+    # the attribute fall back to engine-level between-probe checks.
+    supports_control: ClassVar[bool] = True
 
     @property
     def wants_session(self) -> bool:
@@ -75,9 +80,14 @@ class SerialBackend:
         (the engine only builds/caches sessions for backends that will)."""
         return True
 
-    def check(self, compiled: "CompiledTask", session: SolveSession | None = None) -> SMTCheck:
+    def check(
+        self,
+        compiled: "CompiledTask",
+        session: SolveSession | None = None,
+        control: SolveControl | None = None,
+    ) -> SMTCheck:
         live = session if session is not None else make_session(compiled)
-        return live.check()
+        return live.check(control=control)
 
 
 @dataclass(frozen=True)
@@ -99,6 +109,7 @@ class ParallelBackend:
     max_subtasks: int = 256
 
     name: ClassVar[str] = "parallel"
+    supports_control: ClassVar[bool] = True
 
     @property
     def wants_session(self) -> bool:
@@ -117,6 +128,7 @@ class ParallelBackend:
         compiled: "CompiledTask",
         session: SolveSession | None = None,
         resources=None,
+        control: SolveControl | None = None,
     ) -> SMTCheck:
         heuristic_weight = self.heuristic_weight or compiled.split_weight
         threshold = self.threshold if self.threshold is not None else compiled.split_threshold
@@ -132,7 +144,7 @@ class ParallelBackend:
                 num_workers=self.num_workers,
                 max_subtasks=self.max_subtasks,
             )
-            return split.check()
+            return split.check(control=control)
         checker = ParallelChecker(
             compiled.formula,
             split_variables=list(compiled.split_variables),
@@ -142,7 +154,7 @@ class ParallelBackend:
             max_subtasks=self.max_subtasks,
             session=session if self.num_workers <= 1 else None,
         )
-        return checker.run()
+        return checker.run(control=control)
 
 
 def coerce_backend(backend: "Backend | str | None", num_workers: int = 2) -> "Backend":

@@ -7,9 +7,13 @@ Subcommands:
 * ``distance``   — discover a code's distance via repeated detection;
 * ``sweep``      — batch-verify many registry codes through ``Engine.run_many``.
 
-Every subcommand takes ``--json`` for machine-readable output.  Exit status:
-0 when everything verified, 1 when a counterexample was found, 2 on usage
-errors (argparse's convention).
+Every subcommand takes ``--json`` for machine-readable output; the verifying
+subcommands additionally take ``--stream`` (NDJSON job events on stdout, one
+:mod:`repro.api.events` object per line — pipe through
+``python -m repro.api.events`` to schema-validate) and ``--deadline SECONDS``
+(a per-job wall-clock bound enforced inside the solver).  Exit status: 0 when
+everything verified, 1 when a counterexample was found, 2 on usage errors
+(argparse's convention), 3 when a job was cancelled by its deadline.
 """
 
 from __future__ import annotations
@@ -24,10 +28,13 @@ from typing import Sequence
 from repro.codes.registry import CODE_REGISTRY, build_code
 from repro.api.backends import ParallelBackend, SerialBackend
 from repro.api.engine import Engine, registry_sweep_tasks
+from repro.api.jobs import Job, JobCancelledError, JobStatus
 from repro.api.result import Result
 from repro.api.tasks import ConstrainedTask, CorrectionTask, DetectionTask, DistanceTask
 
 __all__ = ["main", "build_parser"]
+
+EXIT_CANCELLED = 3
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,6 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache dir for learnt-clause state; repeated invocations warm-start",
     )
+    _add_job_arguments(verify)
     verify.add_argument("--json", action="store_true", help="emit the result as JSON")
     verify.set_defaults(func=_cmd_verify)
 
@@ -83,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache dir for learnt-clause state; repeated invocations warm-start",
     )
+    distance.add_argument(
+        "--strategy",
+        choices=["auto", "binary", "galloping"],
+        default="auto",
+        help="probe schedule (default: per-code probe-cost heuristic)",
+    )
+    _add_job_arguments(distance)
     distance.add_argument("--json", action="store_true", help="emit the result as JSON")
     distance.set_defaults(func=_cmd_distance)
 
@@ -107,10 +122,69 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="cache dir for learnt-clause state; repeated invocations warm-start",
     )
+    _add_job_arguments(sweep)
     sweep.add_argument("--json", action="store_true", help="emit results as JSON")
     sweep.set_defaults(func=_cmd_sweep)
 
+    validate = sub.add_parser(
+        "validate-events",
+        help="schema-validate an NDJSON event stream (stdin, or files)",
+    )
+    validate.add_argument("files", nargs="*", help="NDJSON files (default: stdin)")
+    validate.set_defaults(func=_cmd_validate_events)
+
     return parser
+
+
+def _cmd_validate_events(args: argparse.Namespace) -> int:
+    from repro.api.events import main as validate_main
+
+    return validate_main(args.files)
+
+
+def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="run through the job API and emit NDJSON events on stdout",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        metavar="SECONDS",
+        default=None,
+        help="per-job wall-clock bound; an expired job exits with status 3",
+    )
+
+
+def _stream_job(job: Job) -> None:
+    """Print the job's full event stream as NDJSON, one event per line."""
+    for event in job.events():
+        print(event.to_json(), flush=True)
+
+
+def _run_as_job(engine: Engine, task, args: argparse.Namespace, print_result) -> int:
+    """The shared ``--stream``/``--deadline`` lifecycle of one CLI task.
+
+    Submit, stream or wait, flush the warm cache, then map the terminal
+    state: cancelled → stderr notice (non-stream) + exit 3; failed →
+    re-raise (``main`` renders ValueError/KeyError as exit 2); succeeded →
+    ``print_result(result)`` unless streaming, exit by verdict.
+    """
+    job = engine.submit(task, deadline=args.deadline)
+    if args.stream:
+        _stream_job(job)
+    else:
+        job.wait()
+    _finish_engine(engine, args)
+    if job.status is JobStatus.CANCELLED:
+        if not args.stream:
+            print(f"cancelled: {job.id} ({job.cancel_reason})", file=sys.stderr)
+        return EXIT_CANCELLED
+    result = job.result(timeout=0)  # re-raises a failed job's exception
+    if not args.stream:
+        print_result(result)
+    return 0 if result.verified else 1
 
 
 def _make_engine(backend, args: argparse.Namespace) -> Engine:
@@ -189,6 +263,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         )
     backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
     engine = _make_engine(backend, args)
+    if args.stream or args.deadline is not None:
+        return _run_as_job(engine, task, args, lambda result: _emit(result, args.json))
     result = engine.run(task)
     _finish_engine(engine, args)
     return _emit(result, args.json)
@@ -198,17 +274,28 @@ def _cmd_distance(args: argparse.Namespace) -> int:
     _require_code(args.code)
     backend = ParallelBackend(num_workers=args.workers) if args.workers > 1 else SerialBackend()
     engine = _make_engine(backend, args)
-    result = engine.run(DistanceTask(code=args.code, max_trial=args.max_trial))
+    strategy = None if args.strategy == "auto" else args.strategy
+    task = DistanceTask(code=args.code, max_trial=args.max_trial, strategy=strategy)
+    if args.stream or args.deadline is not None:
+        return _run_as_job(
+            engine, task, args, lambda result: _print_distance(result, args.json)
+        )
+    result = engine.run(task)
     _finish_engine(engine, args)
-    if args.json:
+    _print_distance(result, args.json)
+    return 0
+
+
+def _print_distance(result: Result, as_json: bool) -> None:
+    if as_json:
         print(result.to_json(indent=2))
     else:
         print(f"{result.subject}: distance {result.details['distance']} "
-              f"({len(result.details['trials'])} probes, binary search, "
+              f"({len(result.details['trials'])} probes, "
+              f"{result.details.get('strategy', 'binary-search')}, "
               f"{result.elapsed_seconds:.3f}s, "
               f"{result.conflicts} conflicts, {result.decisions} decisions, "
               f"{result.propagations} propagations, backend={result.backend})")
-    return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -224,6 +311,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ParallelBackend(num_workers=args.workers) if args.backend == "parallel" else SerialBackend()
     )
     engine = _make_engine(backend, args)
+    if args.stream or args.deadline is not None:
+        return _sweep_jobs(engine, tasks, args)
     start = time.perf_counter()
     results = engine.run_many(tasks, processes=args.jobs)
     total = time.perf_counter() - start
@@ -248,6 +337,50 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"(backend={backend.name}, jobs={args.jobs})")
         print(_resource_table(stats))
     return 0 if all(result.verified for result in results) else 1
+
+
+def _sweep_jobs(engine: Engine, tasks, args: argparse.Namespace) -> int:
+    """The job-API sweep: one job per task, streamed/awaited in order.
+
+    ``--jobs`` (the run_many process pool) does not apply here — jobs
+    serialize on the engine's dispatcher, which is what lets them share the
+    per-code sessions and persistent pools.  A job's deadline clock starts
+    at submission, so each task is submitted only after the previous one
+    finished: ``--deadline`` bounds each job's own runtime, not its place
+    in the queue.
+    """
+    total = 0
+    cancelled = 0
+    unverified = 0
+    for task in tasks:
+        job = engine.submit(task, deadline=args.deadline)
+        total += 1
+        if args.stream:
+            _stream_job(job)
+        else:
+            job.wait()
+        if job.status is JobStatus.CANCELLED:
+            cancelled += 1
+            if not args.stream:
+                print(f"cancelled: {job.id} ({job.cancel_reason})", file=sys.stderr)
+            continue
+        try:
+            result = job.result(timeout=0)
+        except JobCancelledError:  # pragma: no cover - raced above
+            cancelled += 1
+            continue
+        if not result.verified:
+            unverified += 1
+        if not args.stream:
+            print(result.summary())
+    _finish_engine(engine, args)
+    if not args.stream:
+        done = total - cancelled
+        print(f"sweep: {done - unverified}/{total} verified, "
+              f"{cancelled} cancelled (job API, deadline={args.deadline})")
+    if cancelled:
+        return EXIT_CANCELLED
+    return 1 if unverified else 0
 
 
 def _resource_table(stats: dict) -> str:

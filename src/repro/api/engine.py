@@ -16,14 +16,16 @@ the ``verify_triple`` pipeline and the ``python -m repro`` CLI:
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.classical.expr import BoolExpr, BoolVar, Not
 from repro.codes.registry import CODE_REGISTRY
 from repro.smt.interface import SolveSession
+from repro.smt.solver import SolveControl, SolverInterrupted
 from repro.verifier.constraints import discreteness_constraint, locality_constraint
 from repro.verifier.encodings import (
     ErrorModel,
@@ -33,6 +35,8 @@ from repro.verifier.encodings import (
     precise_detection_formula,
 )
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
+from repro.api.events import DistanceProbe, SolverStats, SubtaskStarted, TaskCompiled
+from repro.api.jobs import Job, JobExecutor
 from repro.api.resources import ResourceManager
 from repro.api.result import Result
 from repro.api.tasks import (
@@ -46,6 +50,9 @@ from repro.api.tasks import (
 )
 
 __all__ = ["CompiledTask", "Engine", "registry_sweep_tasks"]
+
+# An event sink: called with each typed event as execution progresses.
+Emit = Callable[[object], object]
 
 
 @dataclass
@@ -99,6 +106,17 @@ class Engine:
         self._hits = 0
         self._misses = 0
         self._uncacheable = 0
+        # The job layer: created lazily on the first submit().  Execution is
+        # serialized — by the executor's single dispatcher AND the run lock,
+        # so blocking Engine.run calls and background jobs never race on the
+        # shared solver resources.
+        self._executor: JobExecutor | None = None
+        self._job_counter = 0
+        self._run_lock = threading.RLock()
+        # Guards submit-time state only (job ids, lazy executor creation);
+        # never held across a solve, so submitting stays non-blocking while
+        # a job runs under _run_lock.
+        self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Compilation
@@ -123,8 +141,17 @@ class Engine:
         self.resources.clear_contexts()
 
     def close(self) -> None:
-        """Release live solver resources (worker pools, warm-cache flush)."""
+        """Release live solver resources (worker pools, warm-cache flush),
+        cancelling any still-queued jobs first."""
+        with self._submit_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
         self.resources.close()
+
+    def coerce(self, backend: Backend | str | None) -> Backend:
+        """Resolve a backend argument against this engine's default."""
+        return coerce_backend(backend) if backend is not None else self.backend
 
     def _compile_cached(self, task: Task) -> tuple[CompiledTask, bool]:
         if not task.deterministic:
@@ -285,56 +312,168 @@ class Engine:
     # Execution
     # ------------------------------------------------------------------
     def run(self, task: Task, backend: Backend | str | None = None) -> Result:
-        """Decide one task and return the unified result."""
-        chosen = coerce_backend(backend) if backend is not None else self.backend
-        if isinstance(task, DistanceTask):
-            return self._run_distance(task, chosen)
-        start = time.perf_counter()
-        compiled, cached = self._compile_cached(task)
-        session = None
-        if getattr(chosen, "wants_session", False):
-            session = self.resources.session_for(task, compiled)
-        if getattr(chosen, "wants_resources", False):
-            check = chosen.check(compiled, session=session, resources=self.resources)
-        else:
-            check = chosen.check(compiled, session=session)
-        elapsed = time.perf_counter() - start
-        details = dict(compiled.details)
-        details.update(check.metadata)
-        if session is not None or getattr(chosen, "wants_resources", False):
-            details["resources"] = self.resources.stats()
-        return Result(
-            task=compiled.kind,
-            subject=compiled.subject,
-            verified=check.is_unsat,
-            counterexample=check.model if check.is_sat else None,
-            elapsed_seconds=elapsed,
-            compile_seconds=compiled.compile_seconds,
-            backend=chosen.name,
-            cached=cached,
-            num_variables=check.num_variables,
-            num_clauses=check.num_clauses,
-            conflicts=check.conflicts,
-            decisions=check.decisions,
-            propagations=check.propagations,
-            details=details,
-        )
+        """Decide one task, blocking, and return the unified result."""
+        return self._execute(task, self.coerce(backend))
 
-    def _run_distance(self, task: DistanceTask, backend: Backend) -> Result:
-        """Distance discovery: binary search on ONE shared solving session.
+    def submit(
+        self,
+        task: Task,
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        backend: Backend | str | None = None,
+    ) -> Job:
+        """Enqueue ``task`` and immediately return its :class:`Job` handle.
+
+        Jobs run on the engine's dispatcher thread, highest ``priority``
+        first (FIFO among equals); ``deadline`` bounds wall-clock seconds
+        from submission, enforced inside the solver hot path.  The handle
+        streams typed events (``job.events()``), blocks for the result
+        (``job.result()``) and cancels (``job.cancel()``) — a cancelled solve
+        stops within one control slice and the shared session stays
+        reusable.  ``Engine.run`` remains the blocking one-task wrapper.
+        """
+        with self._submit_lock:
+            self._job_counter += 1
+            job_id = f"job-{self._job_counter}"
+            if self._executor is None:
+                self._executor = JobExecutor(self)
+            executor = self._executor
+        job = Job(
+            job_id,
+            task,
+            priority=priority,
+            deadline=deadline,
+            backend=backend,
+        )
+        return executor.submit(job)
+
+    def release_task(self, task: Task) -> bool:
+        """Drop a (cancelled) task's guarded formula from the shared solver
+        resources; see :meth:`ResourceManager.retire_task`."""
+        return self.resources.retire_task(task)
+
+    @staticmethod
+    def _check_control(control: SolveControl | None) -> None:
+        """Between-step interruption point (probe boundaries, pre-solve)."""
+        if control is None:
+            return
+        reason = control.interrupted()
+        if reason is not None:
+            raise SolverInterrupted(reason)
+
+    def _execute(
+        self,
+        task: Task,
+        chosen: Backend,
+        control: SolveControl | None = None,
+        emit: Emit | None = None,
+    ) -> Result:
+        """The engine core behind both ``run`` and the job executor.
+
+        ``control``/``emit`` are optional instrumentation: with both None
+        this is exactly the historical blocking path, byte-for-byte.
+        """
+        with self._run_lock:
+            if isinstance(task, DistanceTask):
+                return self._run_distance(task, chosen, control=control, emit=emit)
+            start = time.perf_counter()
+            compiled, cached = self._compile_cached(task)
+            if emit is not None:
+                emit(TaskCompiled(
+                    task_kind=compiled.kind, subject=compiled.subject,
+                    cached=cached, compile_seconds=compiled.compile_seconds,
+                ))
+            session = None
+            if getattr(chosen, "wants_session", False):
+                session = self.resources.session_for(task, compiled)
+            kwargs = {}
+            if control is not None and getattr(chosen, "supports_control", False):
+                kwargs["control"] = control
+            else:
+                self._check_control(control)
+            if emit is not None:
+                emit(SubtaskStarted(index=0, description=f"solve:{compiled.kind}"))
+            if getattr(chosen, "wants_resources", False):
+                check = chosen.check(
+                    compiled, session=session, resources=self.resources, **kwargs
+                )
+            else:
+                check = chosen.check(compiled, session=session, **kwargs)
+            elapsed = time.perf_counter() - start
+            if emit is not None:
+                emit(SolverStats(
+                    conflicts=check.conflicts, decisions=check.decisions,
+                    propagations=check.propagations,
+                    num_variables=check.num_variables, num_clauses=check.num_clauses,
+                ))
+            details = dict(compiled.details)
+            details.update(check.metadata)
+            if session is not None or getattr(chosen, "wants_resources", False):
+                details["resources"] = self.resources.stats()
+            return Result(
+                task=compiled.kind,
+                subject=compiled.subject,
+                verified=check.is_unsat,
+                counterexample=check.model if check.is_sat else None,
+                elapsed_seconds=elapsed,
+                compile_seconds=compiled.compile_seconds,
+                backend=chosen.name,
+                cached=cached,
+                num_variables=check.num_variables,
+                num_clauses=check.num_clauses,
+                conflicts=check.conflicts,
+                decisions=check.decisions,
+                propagations=check.propagations,
+                details=details,
+            )
+
+    @staticmethod
+    def _distance_strategy(task: DistanceTask, code, limit: int) -> str:
+        """Choose the search policy for one distance discovery.
+
+        An explicit ``task.strategy`` wins.  Otherwise a probe-cost
+        heuristic decides: a probe's cost grows with the upper bound it
+        activates (a wider weight window admits more candidate errors and a
+        larger live counter), so when the search span is much wider than the
+        expected distance, opening with bisection's mid-span probe is the
+        most expensive query of the whole walk — galloping from below (1, 2,
+        4, ...) reaches the same bracket through exponentially spaced *cheap*
+        probes.  For tight spans plain bisection is already optimal.
+        """
+        requested = getattr(task, "strategy", None)
+        if requested in ("binary", "binary-search"):
+            return "binary-search"
+        if requested == "galloping":
+            return "galloping"
+        span = limit - 1
+        expected = code.distance or max(2, round(code.num_qubits ** 0.5))
+        return "galloping" if span >= 4 * expected else "binary-search"
+
+    def _run_distance(
+        self,
+        task: DistanceTask,
+        backend: Backend,
+        control: SolveControl | None = None,
+        emit: Emit | None = None,
+    ) -> Result:
+        """Distance discovery: adaptive search on ONE shared solving session.
 
         The trial-independent detection base (non-trivial, syndrome-free,
         logically acting error) is encoded exactly once — on the code's
         shared :class:`~repro.api.resources.CodeContext` for serial runs, or
         on a persistent worker pool from the :class:`PoolManager` for
         parallel runs.  Instead of walking the trial distance linearly, the
-        walk *binary-searches* the minimum undetectable-error weight: each
-        probe activates selector-guarded bounds ``lo <= weight <= mid`` (the
-        lower bound is sound because every weight below ``lo`` has already
-        been refuted), a SAT probe clamps the upper end to the witness's
-        actual weight, an UNSAT probe raises the lower end past ``mid``.
-        That issues O(log d) solver calls where the linear walk issued O(d),
+        walk brackets the minimum undetectable-error weight: each probe
+        activates selector-guarded bounds ``lo <= weight <= mid`` (the lower
+        bound is sound because every weight below ``lo`` has already been
+        refuted), a SAT probe clamps the upper end to the witness's actual
+        weight, an UNSAT probe raises the lower end past ``mid``.  That
+        issues O(log d) solver calls where the linear walk issued O(d),
         while learnt clauses flow between probes on the same live solver.
+        The probe schedule is adaptive (:meth:`_distance_strategy`): plain
+        bisection, or a galloping lower-bound start (1, 2, 4, ...) that
+        switches to bisection at the first satisfiable probe.
         """
         code = task.build()
         limit = task.max_trial or code.num_qubits + 1
@@ -342,7 +481,7 @@ class Engine:
             # A custom backend decides formulas its own way; honour the
             # Backend protocol by probing one monolithic DetectionTask per
             # trial through backend.check() instead of our session walk.
-            return self._run_distance_probes(task, backend, code, limit)
+            return self._run_distance_probes(task, backend, code, limit, control, emit)
         start = time.perf_counter()
         compile_start = time.perf_counter()
         error_model = ErrorModel("any")
@@ -400,6 +539,12 @@ class Engine:
                 return session.add_weight_lower_guard(f"w:ge:{bound}", weight, bound)
 
         compile_seconds = time.perf_counter() - compile_start
+        strategy = self._distance_strategy(task, code, limit)
+        if emit is not None:
+            emit(TaskCompiled(
+                task_kind=task.kind, subject=code.name,
+                cached=False, compile_seconds=compile_seconds,
+            ))
 
         trials: list[dict] = []
         distance = limit
@@ -407,26 +552,42 @@ class Engine:
         conflicts = decisions = propagations = 0
         last = None
         lo, hi = 1, limit - 1
+        galloping = strategy == "galloping"
+        gallop_bound = 1
         while lo <= hi:
-            mid = (lo + hi) // 2
+            self._check_control(control)
+            if galloping:
+                mid = min(gallop_bound, hi)
+                gallop_bound *= 2
+            else:
+                mid = (lo + hi) // 2
             selectors = list(base_selectors)
             if lo > 1:
                 selectors.append(lower(lo))
             selectors.append(upper(mid))
+            if emit is not None:
+                emit(SubtaskStarted(
+                    index=len(trials),
+                    description=f"probe {lo} <= weight <= {mid}",
+                ))
             trial_start = time.perf_counter()
-            last = session.check(select=tuple(selectors))
+            last = session.check(select=tuple(selectors), control=control)
             conflicts += last.conflicts
             decisions += last.decisions
             propagations += last.propagations
+            trial_elapsed = time.perf_counter() - trial_start
             trials.append(
                 {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
                  "verified": last.is_unsat,
-                 "elapsed_seconds": time.perf_counter() - trial_start,
+                 "elapsed_seconds": trial_elapsed,
                  "conflicts": last.conflicts, "decisions": last.decisions}
             )
+            found = None
             if last.is_sat:
                 # The witness pins the distance to its own weight; everything
-                # strictly below stays open for the next probe.
+                # strictly below stays open for the next probe.  A satisfiable
+                # probe also ends any galloping phase: the answer is bracketed
+                # and bisection finishes the narrowed window.
                 model = last.model or {}
                 if base_variables is not None:
                     model = {name: value for name, value in model.items()
@@ -435,15 +596,29 @@ class Engine:
                 distance = found
                 witness = model
                 hi = found - 1
+                galloping = False
             else:
                 lo = mid + 1
+            if emit is not None:
+                emit(DistanceProbe(
+                    bound=mid, window=[trials[-1]["window"][0], trials[-1]["window"][1]],
+                    sat=last.is_sat, witness_weight=found,
+                    conflicts=last.conflicts, decisions=last.decisions,
+                    elapsed_seconds=trial_elapsed,
+                ))
         elapsed = time.perf_counter() - start
         stats = session.stats()
+        if emit is not None:
+            emit(SolverStats(
+                conflicts=conflicts, decisions=decisions, propagations=propagations,
+                num_variables=last.num_variables if last is not None else 0,
+                num_clauses=last.num_clauses if last is not None else 0,
+            ))
         details = {
             "distance": distance,
             "trials": trials,
             "base_encodings": 1,
-            "strategy": "binary-search",
+            "strategy": strategy,
             "session": stats,
         }
         if used_resources:
@@ -470,22 +645,42 @@ class Engine:
         )
 
     def _run_distance_probes(
-        self, task: DistanceTask, backend: Backend, code, limit: int
+        self,
+        task: DistanceTask,
+        backend: Backend,
+        code,
+        limit: int,
+        control: SolveControl | None = None,
+        emit: Emit | None = None,
     ) -> Result:
         """Legacy trial walk for third-party backends: one monolithic
-        detection probe per trial, each decided by ``backend.check``."""
+        detection probe per trial, each decided by ``backend.check``.
+
+        A job's control is honoured at probe boundaries (and inside the
+        solve when the backend declares ``supports_control``)."""
         start = time.perf_counter()
         trials: list[dict] = []
         distance = limit
         last: Result | None = None
         for trial in range(2, limit + 1):
+            self._check_control(control)
+            if emit is not None:
+                emit(SubtaskStarted(
+                    index=len(trials), description=f"detection probe, trial {trial}"
+                ))
             probe = DetectionTask(code=task.code, trial_distance=trial)
-            last = self.run(probe, backend=backend)
+            last = self._execute(probe, backend, control=control)
             trials.append(
                 {"trial_distance": trial, "verified": last.verified,
                  "elapsed_seconds": last.elapsed_seconds, "conflicts": last.conflicts,
                  "decisions": last.decisions}
             )
+            if emit is not None:
+                emit(DistanceProbe(
+                    bound=trial - 1, window=[1, limit - 1], sat=not last.verified,
+                    witness_weight=None, conflicts=last.conflicts,
+                    decisions=last.decisions, elapsed_seconds=last.elapsed_seconds,
+                ))
             if not last.verified:
                 distance = trial - 1
                 break

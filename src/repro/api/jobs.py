@@ -1,0 +1,393 @@
+"""Job-oriented execution: submit → stream/await → result | cancel.
+
+The blocking ``Engine.run(task)`` answer-or-nothing surface becomes a *job*
+lifecycle:
+
+* :meth:`Engine.submit` enqueues a task and immediately returns a
+  :class:`Job` handle;
+* the engine-owned :class:`JobExecutor` drains the queue on a dispatcher
+  thread, highest :attr:`Job.priority` first (FIFO among equals), running one
+  job at a time — solver resources (shared per-code sessions, persistent
+  pools) are single-threaded by design, so serializing execution is what
+  makes many concurrent *handles* safe;
+* every observable step is emitted as a typed event
+  (:mod:`repro.api.events`): replayable, so a subscriber attached after the
+  fact still sees the whole stream, ending in exactly one terminal event;
+* :meth:`Job.cancel` and per-job deadlines propagate into the solver hot
+  path as a :class:`~repro.smt.solver.SolveControl` — a running solve call
+  stops within one budget slice, the session backtracks to level 0 and stays
+  reusable, and the engine retires the cancelled task's guarded formula from
+  the shared :class:`~repro.api.resources.CodeContext` instead of leaking it.
+
+``Job.result()`` blocks (``Job.events()`` streams); the asyncio façade lives
+in :mod:`repro.api.aio`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+import time
+from enum import Enum
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.smt.solver import SolveControl, SolverInterrupted
+from repro.api.events import (
+    Event,
+    JobCancelled,
+    JobCompleted,
+    JobFailed,
+    JobSubmitted,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.engine import Engine
+    from repro.api.result import Result
+
+__all__ = ["Job", "JobCancelledError", "JobExecutor", "JobStatus"]
+
+
+class JobStatus(str, Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobStatus.SUCCEEDED, JobStatus.CANCELLED, JobStatus.FAILED)
+
+
+class JobCancelledError(RuntimeError):
+    """Raised by :meth:`Job.result` when the job was cancelled.
+
+    ``reason`` mirrors the terminal :class:`~repro.api.events.JobCancelled`
+    event: ``"cancelled"`` (explicit), ``"deadline"``, ``"budget"`` or
+    ``"shutdown"``.
+    """
+
+    def __init__(self, job_id: str, reason: str):
+        super().__init__(f"{job_id} cancelled ({reason})")
+        self.job_id = job_id
+        self.reason = reason
+
+
+class Job:
+    """A handle on one submitted task: await, stream, or cancel it.
+
+    Thread-safe: the executor mutates status and emits events from its
+    dispatcher thread while any number of caller threads (or event loops,
+    through :mod:`repro.api.aio`) observe.  Event subscribers get the full
+    replay first, then live events, and the stream always ends with exactly
+    one terminal event.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        task,
+        *,
+        priority: int = 0,
+        deadline: float | None = None,
+        backend=None,
+    ):
+        self.id = job_id
+        self.task = task
+        self.priority = priority
+        self.deadline = deadline
+        self.backend = backend
+        self.status = JobStatus.PENDING
+        self.submitted_at = time.monotonic()
+        self._deadline_at = (
+            self.submitted_at + deadline if deadline is not None else None
+        )
+        self._lock = threading.RLock()
+        self._events: list[Event] = []
+        self._subscribers: list[Callable[[Event], None]] = []
+        self._done_callbacks: list[Callable[["Job"], None]] = []
+        self._done = threading.Event()
+        self._cancel = threading.Event()
+        self._result: "Result | None" = None
+        self._error: BaseException | None = None
+        self._cancel_reason = "cancelled"
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Event plumbing
+    # ------------------------------------------------------------------
+    def emit(self, event: Event) -> Event:
+        """Stamp ``event`` with this job's id and next sequence number,
+        record it, and fan it out to subscribers (in subscription order).
+
+        A subscriber that raises is dropped rather than allowed to kill the
+        dispatcher thread (e.g. an asyncio bridge whose event loop has
+        already closed) — the stream itself, and every other subscriber,
+        must survive a broken consumer.
+        """
+        with self._lock:
+            event.job_id = self.id
+            event.seq = self._seq
+            self._seq += 1
+            self._events.append(event)
+            for subscriber in list(self._subscribers):
+                try:
+                    subscriber(event)
+                except Exception:
+                    try:
+                        self._subscribers.remove(subscriber)
+                    except ValueError:
+                        pass
+        return event
+
+    def subscribe(self, callback: Callable[[Event], None]) -> None:
+        """Replay every past event into ``callback``, then deliver live ones.
+
+        Callbacks run on the emitting thread (the executor's dispatcher) and
+        must be cheap — push to a queue, set a flag.  Subscribing to a
+        finished job just replays; nothing is retained.  A callback that
+        raises (during replay or live delivery) is dropped — same contract
+        as :meth:`emit` — so a broken consumer can never wedge the stream.
+        """
+        with self._lock:
+            for event in self._events:
+                try:
+                    callback(event)
+                except Exception:
+                    return
+            if not self.status.terminal:
+                self._subscribers.append(callback)
+
+    def events(self, timeout: float | None = None) -> Iterator[Event]:
+        """Iterate this job's event stream, blocking until the terminal event.
+
+        ``timeout`` bounds the wait for each *next* event (raises
+        ``queue.Empty`` on expiry); the default blocks indefinitely, which is
+        safe because every job path ends in a terminal event.
+        """
+        feed: "queue.SimpleQueue[Event]" = queue.SimpleQueue()
+        self.subscribe(feed.put)
+        while True:
+            event = feed.get(timeout=timeout)
+            yield event
+            if event.TERMINAL:
+                return
+
+    def add_done_callback(self, callback: Callable[["Job"], None]) -> None:
+        """Run ``callback(job)`` once the job reaches a terminal state (or
+        immediately when it already has)."""
+        run_now = False
+        with self._lock:
+            if self.status.terminal:
+                run_now = True
+            else:
+                self._done_callbacks.append(callback)
+        if run_now:
+            callback(self)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def cancel(self) -> "Job":
+        """Request cancellation; a running solve stops within one control
+        slice, a queued job never starts.  Idempotent; no-op once terminal."""
+        self._cancel.set()
+        return self
+
+    @property
+    def cancel_requested(self) -> bool:
+        return self._cancel.is_set()
+
+    @property
+    def cancel_reason(self) -> str:
+        """Why the job was cancelled (meaningful once status is CANCELLED)."""
+        return self._cancel_reason
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until terminal; returns False when the timeout expires."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> "Result":
+        """The job's :class:`~repro.api.result.Result`.
+
+        Blocks until the job finishes; raises :class:`TimeoutError` on
+        expiry, :class:`JobCancelledError` for cancelled jobs, and re-raises
+        the original exception for failed ones.
+        """
+        if not self._done.wait(timeout):
+            raise TimeoutError(f"{self.id} still {self.status.value} after {timeout}s")
+        if self.status is JobStatus.CANCELLED:
+            raise JobCancelledError(self.id, self._cancel_reason)
+        if self.status is JobStatus.FAILED:
+            raise self._error
+        return self._result
+
+    # Executor-facing transitions -------------------------------------
+    def _mark_running(self) -> None:
+        with self._lock:
+            self.status = JobStatus.RUNNING
+
+    def _finish(self, status: JobStatus, terminal_event: Event) -> None:
+        with self._lock:
+            if self.status.terminal:
+                return
+            self.status = status
+            self.emit(terminal_event)
+            self._subscribers.clear()
+            callbacks = list(self._done_callbacks)
+            self._done_callbacks.clear()
+        self._done.set()
+        for callback in callbacks:
+            try:
+                callback(self)
+            except Exception:
+                # A broken consumer must not unwind the dispatcher; the
+                # terminal state is already published via _done.
+                pass
+
+    def _finish_completed(self, result: "Result") -> None:
+        self._result = result
+        self._finish(
+            JobStatus.SUCCEEDED,
+            JobCompleted(verified=result.verified, elapsed_seconds=result.elapsed_seconds),
+        )
+
+    def _finish_cancelled(self, reason: str) -> None:
+        self._cancel_reason = reason
+        self._finish(JobStatus.CANCELLED, JobCancelled(reason=reason))
+
+    def _finish_failed(self, error: BaseException) -> None:
+        self._error = error
+        self._finish(JobStatus.FAILED, JobFailed(error=f"{type(error).__name__}: {error}"))
+
+    def control(self) -> SolveControl:
+        """The solve control carrying this job's deadline and cancel flag."""
+        return SolveControl(deadline=self._deadline_at, cancelled=self._cancel.is_set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job({self.id!r}, {self.task!r}, status={self.status.value})"
+
+
+class JobExecutor:
+    """Priority-ordered, single-dispatcher job runner owned by an engine.
+
+    One daemon thread pops the highest-priority job and drives it through
+    ``engine._execute`` with the job's :class:`SolveControl` and event
+    emitter.  Serial execution is a feature: the engine's shared sessions
+    and pools are not thread-safe, and multiplexing happens at the handle
+    level (many pending jobs, streamed concurrently) rather than by racing
+    solvers.
+    """
+
+    def __init__(self, engine: "Engine", autostart: bool = True):
+        self.engine = engine
+        self.autostart = autostart
+        self._heap: list[tuple[int, int, Job]] = []
+        self._counter = itertools.count()
+        self._condition = threading.Condition()
+        self._thread: threading.Thread | None = None
+        self._shutdown = False
+        self._current: Job | None = None
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        with self._condition:
+            # The shutdown check precedes the JobSubmitted emission: a
+            # submit that loses the race with shutdown() must raise without
+            # having started an event stream that can never reach its
+            # terminal event.
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            job.emit(
+                JobSubmitted(
+                    task_kind=getattr(type(job.task), "kind", type(job.task).__name__),
+                    subject=getattr(
+                        job.task, "code_name", getattr(job.task, "subject", "")
+                    ),
+                    priority=job.priority,
+                    deadline=job.deadline,
+                )
+            )
+            heapq.heappush(self._heap, (-job.priority, next(self._counter), job))
+            self._condition.notify()
+        if self.autostart:
+            self.start()
+        return job
+
+    def start(self) -> None:
+        with self._condition:
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-job-executor", daemon=True
+                )
+                self._thread.start()
+
+    def pending(self) -> int:
+        with self._condition:
+            return len(self._heap)
+
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._condition:
+                while not self._heap and not self._shutdown:
+                    self._condition.wait()
+                if self._shutdown and not self._heap:
+                    return
+                _, _, job = heapq.heappop(self._heap)
+                self._current = job
+            try:
+                self._run_job(job)
+            except Exception as error:  # noqa: BLE001 - dispatcher must survive
+                # _run_job already maps execution errors to JobFailed; this
+                # guards the transition plumbing itself so one broken job
+                # can never kill the dispatcher and strand the queue.
+                job._finish_failed(error)
+            finally:
+                self._current = None
+
+    def _run_job(self, job: Job) -> None:
+        control = job.control()
+        reason = control.interrupted()
+        if reason is not None:
+            # Cancelled (or expired) while still queued: never run it.
+            job._finish_cancelled(reason)
+            return
+        job._mark_running()
+        try:
+            result = self.engine._execute(
+                job.task,
+                self.engine.coerce(job.backend),
+                control=control,
+                emit=job.emit,
+            )
+        except SolverInterrupted as interrupt:
+            # Release the cancelled task's guarded formula so the shared
+            # context does not accumulate clauses for a job that will never
+            # be re-selected; the session itself stays live and reusable.
+            self.engine.release_task(job.task)
+            job._finish_cancelled(interrupt.reason)
+        except Exception as error:  # noqa: BLE001 - job boundary
+            job._finish_failed(error)
+        else:
+            job._finish_completed(result)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs, cancel everything queued, optionally join.
+
+        The in-flight job (if any) runs to completion — interrupting it is
+        the caller's business via :meth:`Job.cancel` before shutting down.
+        """
+        with self._condition:
+            self._shutdown = True
+            drained = [job for _, _, job in self._heap]
+            self._heap.clear()
+            self._condition.notify_all()
+        for job in drained:
+            job._finish_cancelled("shutdown")
+        if wait and self._thread is not None and self._thread.is_alive():
+            if threading.current_thread() is not self._thread:
+                self._thread.join()

@@ -75,10 +75,11 @@ class ContextView:
         self,
         assumptions: dict[str, bool] | None = None,
         select: tuple[str, ...] | list[str] = (),
+        control=None,
     ) -> SMTCheck:
         self.context.maybe_warm_load()
         check = self.context.session.check(
-            assumptions, select=self.selectors + tuple(select)
+            assumptions, select=self.selectors + tuple(select), control=control
         )
         if check.model is not None and self.variables is not None:
             check.model = {
@@ -111,13 +112,21 @@ class CodeContext:
     share every learnt clause the session has accumulated.
     """
 
-    def __init__(self, key, warm_cache: "SessionCache | None" = None):
+    def __init__(
+        self,
+        key,
+        warm_cache: "SessionCache | None" = None,
+        max_task_guards: int = 64,
+    ):
         self.key = key
         self.session = SolveSession()
         self.warm_cache = warm_cache
+        self.max_task_guards = max_task_guards
         self.hits = 0
         self.misses = 0
-        self._task_guards: dict[object, tuple[str, frozenset[str]]] = {}
+        self.retired = 0
+        self._guard_counter = 0
+        self._task_guards: OrderedDict[object, tuple[str, frozenset[str]]] = OrderedDict()
         self._detection_bases: dict[str, tuple[object, str, frozenset[str]]] = {}
         self._weight_guards: set[str] = set()
         self._warm_attempted = False
@@ -131,14 +140,41 @@ class CodeContext:
         entry = self._task_guards.get(task)
         if entry is None:
             self.misses += 1
-            guard = f"task:{len(self._task_guards)}"
+            # A monotonic counter, not len(): retired guards free their slot
+            # in the dict but their selector names must never be reused (a
+            # retired selector is root-false forever).
+            guard = f"task:{self._guard_counter}"
+            self._guard_counter += 1
             self.session.add_guard(guard, formula)
             entry = (guard, free_variables(formula))
             self._task_guards[task] = entry
+            while len(self._task_guards) > self.max_task_guards:
+                _, (stale_guard, _) = self._task_guards.popitem(last=False)
+                self.session.retire_guard(stale_guard)
+                self.retired += 1
         else:
             self.hits += 1
+            self._task_guards.move_to_end(task)
         guard, variables = entry
         return ContextView(self, (guard,), variables=variables)
+
+    def retire_task(self, task) -> bool:
+        """Release ``task``'s guarded formula from the shared session.
+
+        Called for cancelled (and LRU-evicted) tasks: the task's selector is
+        negated at the root and the solver erases the now-satisfied clauses,
+        so a long-lived context does not accumulate the encodings of tasks
+        that will never be re-selected.  Re-running the task later simply
+        re-asserts its formula under a fresh selector (a context miss).
+        Returns whether the task actually held a guard.
+        """
+        entry = self._task_guards.pop(task, None)
+        if entry is None:
+            return False
+        guard, _ = entry
+        self.session.retire_guard(guard)
+        self.retired += 1
+        return True
 
     def detection_base(self, model_kind: str, factory) -> tuple[object, str, frozenset[str]]:
         """The guarded trial-independent detection base for ``model_kind``.
@@ -270,8 +306,9 @@ class PoolManager:
     leak semaphores or worker processes.
     """
 
-    def __init__(self, max_pools: int = 4):
+    def __init__(self, max_pools: int = 4, warm_cache: "SessionCache | None" = None):
         self.max_pools = max_pools
+        self.warm_cache = warm_cache
         self.hits = 0
         self.misses = 0
         self._sessions: OrderedDict[tuple, IncrementalSplitSession] = OrderedDict()
@@ -303,15 +340,24 @@ class PoolManager:
             threshold=threshold,
             num_workers=num_workers,
             max_subtasks=max_subtasks,
+            warm_dir=self.warm_cache.directory if self.warm_cache is not None else None,
         )
         self._sessions[key] = session
         while len(self._sessions) > self.max_pools:
             _, evicted = self._sessions.popitem(last=False)
+            evicted.save_warm()
             evicted.close()
         return session
 
     def __len__(self) -> int:
         return len(self._sessions)
+
+    def warm_absorbed(self) -> int:
+        return sum(session.warm_absorbed for session in self._sessions.values())
+
+    def save_warm(self) -> int:
+        """Serialize every live split session's learnt clauses; returns count."""
+        return sum(session.save_warm() for session in self._sessions.values())
 
     def close_all(self) -> None:
         _close_split_sessions(self._sessions)
@@ -380,9 +426,34 @@ class ResourceManager:
             self._task_sessions.move_to_end(task)
         return session
 
+    def retire_task(self, task) -> bool:
+        """Release a (cancelled) task's solver state without touching the
+        shared infrastructure other tasks rely on.
+
+        Code tasks drop their guarded formula from the per-code context
+        (root-negated selector + clause erasure); code-less tasks drop their
+        dedicated session.  Detection bases and weight guards are left in
+        place — they are complete, sound, and exactly what makes the next
+        run on the same context cheap.
+        """
+        code_key = getattr(task, "code", None)
+        if code_key is None:
+            try:
+                return self._task_sessions.pop(task, None) is not None
+            except TypeError:
+                return False
+        try:
+            context = self._contexts.get(code_key)
+        except TypeError:
+            return False
+        if context is None:
+            return False
+        return context.retire_task(task)
+
     # ------------------------------------------------------------------
     def enable_warm_cache(self, directory: str) -> SessionCache:
         self.warm_cache = SessionCache(directory)
+        self.pools.warm_cache = self.warm_cache
         for context in self._contexts.values():
             if context.warm_cache is None:
                 context.warm_cache = self.warm_cache
@@ -391,6 +462,8 @@ class ResourceManager:
     def save_warm(self) -> None:
         for context in self._contexts.values():
             context.save_warm()
+        if self.warm_cache is not None:
+            self.pools.save_warm()
 
     # ------------------------------------------------------------------
     def num_contexts(self) -> int:
@@ -413,13 +486,17 @@ class ResourceManager:
         context_hits = 0
         context_misses = 0
         warm_absorbed = 0
+        retired_guards = 0
+        erased_clauses = 0
         for context in self._contexts.values():
             session_stats = context.session.stats()
             learnt_kept += session_stats.get("learnt_kept", 0)
             learnt_deleted += session_stats.get("learnt_deleted", 0)
+            erased_clauses += session_stats.get("erased_clauses", 0)
             context_hits += context.hits
             context_misses += context.misses
             warm_absorbed += context.warm_absorbed
+            retired_guards += context.retired
         stats = {
             "contexts": len(self._contexts),
             "context_hits": context_hits,
@@ -430,8 +507,14 @@ class ResourceManager:
             "learnt_kept": learnt_kept,
             "learnt_deleted": learnt_deleted,
         }
+        # Guard-GC counters appear only once retirement has happened, so the
+        # result schema of guard-free runs (e.g. a plain registry sweep) is
+        # unchanged from earlier releases.
+        if retired_guards:
+            stats["retired_guards"] = retired_guards
+            stats["erased_clauses"] = erased_clauses
         if self.warm_cache is not None:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses
-            stats["warm_absorbed"] = warm_absorbed
+            stats["warm_absorbed"] = warm_absorbed + self.pools.warm_absorbed()
         return stats

@@ -129,12 +129,27 @@ class DistanceTask(CodeTask):
     minimum-weight undetectable error appears.
 
     A meta-task: the engine runs a sequence of :class:`DetectionTask` queries
-    rather than compiling a single formula.
+    rather than compiling a single formula.  ``strategy`` selects the probe
+    schedule: ``"binary"`` (plain bisection of the weight window),
+    ``"galloping"`` (exponential 1, 2, 4, ... lower-bound start, then
+    bisection), or ``None``/``"auto"`` to let the engine's probe-cost
+    heuristic choose per code.
     """
 
     kind: ClassVar[str] = "find-distance"
 
     max_trial: int | None = None
+    strategy: str | None = None
+
+    _STRATEGIES: ClassVar[tuple] = (None, "auto", "binary", "binary-search", "galloping")
+
+    def __post_init__(self) -> None:
+        CodeTask.__post_init__(self)
+        if self.strategy not in self._STRATEGIES:
+            raise ValueError(
+                f"unknown distance strategy {self.strategy!r}; "
+                f"expected one of {[s for s in self._STRATEGIES if s]}"
+            )
 
 
 @dataclass(frozen=True)

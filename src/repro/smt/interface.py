@@ -23,9 +23,9 @@ from dataclasses import dataclass, field
 
 from repro.classical.expr import BoolExpr, IntConst, IntExpr, Not
 from repro.smt.encoder import FormulaEncoder
-from repro.smt.solver import SATSolver
+from repro.smt.solver import SATSolver, SolveControl
 
-__all__ = ["SMTCheck", "SolveSession", "check_formula", "check_valid"]
+__all__ = ["SMTCheck", "SolveControl", "SolveSession", "check_formula", "check_valid"]
 
 
 @dataclass
@@ -123,6 +123,24 @@ class SolveSession:
         self.encoder.assert_ge_if(name, weight, IntConst(bound))
         return name
 
+    def retire_guard(self, name: str) -> int:
+        """Permanently deactivate selector ``name`` and erase its clauses.
+
+        The selector's negation is asserted at the root, so every constraint
+        guarded by it is permanently satisfied; the live solver then erases
+        those clauses (and strips other root-falsified literals), which is
+        what keeps long-lived shared sessions from accumulating stale guards.
+        A retired selector must never be selected again — callers allocate a
+        fresh name if the same constraint is re-asserted later.  Returns the
+        number of clauses the solver erased (0 when no solver is live yet).
+        """
+        literal = self.encoder.selector(name)
+        self.encoder.cnf.add_clause([-literal])
+        if self._solver is None:
+            return 0
+        self._sync_solver()
+        return self._solver.erase_satisfied()
+
     # ------------------------------------------------------------------
     # Solving
     # ------------------------------------------------------------------
@@ -145,8 +163,15 @@ class SolveSession:
         self,
         assumptions: dict[str, bool] | None = None,
         select: tuple[str, ...] | list[str] = (),
+        control: SolveControl | None = None,
     ) -> SMTCheck:
-        """Decide satisfiability under the given assumptions and selectors."""
+        """Decide satisfiability under the given assumptions and selectors.
+
+        ``control`` bounds the underlying solve call (deadline / cancellation
+        / conflict budget); an interrupted call raises
+        :class:`~repro.smt.solver.SolverInterrupted` and leaves the session
+        fully reusable.
+        """
         start = time.perf_counter()
         literals = []
         for name, value in (assumptions or {}).items():
@@ -155,7 +180,7 @@ class SolveSession:
         for name in select:
             literals.append(self.encoder.selector(name))
         solver = self._sync_solver()
-        result = solver.solve(assumptions=literals)
+        result = solver.solve(assumptions=literals, control=control)
         elapsed = time.perf_counter() - start
         self.num_checks += 1
         self.elapsed_seconds += elapsed
@@ -213,7 +238,7 @@ class SolveSession:
     def stats(self) -> dict:
         """Cumulative statistics over every check run through this session."""
         solver = self._solver
-        return {
+        stats = {
             "checks": self.num_checks,
             "conflicts": solver.conflicts if solver else 0,
             "decisions": solver.decisions if solver else 0,
@@ -224,6 +249,11 @@ class SolveSession:
             "minimized_literals": solver.minimized_literals if solver else 0,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        # Only surfaced once guard GC has actually erased something, so
+        # sessions that never retire a guard keep their historical schema.
+        if solver is not None and solver.erased_clauses:
+            stats["erased_clauses"] = solver.erased_clauses
+        return stats
 
 
 def check_formula(

@@ -25,12 +25,14 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import threading
 import time
 import weakref
 from dataclasses import dataclass, field
 
 from repro.classical.expr import BoolExpr, IntExpr
 from repro.smt.interface import SMTCheck, SolveSession
+from repro.smt.solver import SolveControl, SolverInterrupted
 
 __all__ = [
     "SplitTask",
@@ -95,6 +97,7 @@ class IncrementalSplitSession:
         num_workers: int = 1,
         max_subtasks: int = 1024,
         session: SolveSession | None = None,
+        warm_dir: str | None = None,
     ):
         self.formula = formula
         self.num_workers = num_workers
@@ -106,9 +109,24 @@ class IncrementalSplitSession:
         self._guards: list[tuple[str, str, object, object]] = []
         self._guard_names: set[str] = set()
         self._pool = None
+        self._cancel_event = None
+        # Warm cache: pool workers absorb serialized learnt clauses in their
+        # init payload; the sequential path warm-starts its own session the
+        # same way the per-code contexts do.
+        self.warm_dir = warm_dir
+        self.warm_absorbed = 0
         self._local: SolveSession | None = None
+        self._local_base_vars = 0
+        self._local_fingerprint = ""
         if num_workers <= 1 or len(self.assumption_sets) <= 1:
+            owns_local = session is None
             self._local = session if session is not None else SolveSession(formula)
+            if warm_dir is not None and owns_local:
+                self._local_base_vars = self._local.encoder.cnf.num_vars
+                self._local_fingerprint = self._local.fingerprint()
+                learnt = _load_warm(warm_dir, self._local_fingerprint)
+                if learnt:
+                    self.warm_absorbed = self._local.absorb_learnt(learnt)
         # Cumulative statistics aggregated across every subtask and worker.
         self.total_conflicts = 0
         self.total_decisions = 0
@@ -150,24 +168,41 @@ class IncrementalSplitSession:
     # ------------------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
+            if self._cancel_event is None:
+                self._cancel_event = multiprocessing.Event()
             self._pool = multiprocessing.Pool(
                 processes=self.num_workers,
                 initializer=_worker_init,
-                initargs=(self.formula,),
+                initargs=(self.formula, self.warm_dir, self._cancel_event),
             )
             _LIVE_POOLS.add(self._pool)
         return self._pool
 
-    def check(self, select: tuple[str, ...] | list[str] = ()) -> SMTCheck:
-        """Decide the (guard-selected) formula across all enumeration subtasks."""
+    def check(
+        self,
+        select: tuple[str, ...] | list[str] = (),
+        control: SolveControl | None = None,
+    ) -> SMTCheck:
+        """Decide the (guard-selected) formula across all enumeration subtasks.
+
+        ``control`` bounds the whole check: on the sequential path it is
+        handed to every subtask solve; on the pool path the deadline ships
+        inside the worker payloads and cancellation is broadcast through a
+        shared event the workers poll mid-solve, so a cancel lands within one
+        solve-budget slice on every worker.  An interrupted check raises
+        :class:`~repro.smt.solver.SolverInterrupted`; the pool and its live
+        worker sessions survive and serve the next check.
+        """
         start = time.perf_counter()
         self.num_checks += 1
-        if self._local is not None:
-            result = self._check_sequential(select)
-        else:
-            result = self._check_pool(select)
+        try:
+            if self._local is not None:
+                result = self._check_sequential(select, control)
+            else:
+                result = self._check_pool(select, control)
+        finally:
+            self.elapsed_seconds += time.perf_counter() - start
         result.elapsed_seconds = time.perf_counter() - start
-        self.elapsed_seconds += result.elapsed_seconds
         result.metadata["session"] = self.stats()
         return result
 
@@ -195,12 +230,12 @@ class IncrementalSplitSession:
         check.metadata["num_workers"] = self.num_workers
         return check
 
-    def _check_sequential(self, select) -> SMTCheck:
+    def _check_sequential(self, select, control=None) -> SMTCheck:
         session = self._local
         conflicts = decisions = propagations = 0
         last: SMTCheck | None = None
         for assumptions in self.assumption_sets:
-            last = session.check(assumptions, select=select)
+            last = session.check(assumptions, select=select, control=control)
             conflicts += last.conflicts
             decisions += last.decisions
             propagations += last.propagations
@@ -211,34 +246,87 @@ class IncrementalSplitSession:
             result, last.num_variables, last.num_clauses, conflicts, decisions, propagations
         )
 
-    def _check_pool(self, select) -> SMTCheck:
+    def _check_pool(self, select, control=None) -> SMTCheck:
         pool = self._ensure_pool()
+        self._cancel_event.clear()
         # Chunk the subtasks so the guard specs (which embed whole weight
         # expressions) are pickled once per chunk, not once per subtask; a
         # worker stops inside its chunk at the first counterexample.
         guards = tuple(self._guards)
+        # The deadline and conflict budget ship inside the payloads so each
+        # worker enforces them on its own live solver (the budget is
+        # per-solve-call, exactly as on the serial path).
+        deadline = control.deadline if control is not None else None
+        budget = control.conflict_budget if control is not None else None
         chunk_count = max(1, min(len(self.assumption_sets), self.num_workers * 4))
         payloads = [
-            (self.assumption_sets[index::chunk_count], tuple(select), guards)
+            (self.assumption_sets[index::chunk_count], tuple(select), guards,
+             deadline, budget)
             for index in range(chunk_count)
         ]
+        # The parent blocks on worker results, so a cancellation raised in
+        # another thread is relayed to the workers by a watcher that flips
+        # the shared event; the workers notice within one control slice.
+        watcher_done = threading.Event()
+        watcher = None
+        if control is not None and control.cancelled is not None:
+            def _watch() -> None:
+                while not watcher_done.wait(0.02):
+                    if control.interrupted():
+                        self._cancel_event.set()
+                        return
+
+            watcher = threading.Thread(target=_watch, daemon=True)
+            watcher.start()
         num_variables = num_clauses = 0
         conflicts = decisions = propagations = 0
         sat_model = None
-        for status, model, stats in pool.imap_unordered(_solve_chunk_in_worker, payloads):
-            conflicts += stats["conflicts"]
-            decisions += stats["decisions"]
-            propagations += stats["propagations"]
-            num_variables = max(num_variables, stats["num_variables"])
-            num_clauses = max(num_clauses, stats["num_clauses"])
-            if status == "sat":
-                sat_model = model
-                # Cancel outstanding subtasks; the worker sessions die with
-                # the pool, so drop it and let a later check start fresh.
-                pool.terminate()
-                pool.join()
-                self._pool = None
-                break
+        interrupted: str | None = None
+        try:
+            for status, model, stats in pool.imap_unordered(_solve_chunk_in_worker, payloads):
+                conflicts += stats["conflicts"]
+                decisions += stats["decisions"]
+                propagations += stats["propagations"]
+                num_variables = max(num_variables, stats["num_variables"])
+                num_clauses = max(num_clauses, stats["num_clauses"])
+                self.warm_absorbed += stats.get("warm_absorbed", 0)
+                if status == "interrupted":
+                    interrupted = model if isinstance(model, str) else "cancelled"
+                    continue
+                if status == "sat":
+                    sat_model = model
+                    # Cancel outstanding subtasks; the worker sessions die with
+                    # the pool, so drop it and let a later check start fresh.
+                    pool.terminate()
+                    pool.join()
+                    self._pool = None
+                    break
+        finally:
+            watcher_done.set()
+            if watcher is not None:
+                watcher.join()
+        if sat_model is None and interrupted is not None:
+            # Some worker genuinely abandoned work, so the unsat tally is
+            # incomplete and must not be reported as a verdict.  (When every
+            # subtask completed, the answer stands even if the control fires
+            # a moment later — completed work is never discarded.)  Prefer
+            # the parent control's own verdict for the reason: a deadline
+            # expiry is relayed to the workers through the shared cancel
+            # event, so the worker-reported reason says "cancelled" even
+            # when the true cause was the deadline.
+            reason = control.interrupted() if control is not None else None
+            if reason is None:
+                reason = interrupted
+            if reason is not None:
+                # Outstanding chunks have drained (workers return promptly
+                # once the event is set), so the pool and its live sessions
+                # stay reusable for the next check.
+                self._cancel_event.clear()
+                self._finish(
+                    SMTCheck(status="unsat"), num_variables, num_clauses,
+                    conflicts, decisions, propagations,
+                )
+                raise SolverInterrupted(reason)
         result = SMTCheck(status="sat" if sat_model is not None else "unsat", model=sat_model)
         return self._finish(
             result, num_variables, num_clauses, conflicts, decisions, propagations
@@ -264,7 +352,39 @@ class IncrementalSplitSession:
             for key in ("learnt_kept", "learnt_deleted", "reductions", "minimized_literals"):
                 if key in local:
                     stats[key] = local[key]
+        if self.warm_absorbed:
+            stats["warm_absorbed"] = self.warm_absorbed
         return stats
+
+    def save_warm(self) -> int:
+        """Serialize learnt clauses into ``warm_dir``; returns clauses stored.
+
+        On the pool path the save tasks fan out across the pool and each
+        worker that picks one up merges its base-encoding learnt clauses
+        into the shared cache entry (all workers share one CNF fingerprint,
+        so the entries union safely).  Pool scheduling gives no per-worker
+        affinity, so this is best-effort: a busy worker's clauses may be
+        skipped this round — acceptable for a cache that only ever
+        accelerates.  The sequential path stores from the local session.  A
+        no-op without a warm directory, and after a sat-terminated pool (the
+        worker sessions died with it).
+        """
+        if self.warm_dir is None:
+            return 0
+        if self._local is not None and isinstance(self._local, SolveSession):
+            if not self._local_base_vars:
+                return 0
+            learnt = self._local.learnt_clauses(max_var=self._local_base_vars)
+            _store_warm(self.warm_dir, self._local_fingerprint, learnt)
+            return len(learnt)
+        if self._pool is None:
+            return 0
+        # Over-subscribe the save tasks to raise coverage, then count each
+        # responding worker once (a worker may execute several tasks).
+        stored = self._pool.map(
+            _save_warm_in_worker, range(self.num_workers * 2), chunksize=1
+        )
+        return sum(dict(stored).values())
 
     def close(self) -> None:
         if self._pool is not None:
@@ -299,7 +419,7 @@ class ParallelChecker:
     max_subtasks: int = 1024
     session: SolveSession | None = None
 
-    def run(self) -> SMTCheck:
+    def run(self, control: SolveControl | None = None) -> SMTCheck:
         start = time.perf_counter()
         split = IncrementalSplitSession(
             self.formula,
@@ -311,7 +431,7 @@ class ParallelChecker:
             session=self.session,
         )
         try:
-            result = split.check()
+            result = split.check(control=control)
         finally:
             split.close()
         result.elapsed_seconds = time.perf_counter() - start
@@ -328,27 +448,118 @@ class ParallelChecker:
         return [SplitTask(assumptions, index) for index, assumptions in enumerate(assumption_sets)]
 
 
+# ----------------------------------------------------------------------
+# Warm-cache files: the same JSON format as repro.api.resources.SessionCache
+# (fingerprint-keyed learnt clauses), read and written here so worker
+# processes need no import from the api layer.
+def _load_warm(directory: str, fingerprint: str) -> list[list[int]] | None:
+    import json
+    import os
+
+    try:
+        with open(os.path.join(directory, f"{fingerprint}.json"), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    learnt = payload.get("learnt")
+    if payload.get("fingerprint") != fingerprint or not isinstance(learnt, list):
+        return None
+    return [[int(lit) for lit in clause] for clause in learnt]
+
+
+def _store_warm(directory: str, fingerprint: str, learnt: list[list[int]]) -> None:
+    """Merge ``learnt`` into the cache entry for ``fingerprint`` (atomic).
+
+    Merging (rather than overwriting) lets every pool worker contribute its
+    own learnt clauses to the one shared entry; concurrent writers race
+    benignly — the cache is best-effort and each write is internally
+    consistent via the tmp-file rename.
+    """
+    import json
+    import os
+
+    existing = _load_warm(directory, fingerprint) or []
+    seen = {tuple(clause) for clause in existing}
+    merged = list(existing)
+    for clause in learnt:
+        key = tuple(int(lit) for lit in clause)
+        if key not in seen:
+            seen.add(key)
+            merged.append(list(key))
+    try:
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{fingerprint}.json")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump({"fingerprint": fingerprint, "learnt": merged}, handle)
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
 # Per-worker session, built once by the pool initializer: encoding the shared
 # formula (and constructing the solver) is the expensive part; every subtask
 # afterwards is an incremental solve under assumptions on the live solver.
 _WORKER_SESSION: SolveSession | None = None
 _WORKER_GUARDS: set[str] = set()
+_WORKER_CANCEL = None
+_WORKER_WARM_DIR: str | None = None
+_WORKER_FINGERPRINT: str = ""
+_WORKER_BASE_VARS: int = 0
+_WORKER_WARM_ABSORBED: int = 0
+_WORKER_WARM_REPORTED: bool = False
 
 
-def _worker_init(formula: BoolExpr) -> None:
-    global _WORKER_SESSION, _WORKER_GUARDS
+def _worker_init(formula: BoolExpr, warm_dir: str | None = None, cancel_event=None) -> None:
+    global _WORKER_SESSION, _WORKER_GUARDS, _WORKER_CANCEL, _WORKER_WARM_DIR
+    global _WORKER_FINGERPRINT, _WORKER_BASE_VARS, _WORKER_WARM_ABSORBED
+    global _WORKER_WARM_REPORTED
     _WORKER_SESSION = SolveSession(formula)
     _WORKER_GUARDS = set()
+    _WORKER_CANCEL = cancel_event
+    _WORKER_WARM_DIR = warm_dir
+    _WORKER_FINGERPRINT = ""
+    _WORKER_BASE_VARS = 0
+    _WORKER_WARM_ABSORBED = 0
+    _WORKER_WARM_REPORTED = False
+    if warm_dir is not None:
+        # The fingerprint/variable watermark are taken against the bare base
+        # encoding (before any guards arrive), mirroring CodeContext's
+        # "first check" snapshot — the point identical runs can agree on.
+        _WORKER_BASE_VARS = _WORKER_SESSION.encoder.cnf.num_vars
+        _WORKER_FINGERPRINT = _WORKER_SESSION.fingerprint()
+        learnt = _load_warm(warm_dir, _WORKER_FINGERPRINT)
+        if learnt:
+            _WORKER_WARM_ABSORBED = _WORKER_SESSION.absorb_learnt(learnt)
 
 
-def _solve_chunk_in_worker(payload) -> tuple[str, dict | None, dict]:
+def _save_warm_in_worker(_index: int) -> tuple[int, int]:
+    """Merge this worker's base-encoding learnt clauses into the warm cache.
+
+    Returns ``(pid, count)`` so the parent can de-duplicate when pool
+    scheduling hands several save tasks to the same worker.
+    """
+    import os
+
+    if _WORKER_WARM_DIR is None or not _WORKER_FINGERPRINT:
+        return os.getpid(), 0
+    learnt = _WORKER_SESSION.learnt_clauses(max_var=_WORKER_BASE_VARS)
+    if learnt:
+        _store_warm(_WORKER_WARM_DIR, _WORKER_FINGERPRINT, learnt)
+    return os.getpid(), len(learnt)
+
+
+def _solve_chunk_in_worker(payload) -> tuple[str, dict | str | None, dict]:
     """Solve a chunk of enumeration subtasks on this worker's live session.
 
     Guard specs the worker has not yet seen are applied first (payloads carry
     the full cumulative list so a worker that sat out earlier checks catches
-    up).  The chunk stops at its first satisfiable subtask.
+    up).  The chunk stops at its first satisfiable subtask, or — when the
+    shared cancel event fires or the payload deadline passes — returns an
+    ``("interrupted", reason, stats)`` triple with the session intact.
     """
-    assumption_sets, select, guards = payload
+    global _WORKER_WARM_REPORTED
+    assumption_sets, select, guards, deadline, budget = payload
     for kind, name, operand, bound in guards:
         if name in _WORKER_GUARDS:
             continue
@@ -366,9 +577,24 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | None, dict]:
         "num_variables": 0,
         "num_clauses": 0,
     }
+    if not _WORKER_WARM_REPORTED and _WORKER_WARM_ABSORBED:
+        # Each worker reports its absorbed count exactly once, on its first
+        # chunk, so the parent can aggregate without double counting.
+        stats["warm_absorbed"] = _WORKER_WARM_ABSORBED
+        _WORKER_WARM_REPORTED = True
+    control = None
+    if deadline is not None or budget is not None or _WORKER_CANCEL is not None:
+        control = SolveControl(
+            deadline=deadline,
+            cancelled=_WORKER_CANCEL.is_set if _WORKER_CANCEL is not None else None,
+            conflict_budget=budget,
+        )
     status, model = "unsat", None
     for assumptions in assumption_sets:
-        check = _WORKER_SESSION.check(assumptions, select=select)
+        try:
+            check = _WORKER_SESSION.check(assumptions, select=select, control=control)
+        except SolverInterrupted as exc:
+            return "interrupted", exc.reason, stats
         stats["conflicts"] += check.conflicts
         stats["decisions"] += check.decisions
         stats["propagations"] += check.propagations

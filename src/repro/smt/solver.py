@@ -36,9 +36,11 @@ deletable like any other learnt clause.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable
 
-__all__ = ["SATSolver", "SolverResult"]
+__all__ = ["SATSolver", "SolveControl", "SolverInterrupted", "SolverResult"]
 
 _UNASSIGNED = 0
 _TRUE = 1
@@ -57,6 +59,63 @@ class SolverResult:
 
     def __bool__(self) -> bool:
         return self.satisfiable
+
+
+class SolverInterrupted(Exception):
+    """A solve call was interrupted by its :class:`SolveControl`.
+
+    The solver backtracks to decision level 0 before raising, so the instance
+    stays fully consistent — learnt clauses, activities and the root trail are
+    retained, and the next :meth:`SATSolver.solve` call behaves as if the
+    interrupted call never happened.  ``reason`` is one of ``"cancelled"``,
+    ``"deadline"`` or ``"budget"``.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass
+class SolveControl:
+    """Cooperative interruption policy for one (or many) solve calls.
+
+    The solver polls the control every ``check_interval`` search events (a
+    conflict counts more than a decision, so the latency bound is roughly one
+    "solve-budget slice" of ``check_interval / 8`` conflicts or
+    ``check_interval`` decisions, whichever comes first):
+
+    * ``cancelled`` — a zero-argument callable (e.g. ``threading.Event.is_set``)
+      flipped by another thread; truthy means stop with reason ``"cancelled"``;
+    * ``deadline``  — a :func:`time.monotonic` timestamp; reaching it stops
+      with reason ``"deadline"``;
+    * ``conflict_budget`` — a per-call conflict allowance; exceeding it stops
+      with reason ``"budget"``.
+
+    One control may be shared by every solve call of a job, which is how a
+    per-job deadline bounds a whole distance walk rather than one probe.
+    """
+
+    deadline: float | None = None
+    cancelled: Callable[[], bool] | None = None
+    conflict_budget: int | None = None
+    check_interval: int = 128
+
+    def interrupted(self, conflicts: int = 0) -> str | None:
+        """The stop reason, or None to keep searching."""
+        if self.cancelled is not None and self.cancelled():
+            return "cancelled"
+        if self.conflict_budget is not None and conflicts > self.conflict_budget:
+            return "budget"
+        if self.deadline is not None and time.monotonic() >= self.deadline:
+            return "deadline"
+        return None
+
+    @classmethod
+    def for_deadline(cls, seconds: float | None, **kwargs) -> "SolveControl":
+        """A control whose deadline is ``seconds`` from now (None = no deadline)."""
+        deadline = time.monotonic() + seconds if seconds is not None else None
+        return cls(deadline=deadline, **kwargs)
 
 
 def _luby(index: int) -> int:
@@ -90,6 +149,7 @@ class SATSolver:
         self.learnt_deleted = 0
         self.reductions = 0
         self.minimized_literals = 0
+        self.erased_clauses = 0
 
         size = self.num_vars + 1
         self.assignment = [_UNASSIGNED] * size
@@ -283,6 +343,69 @@ class SATSolver:
         self.num_learnt -= len(drop)
         self.learnt_deleted += len(drop)
         self.reductions += 1
+
+    def erase_satisfied(self) -> int:
+        """Erase clauses permanently satisfied at level 0; strip false literals.
+
+        This is the solver half of guard garbage collection: once a selector
+        is negated at the root, every clause it guarded is permanently
+        satisfied and can be physically removed, so retiring stale guards
+        actually shrinks the clause database instead of leaving dead weight
+        in the watch lists.  Root-falsified literals are stripped from the
+        surviving clauses at the same time (sound: they can never help
+        satisfy the clause again).  Returns the number of erased clauses.
+        """
+        if self._decision_level() != 0:
+            raise RuntimeError("erase_satisfied requires decision level 0")
+        if self._contradiction:
+            return 0
+        if self._propagate() is not None:
+            self._contradiction = True
+            return 0
+        erased = 0
+        clauses: list[list[int]] = []
+        is_learnt: list[bool] = []
+        lbds: list[int] = []
+        for index, clause in enumerate(self.clauses):
+            if any(self._value(lit) == _TRUE for lit in clause):
+                erased += 1
+                if self.clause_is_learnt[index]:
+                    self.num_learnt -= 1
+                else:
+                    self.num_problem_clauses -= 1
+                continue
+            stripped = [lit for lit in clause if self._value(lit) != _FALSE]
+            # With the root trail fully propagated, an unsatisfied clause
+            # keeps >= 2 unassigned literals; handle the impossible shapes
+            # defensively anyway so a caller bug cannot corrupt the watches.
+            if not stripped:
+                self._contradiction = True
+                continue
+            if len(stripped) == 1:
+                self._enqueue(stripped[0], None)
+                erased += 1
+                if self.clause_is_learnt[index]:
+                    self.num_learnt -= 1
+                else:
+                    self.num_problem_clauses -= 1
+                continue
+            clauses.append(stripped)
+            is_learnt.append(self.clause_is_learnt[index])
+            lbds.append(self.clause_lbd[index])
+        self.clauses = clauses
+        self.clause_is_learnt = is_learnt
+        self.clause_lbd = lbds
+        self.watches = {}
+        for index, clause in enumerate(self.clauses):
+            for lit in clause[:2]:
+                self.watches.setdefault(-lit, []).append(index)
+        # Every assigned variable is at level 0 here, and level-0 assignments
+        # never need their reasons again (conflict analysis skips them), so
+        # dropping all reason indices is both safe and required — they may
+        # point at erased clauses.
+        self.reason = [None] * (self.num_vars + 1)
+        self.erased_clauses += erased
+        return erased
 
     # ------------------------------------------------------------------
     # Assignment helpers
@@ -493,15 +616,24 @@ class SATSolver:
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
-    def solve(self, assumptions=()) -> SolverResult:
+    def solve(self, assumptions=(), control: SolveControl | None = None) -> SolverResult:
         """Decide satisfiability under the given assumption literals.
 
         May be called repeatedly; learnt clauses and heuristic state persist
         between calls.  The returned statistics are per-call deltas — the
         cumulative counters stay available as ``solver.conflicts`` etc.
+
+        ``control`` bounds the call: the solver polls it on a conflict- and
+        decision-count cadence (see :class:`SolveControl`) and raises
+        :class:`SolverInterrupted` when it fires, after backtracking to level
+        0 so the instance stays reusable.
         """
         self.num_solves += 1
         start = (self.conflicts, self.decisions, self.propagations)
+        if control is not None:
+            reason = control.interrupted(0)
+            if reason is not None:
+                raise SolverInterrupted(reason)
 
         def _result(satisfiable: bool, model=None) -> SolverResult:
             return SolverResult(
@@ -542,6 +674,12 @@ class SATSolver:
         max_learnt = self.max_learnt
         if max_learnt is None:
             max_learnt = max(1000, len(self.clauses) // 3)
+        # Control polling is amortised: conflicts weigh 8 search events,
+        # decisions 1, and the control is consulted every check_interval
+        # events — cheap enough for the hot loop, tight enough that a cancel
+        # or deadline lands within one slice.
+        events_since_check = 0
+        check_interval = control.check_interval if control is not None else 0
 
         while True:
             conflict = self._propagate()
@@ -554,6 +692,14 @@ class SATSolver:
                 ):
                     self._cancel_until(0)
                     raise RuntimeError("conflict budget exhausted")
+                if control is not None:
+                    events_since_check += 8
+                    if events_since_check >= check_interval:
+                        events_since_check = 0
+                        reason = control.interrupted(self.conflicts - start[0])
+                        if reason is not None:
+                            self._cancel_until(0)
+                            raise SolverInterrupted(reason)
                 if self._decision_level() <= root_level:
                     if root_level == 0:
                         # Conflict below any assumption: permanently UNSAT.
@@ -578,6 +724,14 @@ class SATSolver:
                 if self.num_learnt > max_learnt:
                     self._reduce_learnt()
                     max_learnt = int(max_learnt * 1.1)
+                if control is not None:
+                    events_since_check += 1
+                    if events_since_check >= check_interval:
+                        events_since_check = 0
+                        reason = control.interrupted(self.conflicts - start[0])
+                        if reason is not None:
+                            self._cancel_until(0)
+                            raise SolverInterrupted(reason)
                 variable = self._pick_branch_variable()
                 if variable is None:
                     model = {

@@ -1,0 +1,76 @@
+"""Native-asyncio tests for the AsyncEngine facade.
+
+These run under ``pytest-asyncio`` in strict mode (the CI async job installs
+the plugin and passes ``-o asyncio_mode=strict``); without the plugin the
+module skips, and the always-on event-loop coverage lives in
+``tests/api/test_jobs.py::TestAsyncFacade`` via ``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+pytest.importorskip("pytest_asyncio")
+
+from repro.api import (  # noqa: E402 - after the plugin gate
+    AsyncEngine,
+    CorrectionTask,
+    DetectionTask,
+    DistanceTask,
+    JobCancelledError,
+    JobStatus,
+)
+
+pytestmark = pytest.mark.asyncio
+
+
+async def test_arun_verifies():
+    async with AsyncEngine() as engine:
+        result = await engine.arun(CorrectionTask(code="steane"))
+    assert result.verified
+
+
+async def test_event_stream_terminates():
+    async with AsyncEngine() as engine:
+        job = engine.submit(DistanceTask(code="steane", max_trial=5))
+        names = [type(event).__name__ async for event in job.events()]
+    assert names[0] == "JobSubmitted"
+    assert names[-1] == "JobCompleted"
+    assert names.count("JobCompleted") == 1
+
+
+async def test_concurrent_jobs_multiplex_one_engine():
+    async with AsyncEngine() as engine:
+        results = await engine.arun_many(
+            [CorrectionTask(code="steane"), DetectionTask(code="five-qubit")]
+        )
+    assert [result.verified for result in results] == [True, True]
+
+
+async def test_cancellation_raises():
+    async with AsyncEngine() as engine:
+        job = engine.submit(DistanceTask(code="surface-5", max_trial=6))
+        job.cancel()
+        with pytest.raises(JobCancelledError):
+            await job.result()
+        assert job.status is JobStatus.CANCELLED
+
+
+async def test_deadline_cancels():
+    async with AsyncEngine() as engine:
+        job = engine.submit(DistanceTask(code="surface-5"), deadline=0.01)
+        with pytest.raises(JobCancelledError) as excinfo:
+            await job.result()
+    assert excinfo.value.reason == "deadline"
+
+
+async def test_events_and_result_share_one_job():
+    async with AsyncEngine() as engine:
+        job = engine.submit(CorrectionTask(code="five-qubit"))
+
+        async def drain():
+            return [event.seq async for event in job.events()]
+
+        seqs, result = await asyncio.gather(drain(), job.result())
+    assert seqs == list(range(len(seqs)))
+    assert result.verified

@@ -145,3 +145,88 @@ def test_module_entry_point():
     )
     assert proc.returncode == 0
     assert "steane" in proc.stdout
+
+
+class TestStreaming:
+    def _stream_lines(self, capsys):
+        return [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+
+    def test_verify_stream_is_schema_valid_ndjson(self, capsys):
+        from repro.api.events import validate_stream
+
+        assert main(["verify", "--code", "steane", "--stream"]) == 0
+        lines = self._stream_lines(capsys)
+        count, by_type, errors = validate_stream(lines)
+        assert errors == []
+        assert by_type["JobCompleted"] == 1
+        assert json.loads(lines[0])["event"] == "JobSubmitted"
+
+    def test_distance_stream_carries_probes(self, capsys):
+        from repro.api.events import validate_stream
+
+        assert main(["distance", "--code", "steane", "--max-trial", "5", "--stream"]) == 0
+        lines = self._stream_lines(capsys)
+        _, by_type, errors = validate_stream(lines)
+        assert errors == []
+        assert by_type["DistanceProbe"] >= 1
+
+    def test_sweep_stream_multiplexes_jobs(self, capsys):
+        from repro.api.events import validate_stream
+
+        assert main(["sweep", "--codes", "steane,five-qubit", "--stream"]) == 0
+        lines = self._stream_lines(capsys)
+        _, by_type, errors = validate_stream(lines)
+        assert errors == []
+        assert by_type["JobSubmitted"] == 2
+        assert by_type["JobCompleted"] == 2
+
+    def test_stream_counterexample_exit_code(self, capsys):
+        assert main([
+            "verify", "--code", "steane", "--max-errors", "3", "--stream",
+        ]) == 1
+        payloads = [json.loads(line) for line in self._stream_lines(capsys)]
+        completed = [p for p in payloads if p["event"] == "JobCompleted"]
+        assert completed and completed[0]["verified"] is False
+
+    def test_expired_deadline_exits_3(self, capsys):
+        assert main([
+            "verify", "--code", "steane", "--deadline", "0.0",
+        ]) == 3
+        assert "cancelled" in capsys.readouterr().err
+
+    def test_stream_deadline_emits_cancelled_event(self, capsys):
+        assert main([
+            "distance", "--code", "surface-5", "--deadline", "0.0", "--stream",
+        ]) == 3
+        payloads = [json.loads(line) for line in self._stream_lines(capsys)]
+        assert payloads[-1]["event"] == "JobCancelled"
+        assert payloads[-1]["reason"] == "deadline"
+
+    def test_distance_strategy_flag(self, capsys):
+        assert main([
+            "distance", "--code", "steane", "--max-trial", "16",
+            "--strategy", "galloping", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["details"]["strategy"] == "galloping"
+        assert payload["details"]["distance"] == 3
+
+
+class TestValidateEventsCommand:
+    def test_validates_file(self, tmp_path, capsys):
+        stream = tmp_path / "events.ndjson"
+        assert main(["verify", "--code", "five-qubit", "--stream"]) == 0
+        stream.write_text(capsys.readouterr().out)
+        assert main(["validate-events", str(stream)]) == 0
+        assert "validated" in capsys.readouterr().out
+
+    def test_rejects_garbage(self, tmp_path, capsys):
+        stream = tmp_path / "bad.ndjson"
+        stream.write_text('{"event": "JobCompleted", "schema_version": "99"}\n')
+        assert main(["validate-events", str(stream)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_rejects_empty_input(self, tmp_path, capsys):
+        stream = tmp_path / "empty.ndjson"
+        stream.write_text("")
+        assert main(["validate-events", str(stream)]) == 1

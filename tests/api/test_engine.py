@@ -281,3 +281,50 @@ class TestFullRegistryAcceptance:
         parallel = engine.run_many(tasks, backend=ParallelBackend(num_workers=2))
         assert [r.verified for r in serial] == [r.verified for r in parallel]
         assert all(r.verified for r in serial)
+
+
+class TestAdaptiveDistanceSearch:
+    def test_strategies_agree_on_the_distance(self):
+        for strategy in ("binary", "galloping"):
+            result = Engine().run(
+                DistanceTask(code="steane", max_trial=16, strategy=strategy)
+            )
+            assert result.details["distance"] == 3, strategy
+
+    def test_galloping_probes_double_until_sat(self):
+        result = Engine().run(
+            DistanceTask(code="steane", max_trial=16, strategy="galloping")
+        )
+        assert result.details["strategy"] == "galloping"
+        bounds = [trial["bound"] for trial in result.details["trials"]]
+        # Doubling lower-bound phase; the sat probe ends it.
+        assert bounds[:2] == [1, 2]
+        assert all(b2 <= 2 * b1 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_heuristic_picks_galloping_for_wide_spans(self):
+        # Span 15 >> expected distance 3: galloping.
+        wide = Engine().run(DistanceTask(code="steane", max_trial=16))
+        assert wide.details["strategy"] == "galloping"
+        # Span 5 vs distance 5: plain bisection.
+        tight = Engine().run(DistanceTask(code="surface-5", max_trial=6))
+        assert tight.details["strategy"] == "binary-search"
+        assert wide.details["distance"] == 3
+        assert tight.details["distance"] == 5
+
+    def test_explicit_strategy_overrides_heuristic(self):
+        result = Engine().run(
+            DistanceTask(code="surface-3", max_trial=4, strategy="galloping")
+        )
+        assert result.details["strategy"] == "galloping"
+        assert result.details["distance"] == 3
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceTask(code="steane", strategy="linear")
+
+    def test_galloping_works_on_parallel_backend(self):
+        result = Engine(backend=ParallelBackend(num_workers=2)).run(
+            DistanceTask(code="steane", max_trial=16, strategy="galloping")
+        )
+        assert result.details["distance"] == 3
+        assert result.details["strategy"] == "galloping"

@@ -319,3 +319,76 @@ class TestSharedSessionAgainstFreshFormulas:
         shared_detection = engine.run(detection)
         assert shared_correction.verified == check_formula(compiled_correction.formula).is_unsat
         assert shared_detection.verified == check_formula(compiled_detection.formula).is_unsat
+
+
+class TestGuardGarbageCollection:
+    def test_task_guard_lru_retires_stale_guards(self):
+        from repro.api.resources import CodeContext
+        from repro.codes.registry import build_code
+        from repro.verifier.encodings import ErrorModel, precise_detection_formula
+
+        code = build_code("five-qubit")
+        context = CodeContext("five-qubit", max_task_guards=2)
+        verdicts = {}
+        for trial in (2, 3, 4):
+            formula = precise_detection_formula(code, trial, error_model=ErrorModel("any"))
+            view = context.task_view(("trial", trial), formula)
+            verdicts[trial] = view.check().status
+        assert len(context._task_guards) == 2
+        assert context.retired == 1
+        assert context.session.stats().get("erased_clauses", 0) >= 1
+        # The evicted task re-enters under a fresh selector with the same
+        # verdict; survivors keep theirs.
+        for trial in (2, 3, 4):
+            formula = precise_detection_formula(code, trial, error_model=ErrorModel("any"))
+            view = context.task_view(("trial", trial), formula)
+            assert view.check().status == verdicts[trial], trial
+
+    def test_selector_names_never_reused_after_retirement(self):
+        from repro.api.resources import CodeContext
+        from repro.codes.registry import build_code
+        from repro.verifier.encodings import ErrorModel, precise_detection_formula
+
+        code = build_code("five-qubit")
+        context = CodeContext("five-qubit")
+        formula = precise_detection_formula(code, 2, error_model=ErrorModel("any"))
+        first = context.task_view("t", formula)
+        context.retire_task("t")
+        second = context.task_view("t", formula)
+        assert first.selectors != second.selectors
+        assert second.check().status in ("sat", "unsat")
+
+    def test_retire_unknown_task_is_a_noop(self):
+        engine = Engine()
+        assert engine.release_task(CorrectionTask(code="steane")) is False
+        engine.run(CorrectionTask(code="steane"))
+        assert engine.release_task(CorrectionTask(code="steane")) is True
+        assert engine.release_task(CorrectionTask(code="steane")) is False
+
+
+class TestPoolWorkerWarmCache:
+    def test_pool_workers_absorb_and_contribute_learnt_clauses(self, tmp_path):
+        directory = str(tmp_path / "warm")
+        backend = ParallelBackend(num_workers=2)
+        task = DistanceTask(code="surface-3")
+
+        first_engine = Engine(backend=backend)
+        first_engine.resources.enable_warm_cache(directory)
+        first = first_engine.run(task)
+        first_engine.resources.save_warm()
+        first_engine.close()
+        assert first.details["distance"] == 3
+        import os
+
+        assert os.listdir(directory), "pool workers wrote no warm entries"
+
+        second_engine = Engine(backend=backend)
+        second_engine.resources.enable_warm_cache(directory)
+        second = second_engine.run(task)
+        stats = second_engine.resources.stats()
+        second_engine.close()
+        assert second.details["distance"] == 3
+        assert second.details["session"].get("warm_absorbed", 0) > 0
+        assert stats["warm_absorbed"] > 0
+        # Warm-started workers re-derive strictly less than they learnt.
+        assert second.conflicts <= first.conflicts

@@ -308,3 +308,148 @@ class TestSessionEquivalence:
             reused = session.check(assumptions)
             fresh = check_formula(compiled.formula, assumptions)
             assert reused.status == fresh.status, (key, assumptions)
+
+
+class TestSolveControl:
+    """Budget/deadline/cancel interruption: the solver stops within a slice
+    and the instance stays reusable with verdicts identical to fresh runs."""
+
+    def _steane_session(self):
+        from repro.codes.registry import build_code
+
+        code = build_code("steane")
+        base, weight = precise_detection_base(code, ErrorModel("any"))
+        return SolveSession(base), weight
+
+    def test_pre_expired_deadline_interrupts_immediately(self):
+        import time
+
+        from repro.smt.solver import SolveControl, SolverInterrupted
+
+        session, _ = self._steane_session()
+        control = SolveControl(deadline=time.monotonic() - 1.0)
+        with pytest.raises(SolverInterrupted) as excinfo:
+            session.check(control=control)
+        assert excinfo.value.reason == "deadline"
+
+    def test_cancel_flag_interrupts_and_session_stays_equivalent(self):
+        from repro.smt.solver import SolveControl, SolverInterrupted
+
+        session, weight = self._steane_session()
+        # A tiny check interval with a flag that flips after the first poll:
+        # the solve is abandoned mid-search, then re-run to completion.
+        polls = []
+
+        def cancelled():
+            polls.append(True)
+            return len(polls) > 1
+
+        control = SolveControl(cancelled=cancelled, check_interval=1)
+        selector = session.add_weight_guard("w2", weight, 2)
+        with pytest.raises(SolverInterrupted) as excinfo:
+            session.check(select=(selector,), control=control)
+        assert excinfo.value.reason == "cancelled"
+        resumed = session.check(select=(selector,))
+        fresh_session, fresh_weight = self._steane_session()
+        fresh_selector = fresh_session.add_weight_guard("w2", fresh_weight, 2)
+        fresh = fresh_session.check(select=(fresh_selector,))
+        assert resumed.status == fresh.status
+
+    def test_conflict_budget_interrupts(self):
+        from repro.smt.solver import SolveControl, SolverInterrupted
+
+        session, weight = self._steane_session()
+        selector = session.add_weight_guard("w2", weight, 2)
+        control = SolveControl(conflict_budget=1, check_interval=1)
+        with pytest.raises(SolverInterrupted) as excinfo:
+            session.check(select=(selector,), control=control)
+        assert excinfo.value.reason == "budget"
+        # The interrupted query still decides correctly afterwards.
+        assert session.check(select=(selector,)).is_unsat
+
+    @settings(deadline=None, max_examples=25)
+    @given(clause_lists, st.data())
+    def test_interrupt_then_resume_matches_fresh(self, instance, data):
+        """Randomized: interrupting a solve at an arbitrary poll leaves the
+        solver deciding exactly like a fresh one on the next call."""
+        from repro.smt.solver import SATSolver, SolveControl, SolverInterrupted
+
+        num_vars, clauses = instance
+        cutoff = data.draw(st.integers(1, 5), label="cutoff")
+        polls = []
+
+        def cancelled():
+            polls.append(True)
+            return len(polls) >= cutoff
+
+        solver = SATSolver(build_cnf(num_vars, clauses))
+        try:
+            first = solver.solve(control=SolveControl(cancelled=cancelled, check_interval=1))
+            interrupted = False
+        except SolverInterrupted:
+            interrupted = True
+        resumed = solver.solve()
+        assert resumed.satisfiable == fresh_verdict(num_vars, clauses, ())
+        if not interrupted:
+            assert first.satisfiable == resumed.satisfiable
+
+
+class TestGuardRetirement:
+    """Root-negated selectors + satisfied-clause erasure (guard GC)."""
+
+    def test_retired_guard_clauses_are_erased(self):
+        from repro.codes.registry import build_code
+
+        code = build_code("steane")
+        base, weight = precise_detection_base(code, ErrorModel("any"))
+        session = SolveSession()
+        keep = session.add_guard("keep", base)
+        session.check(select=(keep,))
+        formula = precise_detection_formula(code, 3, error_model=ErrorModel("any"))
+        stale = session.add_guard("stale", formula)
+        session.check(select=(stale,))
+        clauses_before = len(session._solver.clauses)
+        erased = session.retire_guard(stale)
+        assert erased >= 1
+        assert len(session._solver.clauses) < clauses_before
+        assert session.stats()["erased_clauses"] == erased
+
+    def test_verdicts_unchanged_after_retirement(self):
+        from repro.codes.registry import build_code
+
+        code = build_code("five-qubit")
+        base, weight = precise_detection_base(code, ErrorModel("any"))
+        session = SolveSession(base)
+        selectors = {}
+        for bound in (1, 2, 3):
+            selectors[bound] = session.add_weight_guard(f"w{bound}", weight, bound)
+        before = {bound: session.check(select=(sel,)).status
+                  for bound, sel in selectors.items()}
+        session.retire_guard(selectors.pop(2))
+        for bound, sel in selectors.items():
+            assert session.check(select=(sel,)).status == before[bound], bound
+        # A freshly added guard over the same weight still works (the unary
+        # counter survives erasure because its defining clauses are not
+        # guard-satisfied).
+        new_selector = session.add_weight_guard("w2b", weight, 2)
+        assert session.check(select=(new_selector,)).status == before[2]
+
+    @settings(deadline=None, max_examples=25)
+    @given(clause_lists, st.data())
+    def test_erase_satisfied_preserves_verdicts(self, instance, data):
+        """Randomized: root-asserting some literal and erasing satisfied
+        clauses never changes any later verdict under assumptions."""
+        num_vars, clauses = instance
+        unit = data.draw(st.integers(1, num_vars), label="unit")
+        sign = data.draw(st.sampled_from([1, -1]), label="sign")
+        assumption = data.draw(
+            st.integers(1, num_vars).flatmap(lambda v: st.sampled_from([v, -v])),
+            label="assumption",
+        )
+        solver = SATSolver(build_cnf(num_vars, clauses))
+        solver.solve()
+        solver.add_clause([sign * unit])
+        solver.erase_satisfied()
+        got = solver.solve([assumption]).satisfiable
+        want = fresh_verdict(num_vars, clauses + [[sign * unit]], [assumption])
+        assert got == want
