@@ -406,6 +406,8 @@ class Engine:
                     conflicts=check.conflicts, decisions=check.decisions,
                     propagations=check.propagations,
                     num_variables=check.num_variables, num_clauses=check.num_clauses,
+                    blocker_hits=getattr(check, "blocker_hits", 0),
+                    heap_discards=getattr(check, "heap_discards", 0),
                 ))
             details = dict(compiled.details)
             details.update(check.metadata)
@@ -550,6 +552,7 @@ class Engine:
         distance = limit
         witness = None
         conflicts = decisions = propagations = 0
+        blocker_hits = heap_discards = 0
         last = None
         lo, hi = 1, limit - 1
         galloping = strategy == "galloping"
@@ -575,6 +578,8 @@ class Engine:
             conflicts += last.conflicts
             decisions += last.decisions
             propagations += last.propagations
+            blocker_hits += getattr(last, "blocker_hits", 0)
+            heap_discards += getattr(last, "heap_discards", 0)
             trial_elapsed = time.perf_counter() - trial_start
             trials.append(
                 {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
@@ -613,6 +618,7 @@ class Engine:
                 conflicts=conflicts, decisions=decisions, propagations=propagations,
                 num_variables=last.num_variables if last is not None else 0,
                 num_clauses=last.num_clauses if last is not None else 0,
+                blocker_hits=blocker_hits, heap_discards=heap_discards,
             ))
         details = {
             "distance": distance,

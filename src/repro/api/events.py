@@ -135,15 +135,34 @@ class DistanceProbe(Event):
 
 @dataclass
 class SolverStats(Event):
-    """Aggregate solver statistics for the job's solving phase."""
+    """Aggregate solver statistics for the job's solving phase.
+
+    ``blocker_hits`` (watcher visits resolved by the cached blocker literal)
+    and ``heap_discards`` (lazily deleted decision-heap entries) are
+    *optional* members added by the solver hot-path overhaul: following the
+    only-when-nonzero rule, they are serialized only when the solve actually
+    produced them, so pre-overhaul consumers (and streams from the linear
+    fallback policy) see the historical payload unchanged.
+    """
 
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
     num_variables: int = 0
     num_clauses: int = 0
+    blocker_hits: int = 0
+    heap_discards: int = 0
 
     TYPE: ClassVar[str] = "SolverStats"
+
+    _OPTIONAL_WHEN_ZERO: ClassVar[tuple[str, ...]] = ("blocker_hits", "heap_discards")
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        for name in self._OPTIONAL_WHEN_ZERO:
+            if not payload.get(name):
+                payload.pop(name, None)
+        return payload
 
 
 @dataclass
@@ -228,6 +247,8 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "propagations": ((int,), True),
         "num_variables": ((int,), True),
         "num_clauses": ((int,), True),
+        "blocker_hits": ((int,), False),
+        "heap_discards": ((int,), False),
     },
     "JobCompleted": {
         "verified": ((bool,), True),

@@ -488,11 +488,15 @@ class ResourceManager:
         warm_absorbed = 0
         retired_guards = 0
         erased_clauses = 0
+        blocker_hits = 0
+        heap_discards = 0
         for context in self._contexts.values():
             session_stats = context.session.stats()
             learnt_kept += session_stats.get("learnt_kept", 0)
             learnt_deleted += session_stats.get("learnt_deleted", 0)
             erased_clauses += session_stats.get("erased_clauses", 0)
+            blocker_hits += session_stats.get("blocker_hits", 0)
+            heap_discards += session_stats.get("heap_discards", 0)
             context_hits += context.hits
             context_misses += context.misses
             warm_absorbed += context.warm_absorbed
@@ -509,10 +513,15 @@ class ResourceManager:
         }
         # Guard-GC counters appear only once retirement has happened, so the
         # result schema of guard-free runs (e.g. a plain registry sweep) is
-        # unchanged from earlier releases.
+        # unchanged from earlier releases.  The hot-path counters follow the
+        # same only-when-nonzero rule.
         if retired_guards:
             stats["retired_guards"] = retired_guards
             stats["erased_clauses"] = erased_clauses
+        if blocker_hits:
+            stats["blocker_hits"] = blocker_hits
+        if heap_discards:
+            stats["heap_discards"] = heap_discards
         if self.warm_cache is not None:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses

@@ -46,6 +46,12 @@ class SMTCheck:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    #: Watcher visits resolved by the cached blocker literal alone and
+    #: decision-heap pops that lazily discarded an assigned variable —
+    #: per-check deltas like the counters above (0 on pre-overhaul paths
+    #: that do not report them).
+    blocker_hits: int = 0
+    heap_discards: int = 0
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -193,6 +199,8 @@ class SolveSession:
             conflicts=result.conflicts,
             decisions=result.decisions,
             propagations=result.propagations,
+            blocker_hits=result.blocker_hits,
+            heap_discards=result.heap_discards,
             metadata={"session": self.stats()},
         )
 
@@ -249,10 +257,16 @@ class SolveSession:
             "minimized_literals": solver.minimized_literals if solver else 0,
             "elapsed_seconds": self.elapsed_seconds,
         }
-        # Only surfaced once guard GC has actually erased something, so
-        # sessions that never retire a guard keep their historical schema.
+        # New counters follow the only-when-nonzero rule: a key appears
+        # once the underlying behaviour has actually happened, so sessions
+        # that never erase a clause (or, with the linear decision fallback,
+        # never touch the heap) keep their historical schema.
         if solver is not None and solver.erased_clauses:
             stats["erased_clauses"] = solver.erased_clauses
+        if solver is not None and solver.blocker_hits:
+            stats["blocker_hits"] = solver.blocker_hits
+        if solver is not None and solver.heap_discards:
+            stats["heap_discards"] = solver.heap_discards
         return stats
 
 

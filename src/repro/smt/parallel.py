@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import atexit
 import multiprocessing
+import os
 import threading
 import time
 import weakref
@@ -42,6 +43,36 @@ __all__ = [
 ]
 
 
+def _pool_context():
+    """The multiprocessing context worker pools are created from.
+
+    The default (fork on Linux) is fastest, but a pool-heavy process
+    accumulates helper threads (result handlers, teardown watchdogs, control
+    watchers) and forking a worker from such a parent can inherit a lock
+    held mid-operation — the child dies or deadlocks before posting a
+    result.  ``REPRO_MP_CONTEXT=forkserver`` switches to a clean forkserver
+    (immune to parent thread state); it is not the library default because
+    forkserver re-imports ``__main__``, which breaks interactive/stdin
+    callers.  The benchmark harness — the heaviest pool cycler — opts in.
+    The in-pool safety net for the default context is the bounded result
+    loop in ``_check_pool_once`` plus the one-shot pool rebuild.
+    """
+    name = os.environ.get("REPRO_MP_CONTEXT")
+    if name:
+        try:
+            return multiprocessing.get_context(name)
+        except ValueError:
+            import warnings
+
+            warnings.warn(
+                f"REPRO_MP_CONTEXT={name!r} is not a valid multiprocessing "
+                "start method; falling back to the platform default",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    return multiprocessing.get_context()
+
+
 # Every live worker pool is tracked here (weakly, so normal close() paths do
 # not need to deregister) and terminated at interpreter exit.  This is what
 # keeps a KeyboardInterrupt mid-check from leaking the pool's semaphores and
@@ -50,16 +81,35 @@ __all__ = [
 _LIVE_POOLS: "weakref.WeakSet" = weakref.WeakSet()
 
 
+def _terminate_pool(pool, timeout: float = 5.0) -> None:
+    """Terminate ``pool`` without risking a caller deadlock.
+
+    ``Pool.join`` after ``terminate`` can block forever when an
+    ``imap_unordered`` iteration was abandoned mid-flight (its result-handler
+    thread waits on a queue nobody drains; the workers are already defunct).
+    Joining from a bounded watchdog thread converts that rare deadlock into
+    a short delay — the daemon thread and the atexit hook below still reap
+    whatever is left at interpreter shutdown.
+    """
+    try:
+        pool.terminate()
+    except Exception:
+        return
+    joiner = threading.Thread(target=pool.join, daemon=True)
+    joiner.start()
+    joiner.join(timeout)
+
+
 def _terminate_live_pools() -> None:
     for pool in list(_LIVE_POOLS):
-        try:
-            pool.terminate()
-            pool.join()
-        except Exception:
-            pass
+        _terminate_pool(pool, timeout=1.0)
 
 
 atexit.register(_terminate_live_pools)
+
+
+class _PoolDiedError(Exception):
+    """Every worker of a pool exited without posting results (fork hazard)."""
 
 
 @dataclass
@@ -131,6 +181,8 @@ class IncrementalSplitSession:
         self.total_conflicts = 0
         self.total_decisions = 0
         self.total_propagations = 0
+        self.total_blocker_hits = 0
+        self.total_heap_discards = 0
         self.num_checks = 0
         self.elapsed_seconds = 0.0
 
@@ -168,12 +220,24 @@ class IncrementalSplitSession:
     # ------------------------------------------------------------------
     def _ensure_pool(self):
         if self._pool is None:
+            context = _pool_context()
             if self._cancel_event is None:
-                self._cancel_event = multiprocessing.Event()
-            self._pool = multiprocessing.Pool(
+                self._cancel_event = context.Event()
+            # Environment knobs ship explicitly in the init payload: under
+            # forkserver the workers fork from a server whose environment
+            # was frozen at server start, so inherited-env assumptions
+            # (e.g. the benchmark flipping REPRO_DECISION_POLICY between
+            # runs) would silently not reach them.
+            worker_env = {
+                key: value
+                for key in ("REPRO_DECISION_POLICY",)
+                if (value := os.environ.get(key)) is not None
+            }
+            self._pool = context.Pool(
                 processes=self.num_workers,
                 initializer=_worker_init,
-                initargs=(self.formula, self.warm_dir, self._cancel_event),
+                initargs=(self.formula, self.warm_dir, self._cancel_event,
+                          worker_env),
             )
             _LIVE_POOLS.add(self._pool)
         return self._pool
@@ -214,6 +278,8 @@ class IncrementalSplitSession:
         conflicts: int,
         decisions: int,
         propagations: int,
+        blocker_hits: int = 0,
+        heap_discards: int = 0,
     ) -> SMTCheck:
         """Record a check's aggregated per-call statistics (deltas, like
         :class:`SMTCheck` everywhere else; cumulative totals are in
@@ -221,11 +287,15 @@ class IncrementalSplitSession:
         self.total_conflicts += conflicts
         self.total_decisions += decisions
         self.total_propagations += propagations
+        self.total_blocker_hits += blocker_hits
+        self.total_heap_discards += heap_discards
         check.num_variables = num_variables
         check.num_clauses = num_clauses
         check.conflicts = conflicts
         check.decisions = decisions
         check.propagations = propagations
+        check.blocker_hits = blocker_hits
+        check.heap_discards = heap_discards
         check.metadata["num_subtasks"] = len(self.assumption_sets)
         check.metadata["num_workers"] = self.num_workers
         return check
@@ -233,20 +303,44 @@ class IncrementalSplitSession:
     def _check_sequential(self, select, control=None) -> SMTCheck:
         session = self._local
         conflicts = decisions = propagations = 0
+        blocker_hits = heap_discards = 0
         last: SMTCheck | None = None
         for assumptions in self.assumption_sets:
             last = session.check(assumptions, select=select, control=control)
             conflicts += last.conflicts
             decisions += last.decisions
             propagations += last.propagations
+            blocker_hits += last.blocker_hits
+            heap_discards += last.heap_discards
             if last.is_sat:
                 break
         result = SMTCheck(status=last.status, model=last.model)
         return self._finish(
-            result, last.num_variables, last.num_clauses, conflicts, decisions, propagations
+            result, last.num_variables, last.num_clauses, conflicts, decisions,
+            propagations, blocker_hits, heap_discards,
         )
 
     def _check_pool(self, select, control=None) -> SMTCheck:
+        warm_absorbed = self.warm_absorbed
+        try:
+            return self._check_pool_once(select, control)
+        except _PoolDiedError:
+            self.warm_absorbed = warm_absorbed
+            # Rare fork hazard: every worker exited without posting results
+            # (observed as instantly-defunct children when a pool is forked
+            # from a process whose earlier pools left helper threads mid
+            # teardown).  The work is deterministic and nothing was
+            # consumed, so rebuild the pool once and re-dispatch.
+            self.close()
+            try:
+                return self._check_pool_once(select, control)
+            except _PoolDiedError:
+                self.close()
+                raise RuntimeError(
+                    "worker pool died twice without returning results"
+                ) from None
+
+    def _check_pool_once(self, select, control=None) -> SMTCheck:
         pool = self._ensure_pool()
         self._cancel_event.clear()
         # Chunk the subtasks so the guard specs (which embed whole weight
@@ -280,13 +374,32 @@ class IncrementalSplitSession:
             watcher.start()
         num_variables = num_clauses = 0
         conflicts = decisions = propagations = 0
+        blocker_hits = heap_discards = 0
         sat_model = None
         interrupted: str | None = None
         try:
-            for status, model, stats in pool.imap_unordered(_solve_chunk_in_worker, payloads):
+            # Bounded result consumption: ``IMapIterator.next(timeout)``
+            # instead of blind iteration, so a pool whose workers all died
+            # without posting results (see _check_pool) surfaces as a
+            # detectable error rather than an indefinite hang.
+            iterator = pool.imap_unordered(_solve_chunk_in_worker, payloads)
+            remaining = len(payloads)
+            while remaining:
+                try:
+                    status, model, stats = iterator.next(5.0)
+                except multiprocessing.TimeoutError:
+                    workers = getattr(pool, "_pool", None)
+                    if workers is not None and not any(
+                        worker.is_alive() for worker in workers
+                    ):
+                        raise _PoolDiedError()
+                    continue
+                remaining -= 1
                 conflicts += stats["conflicts"]
                 decisions += stats["decisions"]
                 propagations += stats["propagations"]
+                blocker_hits += stats.get("blocker_hits", 0)
+                heap_discards += stats.get("heap_discards", 0)
                 num_variables = max(num_variables, stats["num_variables"])
                 num_clauses = max(num_clauses, stats["num_clauses"])
                 self.warm_absorbed += stats.get("warm_absorbed", 0)
@@ -297,8 +410,7 @@ class IncrementalSplitSession:
                     sat_model = model
                     # Cancel outstanding subtasks; the worker sessions die with
                     # the pool, so drop it and let a later check start fresh.
-                    pool.terminate()
-                    pool.join()
+                    _terminate_pool(pool)
                     self._pool = None
                     break
         finally:
@@ -324,12 +436,13 @@ class IncrementalSplitSession:
                 self._cancel_event.clear()
                 self._finish(
                     SMTCheck(status="unsat"), num_variables, num_clauses,
-                    conflicts, decisions, propagations,
+                    conflicts, decisions, propagations, blocker_hits, heap_discards,
                 )
                 raise SolverInterrupted(reason)
         result = SMTCheck(status="sat" if sat_model is not None else "unsat", model=sat_model)
         return self._finish(
-            result, num_variables, num_clauses, conflicts, decisions, propagations
+            result, num_variables, num_clauses, conflicts, decisions,
+            propagations, blocker_hits, heap_discards,
         )
 
     # ------------------------------------------------------------------
@@ -347,6 +460,11 @@ class IncrementalSplitSession:
             "propagations": self.total_propagations,
             "elapsed_seconds": self.elapsed_seconds,
         }
+        # Hot-path counters follow the only-when-nonzero schema rule.
+        if self.total_blocker_hits:
+            stats["blocker_hits"] = self.total_blocker_hits
+        if self.total_heap_discards:
+            stats["heap_discards"] = self.total_heap_discards
         if self._local is not None and hasattr(self._local, "stats"):
             local = self._local.stats()
             for key in ("learnt_kept", "learnt_deleted", "reductions", "minimized_literals"):
@@ -388,8 +506,7 @@ class IncrementalSplitSession:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
+            _terminate_pool(self._pool)
             self._pool = None
 
     def __enter__(self) -> "IncrementalSplitSession":
@@ -510,10 +627,13 @@ _WORKER_WARM_ABSORBED: int = 0
 _WORKER_WARM_REPORTED: bool = False
 
 
-def _worker_init(formula: BoolExpr, warm_dir: str | None = None, cancel_event=None) -> None:
+def _worker_init(formula: BoolExpr, warm_dir: str | None = None, cancel_event=None,
+                 env: dict | None = None) -> None:
     global _WORKER_SESSION, _WORKER_GUARDS, _WORKER_CANCEL, _WORKER_WARM_DIR
     global _WORKER_FINGERPRINT, _WORKER_BASE_VARS, _WORKER_WARM_ABSORBED
     global _WORKER_WARM_REPORTED
+    if env:
+        os.environ.update(env)
     _WORKER_SESSION = SolveSession(formula)
     _WORKER_GUARDS = set()
     _WORKER_CANCEL = cancel_event
@@ -574,6 +694,8 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | str | None, dict]:
         "conflicts": 0,
         "decisions": 0,
         "propagations": 0,
+        "blocker_hits": 0,
+        "heap_discards": 0,
         "num_variables": 0,
         "num_clauses": 0,
     }
@@ -598,6 +720,8 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | str | None, dict]:
         stats["conflicts"] += check.conflicts
         stats["decisions"] += check.decisions
         stats["propagations"] += check.propagations
+        stats["blocker_hits"] += check.blocker_hits
+        stats["heap_discards"] += check.heap_discards
         stats["num_variables"] = max(stats["num_variables"], check.num_variables)
         stats["num_clauses"] = max(stats["num_clauses"], check.num_clauses)
         if check.is_sat:

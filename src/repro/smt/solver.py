@@ -32,10 +32,42 @@ attached; when the learnt population outgrows its budget, the worst half
 (LBD <= 2) and clauses currently locked as reasons.  Clauses restored from a
 warm cache enter through :meth:`SATSolver.absorb_learnt`, so they stay
 deletable like any other learnt clause.
+
+Hot-path engineering (MiniSat / glucose playbook):
+
+* **Decisions** come from an indexed binary max-heap over variable
+  activities (ties broken toward the smaller variable index, which makes the
+  heap pick *identical* to a linear maximum scan).  Assigned variables are
+  removed lazily — they surface at the top and are discarded (counted in
+  ``heap_discards``); a mid-search backtrack reinserts every variable it
+  unassigns, while the end-of-solve backtrack defers reinsertion so the
+  next call refills only the variables its root propagation left
+  unassigned.  A decision costs O(log n) instead of the previous O(n)
+  scan.  The scan survives as the ``"linear"`` decision policy
+  (``REPRO_DECISION_POLICY`` environment variable or the
+  ``decision_policy`` argument) purely so the benchmark harness can
+  measure the heap against the historical behaviour; both policies make
+  bit-identical decisions.
+* **Propagation** uses per-literal watcher arrays of (clause index, blocker
+  literal) pairs stored interleaved in flat lists indexed by a literal→slot
+  map, with truth values stored literal-indexed so a value check is one
+  list lookup.  A watcher whose cached blocker is already true is skipped
+  without touching the clause at all (counted in ``blocker_hits``);
+  watcher lists are swap-compacted in place — only once a watcher has
+  actually migrated — instead of being rebuilt per propagation, and
+  binary clauses live in dedicated watcher arrays that resolve from the
+  cached pair alone.
+* **Conflict analysis** allocates nothing proportional to the variable
+  count: the ``seen`` mark states, the minimization stack and the level
+  scratch are reusable instance buffers cleared through a to-clear list,
+  so a conflict costs O(size of the resolved clauses), not O(num_vars).
+  Minimization is a path-DFS over the reason graph with post-order
+  removable/failed memoization and an abstract-level bitmask filter.
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -45,6 +77,11 @@ __all__ = ["SATSolver", "SolveControl", "SolverInterrupted", "SolverResult"]
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
+
+# Mark states for the shared conflict-analysis ``_seen`` buffer.
+_SEEN_SOURCE = 1  # marked during first-UIP resolution (or a learnt literal)
+_SEEN_REMOVABLE = 2  # minimization memo: proven to ground out in the clause
+_SEEN_FAILED = 3  # minimization memo: proven NOT to ground out
 
 
 @dataclass
@@ -56,6 +93,8 @@ class SolverResult:
     conflicts: int = 0
     decisions: int = 0
     propagations: int = 0
+    blocker_hits: int = 0
+    heap_discards: int = 0
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -130,13 +169,27 @@ def _luby(index: int) -> int:
 class SATSolver:
     """Conflict-driven clause-learning solver over a :class:`~repro.smt.cnf.CNF`."""
 
+    #: Recognised decision policies; ``"linear"`` is the historical O(n)
+    #: activity scan kept as a benchmark fallback, never the default.
+    DECISION_POLICIES: tuple[str, ...] = ("heap", "linear")
+
     def __init__(
         self,
         cnf,
         max_conflicts: int | None = None,
         max_learnt: int | None = None,
+        decision_policy: str | None = None,
     ):
-        self.num_vars = cnf.num_vars
+        if decision_policy is None:
+            decision_policy = os.environ.get("REPRO_DECISION_POLICY") or "heap"
+        if decision_policy not in self.DECISION_POLICIES:
+            raise ValueError(
+                f"unknown decision policy {decision_policy!r}; "
+                f"expected one of {self.DECISION_POLICIES}"
+            )
+        self.decision_policy = decision_policy
+        self._use_heap: bool = decision_policy == "heap"
+
         self.clauses: list[list[int]] = []
         self.max_conflicts = max_conflicts
         # Learnt-clause budget: None derives the classic len(clauses)/3 floor
@@ -151,13 +204,53 @@ class SATSolver:
         self.minimized_literals = 0
         self.erased_clauses = 0
 
-        size = self.num_vars + 1
-        self.assignment = [_UNASSIGNED] * size
-        self.level = [0] * size
-        self.reason: list[int | None] = [None] * size
-        self.activity = [0.0] * size
-        self.polarity = [False] * size
-        self.watches: dict[int, list[int]] = {}
+        # Per-variable state (index 0 unused); every array here is extended
+        # in one place, _ensure_capacity, so the solver cannot grow one array
+        # and forget another.
+        self.num_vars = 0
+        # Literal truth values, indexed by the *literal itself*: _lit_values
+        # has length 2*num_vars + 1 so a negative literal indexes from the
+        # end (Python's negative indexing).  One list lookup answers "what is
+        # the value of literal l" with no sign test and no abs() — the
+        # single most frequent operation in the solver.
+        self._lit_values: list[int] = [_UNASSIGNED]
+        self.level: list[int] = [0]
+        self.reason: list[int | None] = [None]
+        self.activity: list[float] = [0.0]
+        self.polarity: list[bool] = [False]
+
+        # Watcher arrays: _watchers[slot] is a flat interleaved list of
+        # (clause_index, blocker_literal) pairs for one literal.  The slot of
+        # literal l is 2*l for l > 0 and 1 - 2*l for l < 0, so a literal's
+        # watchers are one list lookup away (no dict hashing on the hot
+        # path).  Binary clauses live in the parallel _binary_watchers
+        # arrays, scanned first and without any compaction bookkeeping (a
+        # binary watcher can never migrate).  Slots 0 and 1 belong to the
+        # unused variable 0.
+        self._watchers: list[list[int]] = [[], []]
+        self._binary_watchers: list[list[int]] = [[], []]
+
+        # Decision heap: an indexed binary max-heap of variables ordered by
+        # (activity, -var).  _heap_index[var] is the variable's position in
+        # _heap, or -1 when absent.  The end-of-solve backtrack defers
+        # reinsertion (_heap_stale): most of those variables are immediately
+        # re-assigned by the next call's root propagation, so solve() refills
+        # only the genuinely unassigned ones after propagating assumptions.
+        self._heap: list[int] = []
+        self._heap_index: list[int] = [-1]
+        self._heap_stale = False
+        self._defer_reinsert = False
+
+        # Conflict-analysis scratch, reused across conflicts and cleared via
+        # _seen_to_clear so per-conflict cost scales with the clause sizes
+        # involved, never with num_vars.  _seen holds per-variable mark
+        # states: 0 = unseen, _SEEN_SOURCE = marked by first-UIP resolution,
+        # _SEEN_REMOVABLE / _SEEN_FAILED = minimization memo verdicts.
+        self._seen: list[int] = [0]
+        self._seen_to_clear: list[int] = []
+        self._min_stack: list[int] = []
+        self._levels_scratch: set[int] = set()
+
         self.trail: list[int] = []
         self.trail_limits: list[int] = []
         self.queue_head = 0
@@ -165,14 +258,41 @@ class SATSolver:
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
+        self.blocker_hits = 0
+        self.heap_discards = 0
         self.num_solves = 0
         self._restart_count = 0
         self._activity_increment = 1.0
         self._activity_decay = 0.95
         self._contradiction = False
 
+        self._ensure_capacity(cnf.num_vars)
+        # Bulk attach: building the clause database and watcher lists with
+        # plain list operations (no per-clause method calls) measurably
+        # shortens session start-up — construction is on the critical path
+        # of a shared context's first check.
+        clauses = self.clauses
+        is_learnt = self.clause_is_learnt
+        lbds = self.clause_lbd
+        long_watchers = self._watchers
+        binary_watchers = self._binary_watchers
         for clause in cnf.clauses:
-            self._attach_clause(list(clause), learnt=False)
+            clause = list(clause)
+            if len(clause) < 2:
+                self._attach_clause(clause, learnt=False)
+                continue
+            index = len(clauses)
+            clauses.append(clause)
+            is_learnt.append(False)
+            lbds.append(0)
+            first, second = clause[0], clause[1]
+            watchers = binary_watchers if len(clause) == 2 else long_watchers
+            watcher_list = watchers[(first << 1) + 1 if first > 0 else -(first << 1)]
+            watcher_list.append(index)
+            watcher_list.append(second)
+            watcher_list = watchers[(second << 1) + 1 if second > 0 else -(second << 1)]
+            watcher_list.append(index)
+            watcher_list.append(first)
 
         # Problem clauses and learnt clauses interleave once add_clause is
         # used, so the learnt population is tracked as a count, not a
@@ -182,17 +302,43 @@ class SATSolver:
     # ------------------------------------------------------------------
     # Incremental interface
     # ------------------------------------------------------------------
-    def grow_variables(self, num_vars: int) -> None:
-        """Extend the variable range to ``num_vars`` (no-op when not larger)."""
-        if num_vars <= self.num_vars:
-            return
+    def _ensure_capacity(self, num_vars: int) -> None:
+        """Extend every per-variable array (and the watcher slots and the
+        decision heap) to cover variables up to ``num_vars``.  The single
+        place variable storage is allocated."""
         extra = num_vars - self.num_vars
-        self.assignment.extend([_UNASSIGNED] * extra)
+        if extra <= 0:
+            return
+        # The literal-indexed value array cannot be extended in place — a
+        # negative literal's position depends on the total length — so it is
+        # rebuilt from the (root-level) trail.  Growth only ever happens
+        # between solve calls at decision level 0, where the trail lists
+        # every assigned literal.
+        values = [_UNASSIGNED] * (2 * num_vars + 1)
+        for trail_lit in self.trail:
+            values[trail_lit] = _TRUE
+            values[-trail_lit] = _FALSE
+        self._lit_values = values
         self.level.extend([0] * extra)
         self.reason.extend([None] * extra)
         self.activity.extend([0.0] * extra)
         self.polarity.extend([False] * extra)
+        self._seen.extend([0] * extra)
+        self._heap_index.extend([-1] * extra)
+        for _ in range(extra):
+            self._watchers.append([])
+            self._watchers.append([])
+            self._binary_watchers.append([])
+            self._binary_watchers.append([])
+        first_new = self.num_vars + 1
         self.num_vars = num_vars
+        if self._use_heap:
+            for var in range(first_new, num_vars + 1):
+                self._heap_insert(var)
+
+    def grow_variables(self, num_vars: int) -> None:
+        """Extend the variable range to ``num_vars`` (no-op when not larger)."""
+        self._ensure_capacity(num_vars)
 
     def add_clause(self, clause) -> None:
         """Attach a clause after construction (between :meth:`solve` calls).
@@ -250,20 +396,22 @@ class SATSolver:
         Returns the simplified literal list, or None when the clause is a
         tautology or permanently satisfied and need not be stored.
         """
-        if self._decision_level() != 0:
+        if self.trail_limits:
             raise RuntimeError("clauses may only be added at decision level 0")
+        values = self._lit_values
+        num_vars = self.num_vars
         seen: set[int] = set()
         simplified: list[int] = []
         for lit in clause:
             lit = int(lit)
-            if lit == 0 or abs(lit) > self.num_vars:
+            if lit == 0 or lit > num_vars or lit < -num_vars:
                 raise ValueError(f"literal {lit} out of range")
-            if -lit in seen:
-                return None  # tautology
             if lit in seen:
                 continue
+            if -lit in seen:
+                return None  # tautology
             seen.add(lit)
-            value = self._value(lit)
+            value = values[lit]
             if value == _TRUE:
                 return None  # permanently satisfied at level 0
             if value == _FALSE:
@@ -274,6 +422,22 @@ class SATSolver:
     # ------------------------------------------------------------------
     # Clause management
     # ------------------------------------------------------------------
+    def _watch(self, clause_index: int, watched: int, blocker: int, binary: bool) -> None:
+        """Register ``clause_index`` on ``watched``'s watcher slot.
+
+        The slot is the one scanned when ``watched`` becomes false, i.e. the
+        slot of ``-watched``; ``blocker`` is cached alongside so propagation
+        can skip the clause when the blocker is already true.  Binary clauses
+        live in their own per-literal arrays: their blocker IS the whole
+        remaining clause, so propagation resolves them from the watcher pair
+        alone — never touching the clause list, never migrating, and never
+        paying the long-watcher compaction bookkeeping.
+        """
+        slot = (watched << 1) + 1 if watched > 0 else -(watched << 1)
+        watchers = (self._binary_watchers if binary else self._watchers)[slot]
+        watchers.append(clause_index)
+        watchers.append(blocker)
+
     def _attach_clause(self, clause: list[int], learnt: bool, lbd: int = 0) -> int | None:
         if not clause:
             self._contradiction = True
@@ -290,9 +454,26 @@ class SATSolver:
         self.clause_lbd.append(lbd if learnt else 0)
         if learnt:
             self.num_learnt += 1
-        for lit in clause[:2]:
-            self.watches.setdefault(-lit, []).append(index)
+        binary = len(clause) == 2
+        self._watch(index, clause[0], clause[1], binary)
+        self._watch(index, clause[1], clause[0], binary)
         return index
+
+    def _rebuild_watchers(self) -> None:
+        """Re-derive every watcher list from the clause database.
+
+        Used after bulk clause surgery (:meth:`_reduce_learnt`,
+        :meth:`erase_satisfied`): the first two literals of every clause are
+        its watches, with the opposite watch cached as the blocker.
+        """
+        for watcher_list in self._watchers:
+            watcher_list.clear()
+        for watcher_list in self._binary_watchers:
+            watcher_list.clear()
+        for index, clause in enumerate(self.clauses):
+            binary = len(clause) == 2
+            self._watch(index, clause[0], clause[1], binary)
+            self._watch(index, clause[1], clause[0], binary)
 
     def _reduce_learnt(self) -> None:
         """Delete the worst half of the deletable learnt clauses.
@@ -300,9 +481,9 @@ class SATSolver:
         Deletable means: learnt, not currently the reason of an assigned
         literal (locked), and not glue (LBD > 2).  Worst is highest LBD,
         breaking ties on clause length.  The clause list is compacted and the
-        watch lists and reason indices remapped, so the method is safe at any
-        decision level (the solve loop calls it between propagation and the
-        next decision).
+        watcher lists and reason indices remapped, so the method is safe at
+        any decision level (the solve loop calls it between propagation and
+        the next decision).
         """
         locked = {index for index in self.reason if index is not None}
         candidates = [
@@ -332,10 +513,7 @@ class SATSolver:
         self.clauses = clauses
         self.clause_is_learnt = is_learnt
         self.clause_lbd = lbds
-        self.watches = {}
-        for index, clause in enumerate(self.clauses):
-            for lit in clause[:2]:
-                self.watches.setdefault(-lit, []).append(index)
+        self._rebuild_watchers()
         for var in range(1, self.num_vars + 1):
             reason_index = self.reason[var]
             if reason_index is not None:
@@ -351,7 +529,7 @@ class SATSolver:
         is negated at the root, every clause it guarded is permanently
         satisfied and can be physically removed, so retiring stale guards
         actually shrinks the clause database instead of leaving dead weight
-        in the watch lists.  Root-falsified literals are stripped from the
+        in the watcher lists.  Root-falsified literals are stripped from the
         surviving clauses at the same time (sound: they can never help
         satisfy the clause again).  Returns the number of erased clauses.
         """
@@ -377,7 +555,7 @@ class SATSolver:
             stripped = [lit for lit in clause if self._value(lit) != _FALSE]
             # With the root trail fully propagated, an unsatisfied clause
             # keeps >= 2 unassigned literals; handle the impossible shapes
-            # defensively anyway so a caller bug cannot corrupt the watches.
+            # defensively anyway so a caller bug cannot corrupt the watchers.
             if not stripped:
                 self._contradiction = True
                 continue
@@ -395,10 +573,7 @@ class SATSolver:
         self.clauses = clauses
         self.clause_is_learnt = is_learnt
         self.clause_lbd = lbds
-        self.watches = {}
-        for index, clause in enumerate(self.clauses):
-            for lit in clause[:2]:
-                self.watches.setdefault(-lit, []).append(index)
+        self._rebuild_watchers()
         # Every assigned variable is at level 0 here, and level-0 assignments
         # never need their reasons again (conflict analysis skips them), so
         # dropping all reason indices is both safe and required — they may
@@ -411,19 +586,18 @@ class SATSolver:
     # Assignment helpers
     # ------------------------------------------------------------------
     def _value(self, lit: int) -> int:
-        value = self.assignment[abs(lit)]
-        if value == _UNASSIGNED:
-            return _UNASSIGNED
-        return value if lit > 0 else -value
+        return self._lit_values[lit]
 
     def _enqueue(self, lit: int, reason_index: int | None) -> bool:
-        current = self._value(lit)
+        values = self._lit_values
+        current = values[lit]
         if current == _TRUE:
             return True
         if current == _FALSE:
             return False
+        values[lit] = _TRUE
+        values[-lit] = _FALSE
         var = abs(lit)
-        self.assignment[var] = _TRUE if lit > 0 else _FALSE
         self.level[var] = len(self.trail_limits)
         self.reason[var] = reason_index
         self.polarity[var] = lit > 0
@@ -434,157 +608,497 @@ class SATSolver:
         return len(self.trail_limits)
 
     # ------------------------------------------------------------------
-    # Unit propagation with two watched literals
+    # Unit propagation: two watched literals with cached blockers
     # ------------------------------------------------------------------
     def _propagate(self) -> int | None:
-        """Propagate pending assignments; return a conflicting clause index or None."""
-        while self.queue_head < len(self.trail):
-            lit = self.trail[self.queue_head]
-            self.queue_head += 1
-            self.propagations += 1
-            watch_list = self.watches.get(lit)
-            if not watch_list:
+        """Propagate pending assignments; return a conflicting clause index or None.
+
+        The inner loop walks one literal's watcher slot — a flat interleaved
+        (clause_index, blocker) list — compacting it in place: watchers that
+        stay put are copied down over the ones that migrated to another
+        literal, and the tail is truncated once, instead of materialising a
+        new list per propagated literal.  A watcher whose cached blocker is
+        already true is kept without touching its clause (``blocker_hits``).
+        Binary clauses live in dedicated watcher arrays scanned first for
+        each literal: true blocker → satisfied, false blocker → conflict,
+        unassigned blocker → implied, with their clause never fetched.
+        Implied literals are assigned inline (the :meth:`_enqueue` checks
+        are statically known to pass here), which matters because
+        propagation assigns far more literals than decisions and conflicts
+        combined.
+        """
+        trail = self.trail
+        trail_append = trail.append
+        watchers = self._watchers
+        binary_watchers = self._binary_watchers
+        clauses = self.clauses
+        values = self._lit_values
+        level = self.level
+        reason = self.reason
+        current_level = len(self.trail_limits)
+        blocker_hits = 0
+        propagations = 0
+        conflict: int | None = None
+        head = self.queue_head
+        while head < len(trail):
+            lit = trail[head]
+            head += 1
+            propagations += 1
+            slot = lit << 1 if lit > 0 else 1 - (lit << 1)
+            # Binary watchers first: each resolves from its (index, blocker)
+            # pair alone — no clause fetch, no migration, no compaction.
+            # zip(it, it) walks the flat list pairwise at C speed.
+            binary_list = binary_watchers[slot]
+            if binary_list:
+                pairs = iter(binary_list)
+                for clause_index, blocker in zip(pairs, pairs):
+                    value = values[blocker]
+                    if value == _TRUE:
+                        blocker_hits += 1
+                        continue
+                    if value == _FALSE:
+                        conflict = clause_index
+                        break
+                    values[blocker] = _TRUE
+                    values[-blocker] = _FALSE
+                    var = blocker if blocker > 0 else -blocker
+                    level[var] = current_level
+                    reason[var] = clause_index
+                    trail_append(blocker)
+                if conflict is not None:
+                    break
+            watcher_list = watchers[slot]
+            if not watcher_list:
                 continue
-            new_watch_list: list[int] = []
-            index_position = 0
-            while index_position < len(watch_list):
-                clause_index = watch_list[index_position]
-                index_position += 1
-                clause = self.clauses[clause_index]
-                # Ensure the falsified literal is in position 1.
-                false_lit = -lit
-                if clause[0] == false_lit:
-                    clause[0], clause[1] = clause[1], clause[0]
-                first = clause[0]
-                if self._value(first) == _TRUE:
-                    new_watch_list.append(clause_index)
+            false_lit = -lit
+            read = write = 0
+            end = len(watcher_list)
+            # ``write`` trails ``read`` only once a watcher has migrated
+            # away; until then every entry keeps its place and the loop
+            # writes nothing at all (the overwhelmingly common case).
+            dirty = False
+            while read < end:
+                clause_index = watcher_list[read]
+                blocker = watcher_list[read + 1]
+                read += 2
+                value = values[blocker]
+                if value == _TRUE:
+                    blocker_hits += 1
+                    if dirty:
+                        watcher_list[write] = clause_index
+                        watcher_list[write + 1] = blocker
+                    write += 2
                     continue
+                clause = clauses[clause_index]
+                # Ensure the falsified literal is in position 1.
+                if clause[0] == false_lit:
+                    clause[0] = clause[1]
+                    clause[1] = false_lit
+                first = clause[0]
+                if first != blocker:
+                    value = values[first]
+                    if value == _TRUE:
+                        watcher_list[write] = clause_index
+                        watcher_list[write + 1] = first
+                        write += 2
+                        continue
                 # Look for a new literal to watch.
                 found = False
                 for position in range(2, len(clause)):
                     candidate = clause[position]
-                    if self._value(candidate) != _FALSE:
-                        clause[1], clause[position] = clause[position], clause[1]
-                        self.watches.setdefault(-clause[1], []).append(clause_index)
+                    if values[candidate] != _FALSE:
+                        clause[1] = candidate
+                        clause[position] = false_lit
+                        migrated = watchers[
+                            (candidate << 1) + 1 if candidate > 0
+                            else -(candidate << 1)
+                        ]
+                        migrated.append(clause_index)
+                        migrated.append(first)
                         found = True
+                        dirty = True
                         break
                 if found:
                     continue
                 # Clause is unit or conflicting.
-                new_watch_list.append(clause_index)
-                if self._value(first) == _FALSE:
-                    # Conflict: keep remaining watches and report.
-                    new_watch_list.extend(watch_list[index_position:])
-                    self.watches[lit] = new_watch_list
-                    return clause_index
-                self._enqueue(first, clause_index)
-            self.watches[lit] = new_watch_list
-        return None
+                watcher_list[write] = clause_index
+                watcher_list[write + 1] = first
+                write += 2
+                value = values[first]
+                if value == _FALSE:
+                    conflict = clause_index
+                    break
+                values[first] = _TRUE
+                values[-first] = _FALSE
+                var = first if first > 0 else -first
+                level[var] = current_level
+                reason[var] = clause_index
+                trail_append(first)
+            if conflict is not None:
+                # Keep the remaining watchers and report the conflict.
+                if dirty:
+                    while read < end:
+                        watcher_list[write] = watcher_list[read]
+                        watcher_list[write + 1] = watcher_list[read + 1]
+                        read += 2
+                        write += 2
+                    del watcher_list[write:]
+                break
+            if dirty:
+                del watcher_list[write:]
+        self.queue_head = head
+        self.blocker_hits += blocker_hits
+        self.propagations += propagations
+        return conflict
 
     # ------------------------------------------------------------------
-    # Conflict analysis (first UIP)
+    # Conflict analysis (first UIP), allocation-free
     # ------------------------------------------------------------------
-    def _analyze(self, conflict_index: int) -> tuple[list[int], int]:
+    def _analyze(self, conflict_index: int) -> tuple[list[int], int, int]:
+        """First-UIP analysis: returns ``(learnt_clause, backjump_level, lbd)``.
+
+        Uses the instance-level ``_seen`` buffer; every variable marked here
+        (or by the minimization below) is recorded in ``_seen_to_clear`` and
+        unmarked before returning, so the buffer is all-False between
+        conflicts without ever being rebuilt.
+        """
         learnt: list[int] = [0]  # placeholder for the asserting literal
-        seen = [False] * (self.num_vars + 1)
+        seen = self._seen
+        to_clear = self._seen_to_clear
+        level = self.level
+        trail = self.trail
+        activity = self.activity
+        heap_index = self._heap_index
+        use_heap = self._use_heap
+        increment = self._activity_increment
         counter = 0
-        lit = None
+        lit = 0  # 0 is never a literal: first iteration resolves nothing
         clause_index: int | None = conflict_index
-        trail_position = len(self.trail) - 1
+        trail_position = len(trail) - 1
         current_level = self._decision_level()
 
         while True:
             clause = self.clauses[clause_index]
             for clause_lit in clause:
-                if lit is not None and clause_lit == lit:
+                if clause_lit == lit:
                     continue
-                var = abs(clause_lit)
-                if not seen[var] and self.level[var] > 0:
-                    seen[var] = True
-                    self._bump_activity(var)
-                    if self.level[var] >= current_level:
+                var = clause_lit if clause_lit > 0 else -clause_lit
+                if not seen[var] and level[var] > 0:
+                    seen[var] = _SEEN_SOURCE
+                    to_clear.append(var)
+                    # Inlined _bump_activity: this runs once per resolved
+                    # variable per conflict, the single hottest non-propagate
+                    # site in the solver.
+                    bumped = activity[var] + increment
+                    activity[var] = bumped
+                    if bumped > 1e100:
+                        self._rescale_activities()
+                        increment = self._activity_increment
+                    elif use_heap and heap_index[var] >= 0:
+                        self._heap_sift_up(heap_index[var])
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(clause_lit)
             # Select the next literal on the trail to resolve.
-            while not seen[abs(self.trail[trail_position])]:
+            while True:
+                lit = trail[trail_position]
                 trail_position -= 1
-            lit = self.trail[trail_position]
-            trail_position -= 1
-            seen[abs(lit)] = False
+                var = lit if lit > 0 else -lit
+                if seen[var]:
+                    break
+            seen[var] = 0
             counter -= 1
             if counter == 0:
                 break
-            clause_index = self.reason[abs(lit)]
+            clause_index = self.reason[var]
         learnt[0] = -lit
 
         if len(learnt) > 2:
-            learnt = self._minimize_learnt(learnt, seen)
+            learnt = self._minimize_learnt(learnt)
 
         if len(learnt) == 1:
             backjump_level = 0
             lbd = 1
         else:
             # Move the literal with the highest level (other than the UIP) to slot 1.
-            best = max(range(1, len(learnt)), key=lambda i: self.level[abs(learnt[i])])
+            best = max(range(1, len(learnt)), key=lambda i: level[abs(learnt[i])])
             learnt[1], learnt[best] = learnt[best], learnt[1]
-            backjump_level = self.level[abs(learnt[1])]
-            lbd = len({self.level[abs(learnt_lit)] for learnt_lit in learnt})
+            backjump_level = level[abs(learnt[1])]
+            levels = self._levels_scratch
+            levels.clear()
+            for learnt_lit in learnt:
+                levels.add(level[abs(learnt_lit)])
+            lbd = len(levels)
+        for var in to_clear:
+            seen[var] = 0
+        to_clear.clear()
         return learnt, backjump_level, lbd
 
-    def _minimize_learnt(self, learnt: list[int], seen: list[bool]) -> list[int]:
+    def _minimize_learnt(self, learnt: list[int]) -> list[int]:
         """Recursive clause minimization (MiniSat's redundant-literal test).
 
         A non-UIP literal is redundant when its reason clause — and,
         recursively, the reasons of that clause's literals — grounds out
-        entirely in literals already in the learnt clause (``seen``) or fixed
-        at level 0.  ``seen`` doubles as the memo: literals proven reachable
-        stay marked, failed probes unwind their own marks only.
+        entirely in literals already in the learnt clause (``_seen``) or
+        fixed at level 0.  ``_seen`` doubles as the memo: literals proven
+        reachable stay marked (their variables are already queued on
+        ``_seen_to_clear``, which :meth:`_analyze` clears), failed probes
+        unwind their own marks only.
+
+        Bookkeeping invariant (audited — the var/literal split is easy to
+        misread): the DFS stack holds (clause position, *literal*) frames
+        while ``_seen``/``_seen_to_clear`` record *variables*; a frame's own
+        variable never re-expands because the scan skips it explicitly.
+        Marks are written post-order — ``_SEEN_REMOVABLE`` only once a
+        variable's entire reason subtree verified — so they are sound
+        memoized verdicts even when the enclosing probe later fails, and
+        nothing is ever unwound.  A failure marks the active chain
+        ``_SEEN_FAILED`` (each ancestor needed the failing literal to
+        ground), which later probes reject in O(1).  Dropping a literal from
+        the learnt clause leaves its ``_SEEN_SOURCE`` mark in place: a
+        literal proven to ground out in the clause remains a valid ground
+        for others.  ``tests/smt/test_hotpath.py`` pins all of this with
+        crafted and randomized entailment checks.
         """
-        levels = {self.level[abs(lit)] for lit in learnt[1:]}
-        to_clear: list[int] = []
+        level = self.level
+        reason = self.reason
+        clauses = self.clauses
+        seen = self._seen
+        to_clear = self._seen_to_clear
+        stack = self._min_stack
+        # MiniSat's abstract level set: a 64-bit signature of the decision
+        # levels present in the learnt clause.  The membership test below is
+        # a sound early-abort filter — a hash collision merely lets a walk
+        # continue, and redundancy is only ever concluded from actual
+        # grounding in marked/level-0 literals.
+        abstract_levels = 0
+        for lit in learnt[1:]:
+            abstract_levels |= 1 << (level[abs(lit)] & 63)
         kept = [learnt[0]]
         for lit in learnt[1:]:
-            if self.reason[abs(lit)] is None or not self._lit_redundant(
-                lit, seen, levels, to_clear
-            ):
+            root_var = lit if lit > 0 else -lit
+            if reason[root_var] is None:
                 kept.append(lit)
+                continue
+            # Iterative path-DFS over the reason graph (acyclic: a reason's
+            # literals were all assigned before the literal it implies).  A
+            # variable is marked _SEEN_REMOVABLE only *after* its whole
+            # subtree verified (post-order), so marks are sound even when
+            # the probe as a whole later fails and nothing is ever unwound;
+            # a failure marks the current chain _SEEN_FAILED so later probes
+            # reject it in O(1) instead of re-walking it.
+            stack.clear()
+            current = lit
+            current_var = root_var
+            clause = clauses[reason[root_var]]
+            position = 0
+            redundant = True
+            while True:
+                if position < len(clause):
+                    other = clause[position]
+                    position += 1
+                    var = other if other > 0 else -other
+                    if var == current_var or level[var] == 0:
+                        continue
+                    state = seen[var]
+                    if state == _SEEN_SOURCE or state == _SEEN_REMOVABLE:
+                        continue
+                    if (
+                        state == _SEEN_FAILED
+                        or reason[var] is None
+                        or not (abstract_levels >> (level[var] & 63)) & 1
+                    ):
+                        # Grounds in a decision/assumption, leaves the
+                        # clause's levels, or is already known to fail.
+                        redundant = False
+                        break
+                    # Descend into the unverified literal.
+                    stack.append(position)
+                    stack.append(current)
+                    current = other
+                    current_var = var
+                    clause = clauses[reason[var]]
+                    position = 0
+                else:
+                    # Every literal of current's reason grounds out.
+                    if not seen[current_var]:
+                        seen[current_var] = _SEEN_REMOVABLE
+                        to_clear.append(current_var)
+                    if not stack:
+                        break
+                    current = stack.pop()
+                    position = stack.pop()
+                    current_var = current if current > 0 else -current
+                    clause = clauses[reason[current_var]]
+            if redundant:
+                continue
+            # The whole chain from the probe root down to the failure point
+            # is non-redundant: each ancestor needed the failing literal to
+            # ground.  Memoize that verdict (source marks stay source).
+            if not seen[current_var]:
+                seen[current_var] = _SEEN_FAILED
+                to_clear.append(current_var)
+            while stack:
+                current = stack.pop()
+                stack.pop()
+                current_var = current if current > 0 else -current
+                if not seen[current_var]:
+                    seen[current_var] = _SEEN_FAILED
+                    to_clear.append(current_var)
+            kept.append(lit)
         self.minimized_literals += len(learnt) - len(kept)
         return kept
 
-    def _lit_redundant(
-        self, lit: int, seen: list[bool], levels: set[int], to_clear: list[int]
-    ) -> bool:
-        stack = [lit]
-        top = len(to_clear)
-        while stack:
-            current = stack.pop()
-            clause = self.clauses[self.reason[abs(current)]]
-            for other in clause:
-                var = abs(other)
-                if var == abs(current) or seen[var] or self.level[var] == 0:
-                    continue
-                if self.reason[var] is None or self.level[var] not in levels:
-                    # Grounds in a decision/assumption or leaves the clause's
-                    # levels: not redundant.  Unwind this probe's marks.
-                    for marked in to_clear[top:]:
-                        seen[marked] = False
-                    del to_clear[top:]
-                    return False
-                seen[var] = True
-                stack.append(other)
-                to_clear.append(var)
-        return True
-
+    # ------------------------------------------------------------------
+    # Activity ordering (EVSIDS) and the decision heap
+    # ------------------------------------------------------------------
     def _bump_activity(self, var: int) -> None:
-        self.activity[var] += self._activity_increment
-        if self.activity[var] > 1e100:
-            for index in range(1, self.num_vars + 1):
-                self.activity[index] *= 1e-100
-            self._activity_increment *= 1e-100
+        activity = self.activity
+        activity[var] += self._activity_increment
+        if activity[var] > 1e100:
+            self._rescale_activities()
+        elif self._use_heap and self._heap_index[var] >= 0:
+            self._heap_sift_up(self._heap_index[var])
+
+    def _rescale_activities(self) -> None:
+        """Scale every activity (and the increment) down by 1e-100.
+
+        A uniform rescale preserves ordering, but the heap is rebuilt in
+        place anyway: it is rare, cheap, and immune to float rounding
+        collapsing distinct activities into ties.
+        """
+        activity = self.activity
+        for index in range(1, self.num_vars + 1):
+            activity[index] *= 1e-100
+        self._activity_increment *= 1e-100
+        if self._use_heap:
+            self._heap_rebuild()
 
     def _decay_activities(self) -> None:
         self._activity_increment /= self._activity_decay
+
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_index[var] >= 0:
+            return
+        heap = self._heap
+        heap.append(var)
+        position = len(heap) - 1
+        self._heap_index[var] = position
+        self._heap_sift_up(position)
+
+    def _heap_sift_up(self, position: int) -> None:
+        heap = self._heap
+        index = self._heap_index
+        activity = self.activity
+        var = heap[position]
+        var_activity = activity[var]
+        while position > 0:
+            parent_position = (position - 1) >> 1
+            parent = heap[parent_position]
+            parent_activity = activity[parent]
+            if parent_activity > var_activity or (
+                parent_activity == var_activity and parent < var
+            ):
+                break
+            heap[position] = parent
+            index[parent] = position
+            position = parent_position
+        heap[position] = var
+        index[var] = position
+
+    def _heap_sift_down(self, position: int) -> None:
+        heap = self._heap
+        index = self._heap_index
+        activity = self.activity
+        size = len(heap)
+        var = heap[position]
+        var_activity = activity[var]
+        while True:
+            child_position = (position << 1) + 1
+            if child_position >= size:
+                break
+            child = heap[child_position]
+            child_activity = activity[child]
+            right_position = child_position + 1
+            if right_position < size:
+                right = heap[right_position]
+                right_activity = activity[right]
+                if right_activity > child_activity or (
+                    right_activity == child_activity and right < child
+                ):
+                    child_position = right_position
+                    child = right
+                    child_activity = right_activity
+            if var_activity > child_activity or (
+                var_activity == child_activity and var < child
+            ):
+                break
+            heap[position] = child
+            index[child] = position
+            position = child_position
+        heap[position] = var
+        index[var] = position
+
+    def _heap_rebuild(self) -> None:
+        """Restore the heap invariant in place after a bulk activity change."""
+        for position in range((len(self._heap) >> 1) - 1, -1, -1):
+            self._heap_sift_down(position)
+
+    def _heap_purge_assigned(self) -> None:
+        """Drop assigned variables from the heap in one O(n) pass.
+
+        Called once per solve call after root/assumption propagation, which
+        typically assigns a large fraction of the variables: purging them
+        here replaces hundreds of lazy discard-pops (each an O(log n)
+        sift-down) with a single filter + heapify.  Lazy deletion still
+        handles variables assigned during the search itself.
+        """
+        heap = self._heap
+        index = self._heap_index
+        values = self._lit_values
+        kept: list[int] = []
+        for var in heap:
+            if values[var] == _UNASSIGNED:
+                index[var] = len(kept)
+                kept.append(var)
+            else:
+                index[var] = -1
+        removed = len(heap) - len(kept)
+        if not removed:
+            return
+        self.heap_discards += removed
+        self._heap = kept
+        self._heap_rebuild()
+
+    def _heap_refill(self) -> None:
+        """Insert every unassigned variable missing from the heap.
+
+        The counterpart of the deferred end-of-solve backtrack: rather than
+        reinserting hundreds of variables that the next call's root
+        propagation re-assigns straight away (each then costing a lazy
+        discard-pop), the heap is topped up here — after assumptions have
+        propagated — with only the variables that are actually available
+        for decisions."""
+        values = self._lit_values
+        heap_index = self._heap_index
+        for var in range(1, self.num_vars + 1):
+            if values[var] == _UNASSIGNED and heap_index[var] < 0:
+                self._heap_insert(var)
+        self._heap_stale = False
+
+    def _exit_backtrack(self) -> None:
+        """Backtrack to level 0 on a solve-call exit, deferring heap
+        reinsertion to the next call's :meth:`_heap_refill`."""
+        if self._use_heap:
+            self._heap_stale = True
+            self._defer_reinsert = True
+            try:
+                self._cancel_until(0)
+            finally:
+                self._defer_reinsert = False
+        else:
+            self._cancel_until(0)
 
     # ------------------------------------------------------------------
     # Backtracking
@@ -593,24 +1107,78 @@ class SATSolver:
         if self._decision_level() <= target_level:
             return
         limit = self.trail_limits[target_level]
-        for lit in reversed(self.trail[limit:]):
-            var = abs(lit)
-            self.assignment[var] = _UNASSIGNED
-            self.reason[var] = None
-        del self.trail[limit:]
+        values = self._lit_values
+        reason = self.reason
+        trail = self.trail
+        use_heap = self._use_heap and not self._defer_reinsert
+        heap_index = self._heap_index
+        polarity = self.polarity
+        missing: list[int] = []
+        for position in range(len(trail) - 1, limit - 1, -1):
+            lit = trail[position]
+            values[lit] = _UNASSIGNED
+            values[-lit] = _UNASSIGNED
+            var = lit if lit > 0 else -lit
+            # Phase saving happens at UNASSIGN time (MiniSat-style): a
+            # variable's phase is only ever consulted while it is
+            # unassigned, so saving the last sign here is observably
+            # identical to saving on every propagation-time assignment —
+            # and propagation assigns far more often than backtracking
+            # unassigns at level 0.
+            polarity[var] = lit > 0
+            reason[var] = None
+            # Reinsert into the decision heap: every unassigned variable must
+            # be present (lazy deletion only ever removes assigned ones).
+            if use_heap and heap_index[var] < 0:
+                missing.append(var)
+        del trail[limit:]
         del self.trail_limits[target_level:]
-        self.queue_head = len(self.trail)
+        self.queue_head = len(trail)
+        for var in missing:
+            # Per-variable sift-up is amortized O(1) here: most reinserted
+            # variables land near the leaves, so this beats re-heapifying
+            # the whole heap even for end-of-solve backtracks.
+            self._heap_insert(var)
 
     # ------------------------------------------------------------------
     # Decision heuristic
     # ------------------------------------------------------------------
     def _pick_branch_variable(self) -> int | None:
+        """The unassigned variable with maximum (activity, -index), or None.
+
+        Heap policy: pop until an unassigned variable surfaces, lazily
+        discarding variables that were assigned while queued.  The tie-break
+        toward smaller variable indices makes the result identical to the
+        linear fallback's scan under any activity state.
+        """
+        if not self._use_heap:
+            return self._pick_branch_variable_linear()
+        heap = self._heap
+        index = self._heap_index
+        values = self._lit_values
+        while heap:
+            var = heap[0]
+            index[var] = -1
+            last = heap.pop()
+            if heap:
+                heap[0] = last
+                index[last] = 0
+                self._heap_sift_down(0)
+            if values[var] == _UNASSIGNED:
+                return var
+            self.heap_discards += 1
+        return None
+
+    def _pick_branch_variable_linear(self) -> int | None:
+        """The historical O(num_vars) activity scan (benchmark fallback)."""
         best_var = None
         best_activity = -1.0
+        activity = self.activity
+        values = self._lit_values
         for var in range(1, self.num_vars + 1):
-            if self.assignment[var] == _UNASSIGNED and self.activity[var] > best_activity:
+            if values[var] == _UNASSIGNED and activity[var] > best_activity:
                 best_var = var
-                best_activity = self.activity[var]
+                best_activity = activity[var]
         return best_var
 
     # ------------------------------------------------------------------
@@ -629,7 +1197,13 @@ class SATSolver:
         0 so the instance stays reusable.
         """
         self.num_solves += 1
-        start = (self.conflicts, self.decisions, self.propagations)
+        start = (
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.blocker_hits,
+            self.heap_discards,
+        )
         if control is not None:
             reason = control.interrupted(0)
             if reason is not None:
@@ -642,6 +1216,8 @@ class SATSolver:
                 self.conflicts - start[0],
                 self.decisions - start[1],
                 self.propagations - start[2],
+                self.blocker_hits - start[3],
+                self.heap_discards - start[4],
             )
 
         if self._contradiction:
@@ -658,16 +1234,31 @@ class SATSolver:
         root_level = 0
         for lit in assumptions:
             if self._value(lit) == _FALSE:
-                self._cancel_until(0)
+                self._exit_backtrack()
                 return _result(False)
             if self._value(lit) == _UNASSIGNED:
                 self.trail_limits.append(len(self.trail))
                 self._enqueue(lit, None)
                 conflict = self._propagate()
                 if conflict is not None:
-                    self._cancel_until(0)
+                    self._exit_backtrack()
                     return _result(False)
         root_level = self._decision_level()
+        if self._use_heap:
+            if self._heap_stale:
+                # The previous call's exit deferred reinsertion; now that
+                # the root trail and assumptions have propagated, top up the
+                # heap with only the variables still available for
+                # decisions (the re-assigned majority never round-trips).
+                self._heap_refill()
+            elif 2 * len(self.trail) >= len(self._heap):
+                # Purge assigned variables only when they are a large
+                # fraction of the heap: the O(heap) filter + heapify beats
+                # lazy discard-pops then, but on a shared session whose
+                # encoding spans many task formulas the active subproblem
+                # is a sliver of the variable range and the purge would
+                # cost more than the discards it avoids.
+                self._heap_purge_assigned()
 
         conflicts_until_restart = 100 * _luby(self._restart_count + 1)
         conflicts_since_restart = 0
@@ -690,7 +1281,7 @@ class SATSolver:
                     self.max_conflicts is not None
                     and self.conflicts - start[0] > self.max_conflicts
                 ):
-                    self._cancel_until(0)
+                    self._exit_backtrack()
                     raise RuntimeError("conflict budget exhausted")
                 if control is not None:
                     events_since_check += 8
@@ -698,13 +1289,13 @@ class SATSolver:
                         events_since_check = 0
                         reason = control.interrupted(self.conflicts - start[0])
                         if reason is not None:
-                            self._cancel_until(0)
+                            self._exit_backtrack()
                             raise SolverInterrupted(reason)
                 if self._decision_level() <= root_level:
                     if root_level == 0:
                         # Conflict below any assumption: permanently UNSAT.
                         self._contradiction = True
-                    self._cancel_until(0)
+                    self._exit_backtrack()
                     return _result(False)
                 learnt, backjump_level, lbd = self._analyze(conflict)
                 self._cancel_until(max(backjump_level, root_level))
@@ -730,15 +1321,16 @@ class SATSolver:
                         events_since_check = 0
                         reason = control.interrupted(self.conflicts - start[0])
                         if reason is not None:
-                            self._cancel_until(0)
+                            self._exit_backtrack()
                             raise SolverInterrupted(reason)
                 variable = self._pick_branch_variable()
                 if variable is None:
+                    values = self._lit_values
                     model = {
-                        var: self.assignment[var] == _TRUE
+                        var: values[var] == _TRUE
                         for var in range(1, self.num_vars + 1)
                     }
-                    self._cancel_until(0)
+                    self._exit_backtrack()
                     return _result(True, model)
                 self.decisions += 1
                 self.trail_limits.append(len(self.trail))

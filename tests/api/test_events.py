@@ -58,10 +58,33 @@ class TestSerialization:
 
     def test_schemas_cover_every_type_and_field(self):
         assert set(EVENT_SCHEMAS) == set(EVENT_TYPES)
+        base = {"event", "schema_version", "job_id", "seq"}
         for name, cls in EVENT_TYPES.items():
             payload = _sample(cls).to_dict()
-            declared = set(EVENT_SCHEMAS[name]) | {"event", "schema_version", "job_id", "seq"}
-            assert set(payload) == declared, name
+            declared = set(EVENT_SCHEMAS[name]) | base
+            # Optional members (e.g. SolverStats' only-when-nonzero hot-path
+            # counters) may be absent from a default payload, but nothing
+            # undeclared may ever appear, and every required field must.
+            assert set(payload) <= declared, name
+            required = {
+                field for field, (_, is_required) in EVENT_SCHEMAS[name].items()
+                if is_required
+            } | base
+            assert required <= set(payload), name
+
+    def test_solver_stats_hotpath_counters_only_when_nonzero(self):
+        quiet = _sample(SolverStats)
+        assert "blocker_hits" not in quiet.to_dict()
+        assert "heap_discards" not in quiet.to_dict()
+        busy = _sample(SolverStats)
+        busy.blocker_hits = 7
+        busy.heap_discards = 3
+        payload = busy.to_dict()
+        assert payload["blocker_hits"] == 7
+        assert payload["heap_discards"] == 3
+        assert validate_event(payload) == []
+        clone = event_from_dict(payload)
+        assert clone.blocker_hits == 7 and clone.heap_discards == 3
 
 
 class TestValidation:

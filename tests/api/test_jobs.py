@@ -293,21 +293,25 @@ class TestPoolInterruption:
             num_workers=2,
         )
         try:
+            # The conflict budget is enforced inside the workers.  This must
+            # run FIRST, against the fresh pool: once the worker sessions
+            # have accumulated learnt clauses from a completed check, later
+            # subtasks can be refuted with zero conflicts and a
+            # conflict_budget=0 control would (legitimately) never fire —
+            # which made this assertion flaky when it ran after the others.
+            tight = SolveControl(conflict_budget=0, check_interval=1)
+            with pytest.raises(SolverInterrupted) as budget_info:
+                session.check(control=tight)
+            assert budget_info.value.reason == "budget"
             expired = SolveControl(deadline=time.monotonic() - 1.0)
             with pytest.raises(SolverInterrupted) as excinfo:
                 session.check(control=expired)
             # The parent control's verdict wins over the worker-relayed
             # cancel event, so the reason names the true cause.
             assert excinfo.value.reason == "deadline"
-            # The pool (and every worker's live session) survived the
-            # interruption and decides the formula correctly afterwards.
-            check = session.check()
-            assert check.is_unsat
-            # The conflict budget is enforced inside the workers too.
-            tight = SolveControl(conflict_budget=0, check_interval=1)
-            with pytest.raises(SolverInterrupted) as budget_info:
-                session.check(control=tight)
-            assert budget_info.value.reason == "budget"
+            # The pool (and every worker's live session) survived both
+            # interruptions and decides the formula correctly afterwards.
+            assert session.check().is_unsat
             assert session.check().is_unsat
         finally:
             session.close()
