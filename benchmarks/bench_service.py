@@ -1,0 +1,289 @@
+"""Service load benchmark: latency and throughput over real sockets.
+
+Starts one :class:`repro.service.VerificationService` on an ephemeral port
+(in-process, background event loop) and drives it with ``--clients`` (default
+8) concurrent :class:`~repro.service.client.ServiceClient` threads, each
+submitting ``--jobs-per-client`` jobs from a fixed mixed workload (correction
+and detection on small registry codes) and streaming every job's NDJSON
+events to its terminal line.  The report (``BENCH_service.json``) carries:
+
+* **job latency** p50/p99 — POST issued → terminal event read off the wire
+  (queueing + execution + streaming, the number a caller experiences);
+* **submit latency** p50/p99 — the POST round-trip alone (HTTP + admission
+  overhead, independent of solver time);
+* **jobs/sec** — completed jobs over the busy window;
+* stream validation — every line of every stream is held to the
+  ``schema_version 1.0`` contract (the run *fails* on a violation);
+* admission counters (the workload sizes its token buckets so 429s mean the
+  harness is misconfigured — also a failure).
+
+Regression gate (``--check-baseline benchmarks/baselines/service.json``):
+compares calibration-normalized job-latency p50 and jobs/sec against the
+committed baseline and fails on a > ``--tolerance`` (default 1.5x —
+latency percentiles over a few dozen jobs are noisy even normalized, and
+the gate is for catching step-change regressions, not jitter) regression,
+same normalization scheme as ``bench_solver_hotpath.py``.  CI runs
+``--quick``; the full run produces the committed ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import threading
+import time
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+WORKLOAD = (
+    {"kind": "correction", "code": "steane"},
+    {"kind": "detection", "code": "steane", "trial_distance": 3},
+    {"kind": "correction", "code": "five-qubit"},
+    {"kind": "detection", "code": "five-qubit", "trial_distance": 3},
+)
+LANES = ("interactive", "normal", "batch")
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+def calibrate() -> float:
+    """Seconds for a fixed pure-python workload; the machine-speed yardstick."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        total = 0
+        for i in range(1_500_000):
+            total += i * i
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class ServiceUnderTest:
+    """The service on an ephemeral port, its loop on a daemon thread."""
+
+    def __init__(self):
+        from repro.service import AdmissionController, VerificationService
+
+        # Benchmark posture: admission generous enough that the measured
+        # numbers are the engine's and the wire's, not the rate limiter's.
+        self.service = VerificationService(
+            port=0,
+            admission=AdmissionController(
+                max_pending=4096, max_inflight_per_key=1024, rate=1e6, burst=1e6
+            ),
+            drain_grace=30.0,
+        )
+        self._ready = threading.Event()
+        self._loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        import asyncio
+
+        async def main():
+            await self.service.start()
+            self._loop = asyncio.get_running_loop()
+            self._ready.set()
+            await self.service.serve_forever(install_signal_handlers=False)
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServiceUnderTest":
+        self._thread.start()
+        if not self._ready.wait(15):
+            raise RuntimeError("service failed to start")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._loop.call_soon_threadsafe(self.service.request_stop)
+        self._thread.join(120)
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+
+def run_load(clients: int, jobs_per_client: int) -> dict:
+    """One full load run; returns the measured section of the report."""
+    from repro.api.events import validate_stream
+    from repro.service.client import ServiceClient, ServiceError
+
+    job_latencies: list[float] = []
+    submit_latencies: list[float] = []
+    all_lines: list[str] = []
+    rejections = 0
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    with ServiceUnderTest() as under_test:
+        port = under_test.port
+
+        def client_thread(index: int) -> None:
+            nonlocal rejections
+            client = ServiceClient("127.0.0.1", port, api_key=f"bench-{index}")
+            for jobnum in range(jobs_per_client):
+                task = WORKLOAD[(index + jobnum) % len(WORKLOAD)]
+                lane = LANES[(index + jobnum) % len(LANES)]
+                begin = time.perf_counter()
+                try:
+                    descriptor = client.submit(task, lane=lane)
+                    submitted = time.perf_counter()
+                    lines = list(client.events(descriptor["id"], raw=True))
+                    done = time.perf_counter()
+                except ServiceError as error:
+                    with lock:
+                        if error.status == 429:
+                            rejections += 1
+                        errors.append(f"client {index} job {jobnum}: {error}")
+                    continue
+                with lock:
+                    submit_latencies.append(submitted - begin)
+                    job_latencies.append(done - begin)
+                    all_lines.extend(lines)
+
+        threads = [
+            threading.Thread(target=client_thread, args=(index,))
+            for index in range(clients)
+        ]
+        busy_start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        busy = time.perf_counter() - busy_start
+        stats = ServiceClient("127.0.0.1", port).stats()
+
+    num_events, counts, stream_errors = validate_stream(all_lines)
+    expected = clients * jobs_per_client
+    completed = len(job_latencies)
+    return {
+        "clients": clients,
+        "jobs_per_client": jobs_per_client,
+        "jobs_expected": expected,
+        "jobs_completed": completed,
+        "busy_seconds": busy,
+        "jobs_per_second": completed / busy if busy > 0 else 0.0,
+        "job_latency_p50": _percentile(job_latencies, 0.50),
+        "job_latency_p99": _percentile(job_latencies, 0.99),
+        "submit_latency_p50": _percentile(submit_latencies, 0.50),
+        "submit_latency_p99": _percentile(submit_latencies, 0.99),
+        "events_streamed": num_events,
+        "event_counts": counts,
+        "stream_errors": stream_errors,
+        "rejected_429": rejections,
+        "client_errors": errors,
+        "admission": stats["admission"],
+        "engine": stats["engine"],
+    }
+
+
+def check_baseline(report: dict, baseline_path: str, tolerance: float) -> list[str]:
+    """Calibration-normalized latency/throughput gate vs a committed run."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    problems: list[str] = []
+    base, here = baseline["load"], report["load"]
+    # Latencies scale with machine slowness, throughput inversely.
+    base_p50 = base["job_latency_p50"] / baseline["calibration_seconds"]
+    here_p50 = here["job_latency_p50"] / report["calibration_seconds"]
+    if here_p50 > base_p50 * tolerance:
+        problems.append(
+            f"normalized job-latency p50 regression: {here_p50:.2f} > "
+            f"{base_p50:.2f} * {tolerance} (baseline {baseline_path})"
+        )
+    base_jps = base["jobs_per_second"] * baseline["calibration_seconds"]
+    here_jps = here["jobs_per_second"] * report["calibration_seconds"]
+    if here_jps * tolerance < base_jps:
+        problems.append(
+            f"normalized jobs/sec regression: {here_jps:.2f} * {tolerance} < "
+            f"{base_jps:.2f} (baseline {baseline_path})"
+        )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads (default 8)")
+    parser.add_argument("--jobs-per-client", type=int, default=6,
+                        help="jobs each client submits (default 6)")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized run: 8 clients x 4 jobs")
+    parser.add_argument("--output", default="BENCH_service.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--check-baseline", default=None, metavar="PATH",
+                        help="fail on latency/throughput regression vs this baseline")
+    parser.add_argument("--tolerance", type=float, default=1.5,
+                        help="allowed normalized ratio vs baseline")
+    parser.add_argument("--no-assert", action="store_true",
+                        help="measure and write the report without gating")
+    args = parser.parse_args(argv)
+
+    clients = args.clients
+    jobs_per_client = 4 if args.quick else args.jobs_per_client
+
+    report = {
+        "schema": 1,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_seconds": calibrate(),
+        "load": run_load(clients, jobs_per_client),
+    }
+    load = report["load"]
+    print(
+        f"{load['jobs_completed']}/{load['jobs_expected']} jobs in "
+        f"{load['busy_seconds']:.2f}s  "
+        f"{load['jobs_per_second']:.1f} jobs/s  "
+        f"latency p50 {1e3 * load['job_latency_p50']:.1f}ms "
+        f"p99 {1e3 * load['job_latency_p99']:.1f}ms  "
+        f"submit p50 {1e3 * load['submit_latency_p50']:.2f}ms  "
+        f"{load['events_streamed']} events, "
+        f"{len(load['stream_errors'])} stream errors, "
+        f"{load['rejected_429']} rejections"
+    )
+
+    problems: list[str] = []
+    if load["stream_errors"]:
+        problems.append(f"stream validation failed: {load['stream_errors'][:3]}")
+    if load["client_errors"]:
+        problems.append(f"client errors: {load['client_errors'][:3]}")
+    if load["jobs_completed"] != load["jobs_expected"]:
+        problems.append(
+            f"only {load['jobs_completed']}/{load['jobs_expected']} jobs completed"
+        )
+    if args.check_baseline:
+        if not os.path.exists(args.check_baseline):
+            problems.append(f"missing baseline file: {args.check_baseline}")
+        else:
+            problems.extend(
+                check_baseline(report, args.check_baseline, args.tolerance)
+            )
+
+    report["problems"] = problems
+    report["passed"] = not problems
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    if problems and not args.no_assert:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""CI smoke for the verification service — the full lifecycle, end to end.
+
+1. start ``python -m repro serve`` on an ephemeral port (subprocess);
+2. read the readiness line (``{"event": "listening", ...}``) off stdout;
+3. concurrently submit a steane accurate-correction job and a surface-3
+   distance-discovery job, streaming both NDJSON event streams to disk;
+4. validate the captured streams with ``python -m repro validate-events``
+   (the schema_version 1.0 wire contract);
+5. SIGTERM the server and require a graceful drain: exit code 0 and a
+   ``drained`` line reporting no orphaned jobs.
+
+Exits non-zero on any deviation.  Run from the repository root:
+
+    PYTHONPATH=src python scripts/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def main() -> int:
+    from repro.service.client import ServiceClient
+
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--access-log"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+        env={**__import__("os").environ, "PYTHONPATH": str(SRC)},
+    )
+    try:
+        ready = json.loads(server.stdout.readline())
+        assert ready["event"] == "listening", ready
+        port = ready["port"]
+        print(f"server listening on {port}")
+
+        workload = [
+            {"kind": "correction", "code": "steane"},
+            {"kind": "distance", "code": "surface-3"},
+        ]
+        streams = [tempfile.mktemp(suffix=".ndjson") for _ in workload]
+        failures: list[str] = []
+
+        def drive(task: dict, path: str) -> None:
+            try:
+                client = ServiceClient("127.0.0.1", port, api_key="ci-smoke")
+                job = client.submit(task)
+                with open(path, "w", encoding="utf-8") as handle:
+                    for line in client.events(job["id"], raw=True):
+                        handle.write(line + "\n")
+                final = client.job(job["id"])
+                if final["status"] != "succeeded":
+                    failures.append(f"{task}: ended {final['status']}")
+            except Exception as error:  # noqa: BLE001 - reported below
+                failures.append(f"{task}: {type(error).__name__}: {error}")
+
+        threads = [
+            threading.Thread(target=drive, args=(task, path))
+            for task, path in zip(workload, streams)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=300)
+        if failures:
+            print("FAIL:", *failures, sep="\n  ", file=sys.stderr)
+            return 1
+
+        validate = subprocess.run(
+            [sys.executable, "-m", "repro", "validate-events", *streams],
+            cwd=REPO,
+            env={**__import__("os").environ, "PYTHONPATH": str(SRC)},
+        )
+        if validate.returncode != 0:
+            print("FAIL: event-stream validation", file=sys.stderr)
+            return 1
+
+        server.send_signal(signal.SIGTERM)
+        out, err = server.communicate(timeout=60)
+        print(out.strip())
+        drained = [
+            json.loads(line)
+            for line in out.splitlines()
+            if line.startswith("{") and '"drained"' in line
+        ]
+        if server.returncode != 0:
+            print(f"FAIL: server exited {server.returncode}\n{err}", file=sys.stderr)
+            return 1
+        if not drained or drained[-1].get("orphaned"):
+            print(f"FAIL: drain left orphaned jobs: {drained}", file=sys.stderr)
+            return 1
+        print("service smoke passed: streams valid, drain clean, exit 0")
+        return 0
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -56,7 +56,9 @@ from repro.api.tasks import (
     FixedErrorTask,
     ProgramTask,
     Task,
+    TASK_KINDS,
     resolve_code,
+    task_from_dict,
 )
 
 __all__ = [
@@ -96,5 +98,7 @@ __all__ = [
     "ConstrainedTask",
     "FixedErrorTask",
     "ProgramTask",
+    "TASK_KINDS",
     "resolve_code",
+    "task_from_dict",
 ]

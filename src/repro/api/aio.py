@@ -50,6 +50,11 @@ class AsyncJob:
         self.job.cancel()
         return self
 
+    def request_cancel(self, reason: str = "cancelled") -> bool:
+        """Thread-safe cancel request; False when the job is already terminal
+        (see :meth:`repro.api.jobs.Job.request_cancel`)."""
+        return self.job.request_cancel(reason)
+
     async def result(self) -> Result:
         """Await the job's result; raises
         :class:`~repro.api.jobs.JobCancelledError` on cancellation and the

@@ -5,7 +5,9 @@ Subcommands:
 * ``list-codes`` — the registered benchmark codes (Table 3 rows);
 * ``verify``     — one correction/detection task on one code;
 * ``distance``   — discover a code's distance via repeated detection;
-* ``sweep``      — batch-verify many registry codes through ``Engine.run_many``.
+* ``sweep``      — batch-verify many registry codes through ``Engine.run_many``;
+* ``validate-events`` — schema-check an NDJSON event stream;
+* ``serve``      — the HTTP verification service (:mod:`repro.service`).
 
 Every subcommand takes ``--json`` for machine-readable output; the verifying
 subcommands additionally take ``--stream`` (NDJSON job events on stdout, one
@@ -133,7 +135,87 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("files", nargs="*", help="NDJSON files (default: stdin)")
     validate.set_defaults(func=_cmd_validate_events)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP verification service (see repro.service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 picks an ephemeral one)"
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=64,
+        help="server-wide cap on non-terminal jobs (backpressure, 429 past it)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=16,
+        help="per-API-key cap on live jobs",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=50.0,
+        help="per-API-key submissions per second (token-bucket refill)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=25.0,
+        help="per-API-key burst allowance (token-bucket capacity)",
+    )
+    serve.add_argument(
+        "--request-timeout", type=float, default=10.0,
+        help="seconds to read one request before answering 408",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=10.0,
+        help="seconds for in-flight jobs to finish on SIGTERM before cancellation",
+    )
+    serve.add_argument(
+        "--access-log", action="store_true",
+        help="emit structured JSON access logs on stderr",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
     return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import logging
+
+    from repro.service import AdmissionController, VerificationService
+
+    if args.access_log:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access = logging.getLogger("repro.service.access")
+        access.addHandler(handler)
+        access.setLevel(logging.INFO)
+
+    async def run() -> int:
+        service = VerificationService(
+            host=args.host,
+            port=args.port,
+            admission=AdmissionController(
+                max_pending=args.max_pending,
+                max_inflight_per_key=args.max_inflight,
+                rate=args.rate,
+                burst=args.burst,
+            ),
+            request_timeout=args.request_timeout,
+            drain_grace=args.drain_grace,
+        )
+        await service.start()
+        # The "listening" line is the readiness protocol: supervisors (and
+        # the CI smoke job) parse it to learn the bound port.
+        print(
+            json.dumps(
+                {"event": "listening", "host": service.host, "port": service.port}
+            ),
+            flush=True,
+        )
+        summary = await service.serve_forever()
+        print(json.dumps({"event": "drained", **summary}), flush=True)
+        return 0 if not summary.get("orphaned") else 1
+
+    return asyncio.run(run())
 
 
 def _cmd_validate_events(args: argparse.Namespace) -> int:

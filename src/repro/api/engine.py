@@ -408,6 +408,7 @@ class Engine:
                     num_variables=check.num_variables, num_clauses=check.num_clauses,
                     blocker_hits=getattr(check, "blocker_hits", 0),
                     heap_discards=getattr(check, "heap_discards", 0),
+                    binary_subsumed=getattr(check, "binary_subsumed", 0),
                 ))
             details = dict(compiled.details)
             details.update(check.metadata)
@@ -552,7 +553,7 @@ class Engine:
         distance = limit
         witness = None
         conflicts = decisions = propagations = 0
-        blocker_hits = heap_discards = 0
+        blocker_hits = heap_discards = binary_subsumed = 0
         last = None
         lo, hi = 1, limit - 1
         galloping = strategy == "galloping"
@@ -580,6 +581,7 @@ class Engine:
             propagations += last.propagations
             blocker_hits += getattr(last, "blocker_hits", 0)
             heap_discards += getattr(last, "heap_discards", 0)
+            binary_subsumed += getattr(last, "binary_subsumed", 0)
             trial_elapsed = time.perf_counter() - trial_start
             trials.append(
                 {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
@@ -619,6 +621,7 @@ class Engine:
                 num_variables=last.num_variables if last is not None else 0,
                 num_clauses=last.num_clauses if last is not None else 0,
                 blocker_hits=blocker_hits, heap_discards=heap_discards,
+                binary_subsumed=binary_subsumed,
             ))
         details = {
             "distance": distance,

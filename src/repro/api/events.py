@@ -139,7 +139,9 @@ class SolverStats(Event):
 
     ``blocker_hits`` (watcher visits resolved by the cached blocker literal)
     and ``heap_discards`` (lazily deleted decision-heap entries) are
-    *optional* members added by the solver hot-path overhaul: following the
+    *optional* members added by the solver hot-path overhaul, and
+    ``binary_subsumed`` (learnt-clause literals removed by glucose-style
+    binary self-subsumption) by the service PR: following the
     only-when-nonzero rule, they are serialized only when the solve actually
     produced them, so pre-overhaul consumers (and streams from the linear
     fallback policy) see the historical payload unchanged.
@@ -152,10 +154,13 @@ class SolverStats(Event):
     num_clauses: int = 0
     blocker_hits: int = 0
     heap_discards: int = 0
+    binary_subsumed: int = 0
 
     TYPE: ClassVar[str] = "SolverStats"
 
-    _OPTIONAL_WHEN_ZERO: ClassVar[tuple[str, ...]] = ("blocker_hits", "heap_discards")
+    _OPTIONAL_WHEN_ZERO: ClassVar[tuple[str, ...]] = (
+        "blocker_hits", "heap_discards", "binary_subsumed",
+    )
 
     def to_dict(self) -> dict:
         payload = super().to_dict()
@@ -249,6 +254,7 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "num_clauses": ((int,), True),
         "blocker_hits": ((int,), False),
         "heap_discards": ((int,), False),
+        "binary_subsumed": ((int,), False),
     },
     "JobCompleted": {
         "verified": ((bool,), True),

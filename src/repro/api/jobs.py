@@ -113,6 +113,7 @@ class Job:
         self._result: "Result | None" = None
         self._error: BaseException | None = None
         self._cancel_reason = "cancelled"
+        self._requested_reason = "cancelled"
         self._seq = 0
 
     # ------------------------------------------------------------------
@@ -193,8 +194,31 @@ class Job:
     def cancel(self) -> "Job":
         """Request cancellation; a running solve stops within one control
         slice, a queued job never starts.  Idempotent; no-op once terminal."""
-        self._cancel.set()
+        self.request_cancel()
         return self
+
+    def request_cancel(self, reason: str = "cancelled") -> bool:
+        """Request cancellation, reporting whether the request was accepted.
+
+        Returns ``True`` when the job was still live (it will end
+        ``CANCELLED`` unless it wins the race to its own terminal state) and
+        ``False`` when it had already reached a terminal state.  The check
+        and the flag are under the job lock, so a ``DELETE`` racing the
+        dispatcher's final transition gets a stable yes/no instead of
+        surfacing dispatcher internals; repeated calls on a live job keep
+        returning ``True`` (idempotent), and calls on a finished one keep
+        returning ``False`` — the signal the service maps to 409.
+
+        ``reason`` labels the eventual terminal event (``"cancelled"`` for a
+        user cancel, ``"shutdown"`` for a drain); deadline and budget stops
+        keep their own reasons.
+        """
+        with self._lock:
+            if self.status.terminal:
+                return False
+            self._requested_reason = reason
+            self._cancel.set()
+            return True
 
     @property
     def cancel_requested(self) -> bool:
@@ -216,7 +240,10 @@ class Job:
         expiry, :class:`JobCancelledError` for cancelled jobs, and re-raises
         the original exception for failed ones.
         """
-        if not self._done.wait(timeout):
+        if not self._done.wait(timeout) and not self.status.terminal:
+            # The terminal check closes the emit→_done.set() window: a caller
+            # who just observed a terminal status (or terminal event) must be
+            # able to read the result with timeout=0.
             raise TimeoutError(f"{self.id} still {self.status.value} after {timeout}s")
         if self.status is JobStatus.CANCELLED:
             raise JobCancelledError(self.id, self._cancel_reason)
@@ -255,6 +282,10 @@ class Job:
         )
 
     def _finish_cancelled(self, reason: str) -> None:
+        # A flag-driven stop reports the generic "cancelled"; substitute the
+        # reason the cancel requester asked for (e.g. a drain's "shutdown").
+        if reason == "cancelled":
+            reason = self._requested_reason
         self._cancel_reason = reason
         self._finish(JobStatus.CANCELLED, JobCancelled(reason=reason))
 

@@ -490,6 +490,7 @@ class ResourceManager:
         erased_clauses = 0
         blocker_hits = 0
         heap_discards = 0
+        binary_subsumed = 0
         for context in self._contexts.values():
             session_stats = context.session.stats()
             learnt_kept += session_stats.get("learnt_kept", 0)
@@ -497,6 +498,7 @@ class ResourceManager:
             erased_clauses += session_stats.get("erased_clauses", 0)
             blocker_hits += session_stats.get("blocker_hits", 0)
             heap_discards += session_stats.get("heap_discards", 0)
+            binary_subsumed += session_stats.get("binary_subsumed", 0)
             context_hits += context.hits
             context_misses += context.misses
             warm_absorbed += context.warm_absorbed
@@ -522,6 +524,8 @@ class ResourceManager:
             stats["blocker_hits"] = blocker_hits
         if heap_discards:
             stats["heap_discards"] = heap_discards
+        if binary_subsumed:
+            stats["binary_subsumed"] = binary_subsumed
         if self.warm_cache is not None:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses

@@ -36,7 +36,9 @@ __all__ = [
     "ConstrainedTask",
     "FixedErrorTask",
     "ProgramTask",
+    "TASK_KINDS",
     "resolve_code",
+    "task_from_dict",
 ]
 
 
@@ -211,6 +213,77 @@ class FixedErrorTask(CodeTask):
     @property
     def error_map(self) -> dict[int, str]:
         return dict(self.error_qubits)
+
+
+#: JSON-constructible task classes by kind, with short aliases — the wire
+#: vocabulary of the service's ``POST /jobs`` body.  :class:`ProgramTask` is
+#: deliberately absent: it carries an in-memory Hoare triple and cannot be
+#: built from a JSON payload.
+TASK_KINDS: dict[str, type["CodeTask"]] = {}
+
+
+def _register_kinds() -> None:
+    aliases = {
+        CorrectionTask: ("correction",),
+        DetectionTask: ("detection",),
+        DistanceTask: ("distance",),
+        ConstrainedTask: ("constrained",),
+        FixedErrorTask: (),
+    }
+    for cls, extra in aliases.items():
+        TASK_KINDS[cls.kind] = cls
+        for alias in extra:
+            TASK_KINDS[alias] = cls
+
+
+_register_kinds()
+
+
+def task_from_dict(payload: dict) -> Task:
+    """Build a task from a JSON-shaped dict: ``{"kind": ..., <task fields>}``.
+
+    The inverse of the wire contract the service accepts on ``POST /jobs``.
+    ``kind`` selects the task class (canonical kind or short alias, see
+    :data:`TASK_KINDS`); every other key must name a field of that class.
+    Unknown kinds, unknown fields, and fields that cannot be expressed in
+    JSON (``extra_constraints``) raise :class:`ValueError` so callers can map
+    them to a 400 instead of a 500.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"task must be an object, got {type(payload).__name__}")
+    spec = dict(payload)
+    kind = spec.pop("kind", None)
+    if not isinstance(kind, str) or kind not in TASK_KINDS:
+        raise ValueError(
+            f"unknown task kind {kind!r}; expected one of {sorted(TASK_KINDS)}"
+        )
+    cls = TASK_KINDS[kind]
+    allowed = {f.name for f in fields(cls) if f.init}
+    allowed.discard("extra_constraints")  # BoolExpr trees have no JSON form
+    unknown = sorted(set(spec) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown field(s) {unknown} for task kind {kind!r}; "
+            f"allowed: {sorted(allowed)}"
+        )
+    code = spec.get("code")
+    if "code" in allowed and not isinstance(code, str):
+        raise ValueError("task field 'code' must be a registry key string")
+    if cls is FixedErrorTask and "error_qubits" in spec:
+        raw = spec["error_qubits"]
+        if isinstance(raw, dict):
+            pairs = [(int(qubit), pauli) for qubit, pauli in raw.items()]
+        elif isinstance(raw, (list, tuple)):
+            pairs = [(int(qubit), pauli) for qubit, pauli in raw]
+        else:
+            raise ValueError("error_qubits must be a mapping or a list of pairs")
+        spec["error_qubits"] = tuple(pairs)
+    if "allowed_qubits" in spec and spec["allowed_qubits"] is not None:
+        spec["allowed_qubits"] = tuple(int(q) for q in spec["allowed_qubits"])
+    try:
+        return cls(**spec)
+    except TypeError as exc:
+        raise ValueError(f"invalid task spec for kind {kind!r}: {exc}") from exc
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,165 @@
+"""Admission control: per-client token buckets, quotas, and backpressure.
+
+The service answers three questions before a ``POST /jobs`` reaches the
+engine, in order of cheapness:
+
+1. *Is the whole server over capacity?*  A bounded count of non-terminal
+   jobs (``max_pending``) — the submit queue's backpressure valve.  The
+   dispatcher runs one job at a time, so an unbounded queue would just turn
+   overload into unbounded latency; refusing early with a ``Retry-After``
+   keeps the queue honest.
+2. *Is this client over its in-flight quota?*  Each API key may hold at most
+   ``max_inflight_per_key`` live jobs.
+3. *Is this client submitting too fast?*  A classic token bucket per key:
+   ``rate`` tokens/second refill up to a ``burst`` cap, one token per
+   submission.
+
+All three rejections map to HTTP 429 with a ``Retry-After`` hint; the
+decision records which gate tripped so ``GET /stats`` can report rejection
+counts by cause.  Clients are identified by the ``X-API-Key`` header; absent
+keys share the ``"anonymous"`` bucket, so unauthenticated traffic is rate
+limited collectively rather than freely.
+
+Everything here is synchronous and lock-guarded: decisions are made on the
+event loop but job-termination callbacks (:meth:`release`) arrive from the
+engine's dispatcher thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = ["AdmissionController", "AdmissionDecision", "TokenBucket"]
+
+
+@dataclass
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    allowed: bool
+    #: which gate rejected: "capacity", "quota", "rate" (or "" when allowed)
+    cause: str = ""
+    #: suggested client back-off in seconds (rounded up for Retry-After)
+    retry_after: float = 0.0
+
+
+class TokenBucket:
+    """A token bucket: ``rate`` tokens/second, capped at ``burst``.
+
+    Starts full, so a fresh client can burst immediately.  ``try_acquire``
+    returns the wait (in seconds) until a token would be available — zero
+    means the token was taken.
+    """
+
+    def __init__(self, rate: float, burst: float, *, clock=time.monotonic):
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; return 0.0 on success, else the
+        seconds until enough tokens will have accumulated."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+    @property
+    def tokens(self) -> float:
+        self._refill(self._clock())
+        return self._tokens
+
+
+class AdmissionController:
+    """Admission policy shared by every connection of one service instance."""
+
+    def __init__(
+        self,
+        *,
+        max_pending: int = 64,
+        max_inflight_per_key: int = 16,
+        rate: float = 50.0,
+        burst: float = 25.0,
+        clock=time.monotonic,
+    ):
+        self.max_pending = max_pending
+        self.max_inflight_per_key = max_inflight_per_key
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._inflight: dict[str, int] = {}
+        self._pending = 0
+        self.admitted = 0
+        self.rejected: dict[str, int] = {"capacity": 0, "quota": 0, "rate": 0}
+
+    # ------------------------------------------------------------------
+    def admit(self, api_key: str) -> AdmissionDecision:
+        """Decide one submission for ``api_key`` and, when allowed, reserve
+        its capacity/quota slot (released via :meth:`release`)."""
+        with self._lock:
+            if self._pending >= self.max_pending:
+                self.rejected["capacity"] += 1
+                # The queue drains one job at a time; a second is the
+                # shortest plausible wait, not a promise.
+                return AdmissionDecision(False, "capacity", 1.0)
+            if self._inflight.get(api_key, 0) >= self.max_inflight_per_key:
+                self.rejected["quota"] += 1
+                return AdmissionDecision(False, "quota", 1.0)
+            bucket = self._buckets.get(api_key)
+            if bucket is None:
+                bucket = self._buckets[api_key] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+            wait = bucket.try_acquire()
+            if wait > 0.0:
+                self.rejected["rate"] += 1
+                return AdmissionDecision(False, "rate", wait)
+            self._pending += 1
+            self._inflight[api_key] = self._inflight.get(api_key, 0) + 1
+            self.admitted += 1
+            return AdmissionDecision(True)
+
+    def release(self, api_key: str) -> None:
+        """Return the slot reserved by a successful :meth:`admit` — called
+        from the job's done-callback (dispatcher thread) or from the error
+        path when submission itself failed."""
+        with self._lock:
+            self._pending = max(0, self._pending - 1)
+            left = self._inflight.get(api_key, 0) - 1
+            if left > 0:
+                self._inflight[api_key] = left
+            else:
+                self._inflight.pop(api_key, None)
+
+    # ------------------------------------------------------------------
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "admitted": self.admitted,
+                "rejected": dict(self.rejected),
+                "pending": self._pending,
+                "max_pending": self.max_pending,
+                "max_inflight_per_key": self.max_inflight_per_key,
+                "clients": len(self._buckets),
+                "inflight_by_key": dict(self._inflight),
+            }

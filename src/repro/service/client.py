@@ -1,0 +1,149 @@
+"""A blocking stdlib client for the verification service.
+
+Built on :mod:`http.client` (which transparently decodes chunked transfer
+encoding, so the NDJSON event stream reads as a plain line iterator).  This
+is the client the test suite and the load benchmark drive; it is also a
+reasonable starting point for real integrations that do not want an async
+stack::
+
+    client = ServiceClient("127.0.0.1", 8080, api_key="team-a")
+    job = client.submit({"kind": "correction", "code": "steane"})
+    for event in client.events(job["id"]):
+        ...
+    final = client.job(job["id"])
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status and
+the server's JSON error payload (including ``Retry-After`` for 429s), so
+callers can implement back-off without parsing anything themselves.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Iterator
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx service response."""
+
+    def __init__(self, status: int, payload: dict, headers: dict[str, str]):
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> float | None:
+        value = self.headers.get("retry-after")
+        return float(value) if value is not None else None
+
+
+class ServiceClient:
+    """One service endpoint; a fresh connection per request (the server
+    closes after each response anyway)."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        api_key: str | None = None,
+        timeout: float = 60.0,
+    ):
+        self.host = host
+        self.port = port
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+
+    def _headers(self) -> dict[str, str]:
+        headers = {"Content-Type": "application/json"}
+        if self.api_key is not None:
+            headers["X-API-Key"] = self.api_key
+        return headers
+
+    def request(self, method: str, path: str, body: dict | None = None) -> dict:
+        """One request/response cycle; raises :class:`ServiceError` on
+        non-2xx."""
+        conn = self._connect()
+        try:
+            conn.request(
+                method,
+                path,
+                body=json.dumps(body) if body is not None else None,
+                headers=self._headers(),
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            payload = json.loads(raw) if raw else {}
+            if not 200 <= response.status < 300:
+                raise ServiceError(
+                    response.status,
+                    payload,
+                    {k.lower(): v for k, v in response.getheaders()},
+                )
+            return payload
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        task: dict,
+        *,
+        priority: int | None = None,
+        lane: str | None = None,
+        deadline: float | None = None,
+    ) -> dict:
+        """``POST /jobs``; returns the job descriptor (``id``, ``events``...)."""
+        body: dict = {"task": task}
+        if priority is not None:
+            body["priority"] = priority
+        if lane is not None:
+            body["lane"] = lane
+        if deadline is not None:
+            body["deadline"] = deadline
+        return self.request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        return self.request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self.request("DELETE", f"/jobs/{job_id}")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    # ------------------------------------------------------------------
+    def events(self, job_id: str, *, raw: bool = False) -> Iterator[dict | str]:
+        """Stream ``GET /jobs/<id>/events``: yields one event per NDJSON
+        line until the terminal event closes the stream.  ``raw=True`` yields
+        the undecoded JSON lines (what ``validate-events`` consumes)."""
+        conn = self._connect()
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events", headers=self._headers())
+            response = conn.getresponse()
+            if response.status != 200:
+                raw_body = response.read()
+                payload = json.loads(raw_body) if raw_body else {}
+                raise ServiceError(
+                    response.status,
+                    payload,
+                    {k.lower(): v for k, v in response.getheaders()},
+                )
+            for line in response:
+                line = line.strip()
+                if not line:
+                    continue
+                yield line.decode() if raw else json.loads(line)
+        finally:
+            conn.close()

@@ -52,6 +52,10 @@ class SMTCheck:
     #: that do not report them).
     blocker_hits: int = 0
     heap_discards: int = 0
+    #: Learnt-clause literals removed by binary self-subsumption during
+    #: conflict analysis (glucose-style resolution against the dedicated
+    #: binary watcher arrays); a per-check delta like the counters above.
+    binary_subsumed: int = 0
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -201,6 +205,7 @@ class SolveSession:
             propagations=result.propagations,
             blocker_hits=result.blocker_hits,
             heap_discards=result.heap_discards,
+            binary_subsumed=result.binary_subsumed,
             metadata={"session": self.stats()},
         )
 
@@ -267,6 +272,8 @@ class SolveSession:
             stats["blocker_hits"] = solver.blocker_hits
         if solver is not None and solver.heap_discards:
             stats["heap_discards"] = solver.heap_discards
+        if solver is not None and solver.binary_subsumed:
+            stats["binary_subsumed"] = solver.binary_subsumed
         return stats
 
 

@@ -183,6 +183,7 @@ class IncrementalSplitSession:
         self.total_propagations = 0
         self.total_blocker_hits = 0
         self.total_heap_discards = 0
+        self.total_binary_subsumed = 0
         self.num_checks = 0
         self.elapsed_seconds = 0.0
 
@@ -280,6 +281,7 @@ class IncrementalSplitSession:
         propagations: int,
         blocker_hits: int = 0,
         heap_discards: int = 0,
+        binary_subsumed: int = 0,
     ) -> SMTCheck:
         """Record a check's aggregated per-call statistics (deltas, like
         :class:`SMTCheck` everywhere else; cumulative totals are in
@@ -289,6 +291,7 @@ class IncrementalSplitSession:
         self.total_propagations += propagations
         self.total_blocker_hits += blocker_hits
         self.total_heap_discards += heap_discards
+        self.total_binary_subsumed += binary_subsumed
         check.num_variables = num_variables
         check.num_clauses = num_clauses
         check.conflicts = conflicts
@@ -296,6 +299,7 @@ class IncrementalSplitSession:
         check.propagations = propagations
         check.blocker_hits = blocker_hits
         check.heap_discards = heap_discards
+        check.binary_subsumed = binary_subsumed
         check.metadata["num_subtasks"] = len(self.assumption_sets)
         check.metadata["num_workers"] = self.num_workers
         return check
@@ -303,7 +307,7 @@ class IncrementalSplitSession:
     def _check_sequential(self, select, control=None) -> SMTCheck:
         session = self._local
         conflicts = decisions = propagations = 0
-        blocker_hits = heap_discards = 0
+        blocker_hits = heap_discards = binary_subsumed = 0
         last: SMTCheck | None = None
         for assumptions in self.assumption_sets:
             last = session.check(assumptions, select=select, control=control)
@@ -312,12 +316,13 @@ class IncrementalSplitSession:
             propagations += last.propagations
             blocker_hits += last.blocker_hits
             heap_discards += last.heap_discards
+            binary_subsumed += last.binary_subsumed
             if last.is_sat:
                 break
         result = SMTCheck(status=last.status, model=last.model)
         return self._finish(
             result, last.num_variables, last.num_clauses, conflicts, decisions,
-            propagations, blocker_hits, heap_discards,
+            propagations, blocker_hits, heap_discards, binary_subsumed,
         )
 
     def _check_pool(self, select, control=None) -> SMTCheck:
@@ -374,7 +379,7 @@ class IncrementalSplitSession:
             watcher.start()
         num_variables = num_clauses = 0
         conflicts = decisions = propagations = 0
-        blocker_hits = heap_discards = 0
+        blocker_hits = heap_discards = binary_subsumed = 0
         sat_model = None
         interrupted: str | None = None
         try:
@@ -400,6 +405,7 @@ class IncrementalSplitSession:
                 propagations += stats["propagations"]
                 blocker_hits += stats.get("blocker_hits", 0)
                 heap_discards += stats.get("heap_discards", 0)
+                binary_subsumed += stats.get("binary_subsumed", 0)
                 num_variables = max(num_variables, stats["num_variables"])
                 num_clauses = max(num_clauses, stats["num_clauses"])
                 self.warm_absorbed += stats.get("warm_absorbed", 0)
@@ -437,12 +443,13 @@ class IncrementalSplitSession:
                 self._finish(
                     SMTCheck(status="unsat"), num_variables, num_clauses,
                     conflicts, decisions, propagations, blocker_hits, heap_discards,
+                    binary_subsumed,
                 )
                 raise SolverInterrupted(reason)
         result = SMTCheck(status="sat" if sat_model is not None else "unsat", model=sat_model)
         return self._finish(
             result, num_variables, num_clauses, conflicts, decisions,
-            propagations, blocker_hits, heap_discards,
+            propagations, blocker_hits, heap_discards, binary_subsumed,
         )
 
     # ------------------------------------------------------------------
@@ -465,6 +472,8 @@ class IncrementalSplitSession:
             stats["blocker_hits"] = self.total_blocker_hits
         if self.total_heap_discards:
             stats["heap_discards"] = self.total_heap_discards
+        if self.total_binary_subsumed:
+            stats["binary_subsumed"] = self.total_binary_subsumed
         if self._local is not None and hasattr(self._local, "stats"):
             local = self._local.stats()
             for key in ("learnt_kept", "learnt_deleted", "reductions", "minimized_literals"):
@@ -696,6 +705,7 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | str | None, dict]:
         "propagations": 0,
         "blocker_hits": 0,
         "heap_discards": 0,
+        "binary_subsumed": 0,
         "num_variables": 0,
         "num_clauses": 0,
     }
@@ -722,6 +732,7 @@ def _solve_chunk_in_worker(payload) -> tuple[str, dict | str | None, dict]:
         stats["propagations"] += check.propagations
         stats["blocker_hits"] += check.blocker_hits
         stats["heap_discards"] += check.heap_discards
+        stats["binary_subsumed"] += check.binary_subsumed
         stats["num_variables"] = max(stats["num_variables"], check.num_variables)
         stats["num_clauses"] = max(stats["num_clauses"], check.num_clauses)
         if check.is_sat:

@@ -95,6 +95,7 @@ class SolverResult:
     propagations: int = 0
     blocker_hits: int = 0
     heap_discards: int = 0
+    binary_subsumed: int = 0
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -202,6 +203,7 @@ class SATSolver:
         self.learnt_deleted = 0
         self.reductions = 0
         self.minimized_literals = 0
+        self.binary_subsumed = 0
         self.erased_clauses = 0
 
         # Per-variable state (index 0 unused); every array here is extended
@@ -250,6 +252,7 @@ class SATSolver:
         self._seen_to_clear: list[int] = []
         self._min_stack: list[int] = []
         self._levels_scratch: set[int] = set()
+        self._bin_subsume_scratch: set[int] = set()
 
         self.trail: list[int] = []
         self.trail_limits: list[int] = []
@@ -816,6 +819,8 @@ class SATSolver:
 
         if len(learnt) > 2:
             learnt = self._minimize_learnt(learnt)
+            if len(learnt) > 2:
+                learnt = self._subsume_binary(learnt)
 
         if len(learnt) == 1:
             backjump_level = 0
@@ -948,6 +953,61 @@ class SATSolver:
                     to_clear.append(current_var)
             kept.append(lit)
         self.minimized_literals += len(learnt) - len(kept)
+        return kept
+
+    #: LBD bound above which binary self-subsumption is skipped (glucose's
+    #: ``lbLBDMinimizingClause``): high-LBD clauses are poor keepers and
+    #: their UIP literals tend to carry the longest binary watcher lists.
+    BINARY_SUBSUME_MAX_LBD = 6
+
+    def _subsume_binary(self, learnt: list[int]) -> list[int]:
+        """Glucose-style binary self-subsumption of a fresh learnt clause.
+
+        The minimized clause is ``(a | rest)`` with ``a`` the asserting
+        literal.  Every *binary* clause containing ``a`` sits in ``a``'s
+        dedicated binary watcher slot as an ``(index, other)`` pair, so the
+        scan below resolves against the whole binary occurrence list without
+        fetching a single clause: a database clause ``(a | b)`` self-subsumes
+        ``-b`` out of ``(a | -b | rest)``, leaving the strictly stronger
+        ``(a | rest)``.  Removed literals are counted in ``binary_subsumed``.
+        Like glucose, the pass is gated on the clause's LBD — junk clauses
+        are not worth the watcher-list walk.
+        """
+        level = self.level
+        levels = self._levels_scratch
+        levels.clear()
+        for lit in learnt:
+            levels.add(level[lit if lit > 0 else -lit])
+        if len(levels) > self.BINARY_SUBSUME_MAX_LBD:
+            return learnt
+        asserting = learnt[0]
+        binary_list = self._binary_watchers[
+            (asserting << 1) + 1 if asserting > 0 else -(asserting << 1)
+        ]
+        if not binary_list:
+            return learnt
+        # The scratch holds, for each candidate literal ``-b`` of the learnt
+        # clause, the resolving literal ``b`` to look for among the binary
+        # watchers; a hit deletes it, so what survives marks the keepers.
+        scratch = self._bin_subsume_scratch
+        scratch.clear()
+        for lit in learnt[1:]:
+            scratch.add(-lit)
+        removed = 0
+        pairs = iter(binary_list)
+        for _, other in zip(pairs, pairs):
+            if other in scratch:
+                scratch.discard(other)
+                removed += 1
+        if not removed:
+            scratch.clear()
+            return learnt
+        self.binary_subsumed += removed
+        kept = [asserting]
+        for lit in learnt[1:]:
+            if -lit in scratch:
+                kept.append(lit)
+        scratch.clear()
         return kept
 
     # ------------------------------------------------------------------
@@ -1203,6 +1263,7 @@ class SATSolver:
             self.propagations,
             self.blocker_hits,
             self.heap_discards,
+            self.binary_subsumed,
         )
         if control is not None:
             reason = control.interrupted(0)
@@ -1218,6 +1279,7 @@ class SATSolver:
                 self.propagations - start[2],
                 self.blocker_hits - start[3],
                 self.heap_discards - start[4],
+                self.binary_subsumed - start[5],
             )
 
         if self._contradiction:

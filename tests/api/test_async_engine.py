@@ -74,3 +74,45 @@ async def test_events_and_result_share_one_job():
         seqs, result = await asyncio.gather(drain(), job.result())
     assert seqs == list(range(len(seqs)))
     assert result.verified
+
+
+async def test_deadline_expiry_keeps_session_reusable():
+    """After a mid-walk deadline cancellation the engine's shared per-code
+    session must still produce the correct distance for the same task."""
+    task = DistanceTask(code="surface-5", max_trial=6)
+    async with AsyncEngine() as engine:
+        job = engine.submit(task, deadline=0.01)
+        with pytest.raises(JobCancelledError) as excinfo:
+            await job.result()
+        assert excinfo.value.reason == "deadline"
+        result = await engine.arun(task)
+    assert result.verified
+    assert result.details["distance"] == 5
+
+
+async def test_request_cancel_is_terminal_aware():
+    async with AsyncEngine() as engine:
+        done = engine.submit(CorrectionTask(code="steane"))
+        await done.result()
+        assert done.request_cancel() is False  # terminal: the 409 signal
+        live = engine.submit(DistanceTask(code="surface-5", max_trial=6))
+        assert live.request_cancel() is True
+        with pytest.raises(JobCancelledError):
+            await live.result()
+
+
+async def test_abandoned_stream_does_not_wedge_the_job():
+    """An event consumer that goes away mid-stream (the async analogue of a
+    client disconnect) must not stop the job or poison later consumers."""
+    async with AsyncEngine() as engine:
+        job = engine.submit(DistanceTask(code="surface-3"))
+        stream = job.events()
+        first = await anext(stream)
+        assert type(first).__name__ == "JobSubmitted"
+        await stream.aclose()  # hang up after one event
+        result = await job.result()
+        assert result.verified
+        # a late subscriber still gets the full, terminal-capped replay
+        names = [type(event).__name__ async for event in job.events()]
+    assert names[0] == "JobSubmitted"
+    assert names[-1] == "JobCompleted"

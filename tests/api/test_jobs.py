@@ -389,3 +389,64 @@ class TestAsyncFacade:
         assert [result.task for result in results] == [
             "accurate-correction", "precise-detection",
         ]
+
+
+class TestRequestCancel:
+    """The DELETE-semantics primitive: request_cancel's stable yes/no."""
+
+    def test_live_job_accepts_and_is_idempotent(self):
+        job = Job("job-rc1", CorrectionTask(code="steane"))
+        assert job.request_cancel() is True
+        assert job.request_cancel() is True  # repeat while live: still yes
+        assert job.cancel_requested
+
+    def test_terminal_job_refuses(self):
+        engine = Engine()
+        job = engine.submit(CorrectionTask(code="steane"))
+        job.result(timeout=60)
+        assert job.request_cancel() is False
+        assert job.request_cancel() is False  # double-cancel stays a no-op
+        assert job.status is JobStatus.SUCCEEDED  # and never flips the state
+        engine.close()
+
+    def test_cancelled_job_refuses_further_requests(self):
+        job = Job("job-rc2", CorrectionTask(code="steane"))
+        assert job.request_cancel() is True
+        job._finish_cancelled("cancelled")
+        assert job.request_cancel() is False
+        assert job.status is JobStatus.CANCELLED
+        assert job.cancel_reason == "cancelled"
+
+    def test_shutdown_reason_propagates_to_terminal_event(self):
+        engine = Engine()
+        executor = JobExecutor(engine, autostart=False)
+        job = executor.submit(Job("job-rc3", CorrectionTask(code="steane")))
+        assert job.request_cancel(reason="shutdown") is True
+        executor.start()
+        with pytest.raises(JobCancelledError) as excinfo:
+            job.result(timeout=60)
+        assert excinfo.value.reason == "shutdown"
+        terminal = list(job.events())[-1]
+        assert type(terminal).__name__ == "JobCancelled"
+        assert terminal.reason == "shutdown"
+        executor.shutdown()
+        engine.close()
+
+
+class TestDeadlineExpiryReuse:
+    def test_mid_walk_deadline_keeps_session_reusable(self):
+        """Deadline expiry inside a distance walk must retire the job's
+        guards and leave the shared per-code session able to finish the
+        same task correctly on the next run."""
+        task = DistanceTask(code="surface-5", max_trial=6)
+        engine = Engine()
+        job = engine.submit(task, deadline=0.01)
+        with pytest.raises(JobCancelledError) as excinfo:
+            job.result(timeout=300)
+        assert excinfo.value.reason == "deadline"
+        names = _event_names(job)
+        assert [n for n in names if EVENT_TYPES[n].TERMINAL] == ["JobCancelled"]
+        resumed = engine.run(task)
+        assert resumed.verified
+        assert resumed.details["distance"] == 5
+        engine.close()

@@ -1,0 +1,110 @@
+"""Unit tests for the admission policy: buckets, quotas, backpressure."""
+
+import pytest
+
+from repro.service.admission import AdmissionController, TokenBucket
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_burst_drains(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate_up_to_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=4.0, clock=clock)
+        for _ in range(4):
+            bucket.try_acquire()
+        clock.advance(0.5)  # +1 token
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(100.0)  # refill clamps at burst
+        assert bucket.tokens == pytest.approx(4.0)
+
+    def test_wait_hint_is_time_to_token(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == pytest.approx(0.25)
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, burst=-1.0)
+
+
+class TestAdmissionController:
+    def test_admits_and_releases_capacity(self):
+        control = AdmissionController(max_pending=2, clock=FakeClock())
+        assert control.admit("a").allowed
+        assert control.admit("b").allowed
+        decision = control.admit("c")
+        assert not decision.allowed
+        assert decision.cause == "capacity"
+        assert decision.retry_after > 0
+        control.release("a")
+        assert control.admit("c").allowed
+        assert control.pending() == 2
+
+    def test_per_key_quota(self):
+        control = AdmissionController(
+            max_pending=100, max_inflight_per_key=2, clock=FakeClock()
+        )
+        assert control.admit("team").allowed
+        assert control.admit("team").allowed
+        decision = control.admit("team")
+        assert (decision.allowed, decision.cause) == (False, "quota")
+        # other tenants are unaffected
+        assert control.admit("other").allowed
+        control.release("team")
+        assert control.admit("team").allowed
+
+    def test_rate_limit_per_key(self):
+        clock = FakeClock()
+        control = AdmissionController(
+            max_pending=100,
+            max_inflight_per_key=100,
+            rate=1.0,
+            burst=2.0,
+            clock=clock,
+        )
+        assert control.admit("fast").allowed
+        assert control.admit("fast").allowed
+        decision = control.admit("fast")
+        assert (decision.allowed, decision.cause) == (False, "rate")
+        assert decision.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        assert control.admit("fast").allowed
+
+    def test_stats_counts_rejections_by_cause(self):
+        clock = FakeClock()
+        control = AdmissionController(
+            max_pending=1, max_inflight_per_key=1, rate=1.0, burst=1.0, clock=clock
+        )
+        control.admit("a")
+        control.admit("a")  # capacity (pending cap hits before the quota)
+        stats = control.stats()
+        assert stats["admitted"] == 1
+        assert stats["rejected"]["capacity"] == 1
+        assert stats["pending"] == 1
+        assert stats["inflight_by_key"] == {"a": 1}
+
+    def test_release_is_clamped(self):
+        control = AdmissionController(clock=FakeClock())
+        control.release("never-admitted")
+        assert control.pending() == 0

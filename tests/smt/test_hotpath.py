@@ -438,3 +438,81 @@ class TestMinimizationSoundness:
         assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)
         assert_watchers_valid(solver)
         assert_seen_clean(solver)
+
+
+# ----------------------------------------------------------------------
+# Glucose-style binary self-subsumption
+# ----------------------------------------------------------------------
+class TestBinarySubsumption:
+    def test_unit_drops_literal_resolved_by_binary_clause(self):
+        """Learnt (1 ∨ ¬2 ∨ 3) resolved with the binary clause (1 ∨ 2)
+        strengthens to (1 ∨ 3)."""
+        solver = SATSolver(build_cnf(3, [[1, 2], [2, 3]]))
+        assert solver._subsume_binary([1, -2, 3]) == [1, 3]
+        assert solver.binary_subsumed == 1
+
+    def test_unit_keeps_unresolvable_literals(self):
+        solver = SATSolver(build_cnf(3, [[1, 2], [2, 3]]))
+        assert solver._subsume_binary([1, 2, 3]) == [1, 2, 3]
+        assert solver._subsume_binary([-1, -2, 3]) == [-1, -2, 3]
+        assert solver.binary_subsumed == 0
+
+    def test_lbd_gate_skips_wide_clauses(self):
+        solver = SATSolver(build_cnf(8, [[1, 2], [2, 3]]))
+        for var in range(1, 9):
+            solver.level[var] = var  # 8 distinct levels > the LBD cap of 6
+        learnt = [1, -2, -3, -4, -5, -6, -7, -8]
+        assert solver._subsume_binary(list(learnt)) == learnt
+        assert solver.binary_subsumed == 0
+
+    def test_counter_deltas_flow_into_results(self):
+        rng = random.Random(43)
+        clauses = random_clauses(rng, 9, 40, max_len=2) + random_clauses(
+            rng, 9, 12, max_len=3
+        )
+        solver = SATSolver(build_cnf(9, clauses))
+        result = solver.solve()
+        assert result.binary_subsumed == solver.binary_subsumed
+        again = solver.solve(assumptions=[3])
+        assert again.binary_subsumed == solver.binary_subsumed - result.binary_subsumed
+
+    @staticmethod
+    def pigeonhole(holes):
+        """PHP(holes+1, holes): deep conflict analysis plus binary at-most-one
+        clauses — the shape binary self-subsumption exists for."""
+        pigeons = holes + 1
+        var = lambda p, h: p * holes + h + 1  # noqa: E731 - tiny local helper
+        clauses = [[var(p, h) for h in range(holes)] for p in range(pigeons)]
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    clauses.append([-var(p1, h), -var(p2, h)])
+        return pigeons * holes, clauses
+
+    def test_pigeonhole_fires_subsumption_and_stays_entailed(self):
+        soundness = TestMinimizationSoundness()
+        fired = 0
+        for holes in (4, 5):
+            num_vars, clauses = self.pigeonhole(holes)
+            solver = SATSolver(build_cnf(num_vars, clauses))
+            result = solver.solve()
+            assert not result.satisfiable  # one pigeon too many
+            soundness.assert_learnt_entailed(num_vars, clauses, solver)
+            assert_seen_clean(solver)
+            assert_watchers_valid(solver)
+            fired += solver.binary_subsumed
+            assert result.binary_subsumed == solver.binary_subsumed
+        assert fired > 0, "subsumption never fired on pigeonhole instances"
+
+    def test_random_verdicts_unchanged_by_subsumption(self):
+        """Random mixed CNFs still decide exactly as brute force does."""
+        rng = random.Random(47)
+        for _ in range(25):
+            num_vars = rng.randint(5, 9)
+            clauses = random_clauses(rng, num_vars, rng.randint(14, 30), max_len=2)
+            clauses += random_clauses(rng, num_vars, rng.randint(4, 10), max_len=3)
+            solver = SATSolver(build_cnf(num_vars, clauses))
+            result = solver.solve()
+            assert result.satisfiable == brute_force_satisfiable(num_vars, clauses)
+            assert_seen_clean(solver)
+            assert_watchers_valid(solver)
