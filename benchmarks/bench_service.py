@@ -17,6 +17,16 @@ events to its terminal line.  The report (``BENCH_service.json``) carries:
 * admission counters (the workload sizes its token buckets so 429s mean the
   harness is misconfigured — also a failure).
 
+``--mixed-registry`` switches to the dispatcher sweep (``BENCH_dispatch.json``):
+one task per registry code, run twice on identical single-client traffic —
+once against the serial baseline (1 lane, family warm start off, the
+historical two-connection submit-then-stream client) and once against the
+sharded dispatcher (``--lanes`` worker lanes, family warm start, keep-alive
+submit-and-stream).  The run *fails* unless the verdict maps are identical,
+the sharded/serial jobs-per-second ratio clears ``--min-speedup`` (default
+1.5x), and the surface family reports nonzero absorbed clauses; its
+baseline gate is ``--check-baseline benchmarks/baselines/dispatch.json``.
+
 Regression gate (``--check-baseline benchmarks/baselines/service.json``):
 compares calibration-normalized job-latency p50 and jobs/sec against the
 committed baseline and fails on a > ``--tolerance`` (default 1.5x —
@@ -49,6 +59,20 @@ WORKLOAD = (
 )
 LANES = ("interactive", "normal", "batch")
 
+#: the ``--mixed-registry`` sweep: one task per registry code family/key, so
+#: every job routes to a shard determined by its code and the surface family
+#: exercises the cross-code warm start (surface-3 runs before surface-5).
+MIXED_REGISTRY = (
+    {"kind": "correction", "code": "steane"},
+    {"kind": "correction", "code": "five-qubit"},
+    {"kind": "correction", "code": "six-qubit"},
+    {"kind": "correction", "code": "surface-3"},
+    {"kind": "correction", "code": "surface-5", "max_errors": 1},
+    {"kind": "detection", "code": "color-832"},
+    {"kind": "correction", "code": "gottesman-8"},
+    {"kind": "detection", "code": "iceberg-6"},
+)
+
 
 def _percentile(samples: list[float], fraction: float) -> float:
     if not samples:
@@ -73,7 +97,7 @@ def calibrate() -> float:
 class ServiceUnderTest:
     """The service on an ephemeral port, its loop on a daemon thread."""
 
-    def __init__(self):
+    def __init__(self, **engine_kwargs):
         from repro.service import AdmissionController, VerificationService
 
         # Benchmark posture: admission generous enough that the measured
@@ -84,6 +108,7 @@ class ServiceUnderTest:
                 max_pending=4096, max_inflight_per_key=1024, rate=1e6, burst=1e6
             ),
             drain_grace=30.0,
+            **engine_kwargs,
         )
         self._ready = threading.Event()
         self._loop = None
@@ -189,6 +214,129 @@ def run_load(clients: int, jobs_per_client: int) -> dict:
     }
 
 
+def _spec_key(spec: dict) -> str:
+    return json.dumps(spec, sort_keys=True)
+
+
+def _run_mixed_pass(client, specs, stream: bool, latencies=None) -> dict:
+    """One pass over ``specs`` on one client; returns {spec_key: verified}."""
+    verdicts: dict[str, bool] = {}
+    for spec in specs:
+        begin = time.perf_counter()
+        if stream:
+            _, events = client.submit_stream(spec)
+            final = list(events)[-1]
+        else:
+            descriptor = client.submit(spec)
+            final = list(client.events(descriptor["id"]))[-1]
+        if latencies is not None:
+            latencies.append(time.perf_counter() - begin)
+        verdicts[_spec_key(spec)] = final.get("verified")
+    return verdicts
+
+
+def _mixed_side(
+    *, lanes: int, family_warm_start: bool, stream: bool,
+    per_spec: int, warmup_passes: int,
+) -> dict:
+    """One side of the mixed-registry comparison: serve, warm, measure."""
+    from repro.service.client import ServiceClient
+
+    with ServiceUnderTest(
+        lanes=lanes, family_warm_start=family_warm_start
+    ) as under_test:
+        client = ServiceClient(
+            "127.0.0.1", under_test.port, api_key="mixed", keep_alive=stream
+        )
+        # Warmup amortizes compilation and (on the sharded side) performs the
+        # family warm start, so the timed window measures dispatch + solving.
+        verdicts: dict[str, bool] = {}
+        for _ in range(warmup_passes):
+            verdicts = _run_mixed_pass(client, MIXED_REGISTRY, stream)
+        latencies: list[float] = []
+        busy_start = time.perf_counter()
+        for _ in range(per_spec):
+            passed = _run_mixed_pass(client, MIXED_REGISTRY, stream, latencies)
+            if passed != verdicts:
+                raise RuntimeError(f"verdicts changed mid-run: {passed}")
+        busy = time.perf_counter() - busy_start
+        client.close()
+        stats = ServiceClient("127.0.0.1", under_test.port).stats()
+
+    completed = per_spec * len(MIXED_REGISTRY)
+    return {
+        "lanes": lanes,
+        "family_warm_start": family_warm_start,
+        "keep_alive_stream": stream,
+        "passes": per_spec,
+        "jobs_completed": completed,
+        "busy_seconds": busy,
+        "jobs_per_second": completed / busy if busy > 0 else 0.0,
+        "job_latency_p50": _percentile(latencies, 0.50),
+        "job_latency_p99": _percentile(latencies, 0.99),
+        "verdicts": verdicts,
+        "family_absorbed": stats["resources"].get("family_absorbed", 0),
+        "lane_table": stats["resources"].get("lanes", []),
+    }
+
+
+def run_mixed_registry(per_spec: int, lanes: int) -> dict:
+    """The sharded dispatcher vs the serial baseline on identical traffic.
+
+    Serial side: 1 lane, family warm start off, the historical two-connection
+    submit-then-stream client — the pre-dispatcher execution model.  Sharded
+    side: ``lanes`` worker lanes, family warm start on, submit-and-stream on
+    one keep-alive connection.  Both sides run the same single-client job
+    sequence, so the speedup is per-job cost, not client parallelism.
+    """
+    serial = _mixed_side(
+        lanes=1, family_warm_start=False, stream=False,
+        per_spec=per_spec, warmup_passes=2,
+    )
+    sharded = _mixed_side(
+        lanes=lanes, family_warm_start=True, stream=True,
+        per_spec=per_spec, warmup_passes=2,
+    )
+    speedup = (
+        sharded["jobs_per_second"] / serial["jobs_per_second"]
+        if serial["jobs_per_second"] > 0
+        else 0.0
+    )
+    return {
+        "workload": list(MIXED_REGISTRY),
+        "serial": serial,
+        "sharded": sharded,
+        "verdicts_match": serial["verdicts"] == sharded["verdicts"],
+        "speedup": speedup,
+    }
+
+
+def check_dispatch_baseline(
+    report: dict, baseline_path: str, tolerance: float
+) -> list[str]:
+    """Mixed-registry gate: sharded throughput (calibration-normalized) and
+    the serial-vs-sharded speedup ratio must not regress past tolerance."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    problems: list[str] = []
+    base, here = baseline["mixed_registry"], report["mixed_registry"]
+    base_jps = (
+        base["sharded"]["jobs_per_second"] * baseline["calibration_seconds"]
+    )
+    here_jps = here["sharded"]["jobs_per_second"] * report["calibration_seconds"]
+    if here_jps * tolerance < base_jps:
+        problems.append(
+            f"normalized sharded jobs/sec regression: {here_jps:.2f} * "
+            f"{tolerance} < {base_jps:.2f} (baseline {baseline_path})"
+        )
+    if here["speedup"] * tolerance < base["speedup"]:
+        problems.append(
+            f"dispatch speedup regression: {here['speedup']:.2f} * {tolerance}"
+            f" < baseline {base['speedup']:.2f} ({baseline_path})"
+        )
+    return problems
+
+
 def check_baseline(report: dict, baseline_path: str, tolerance: float) -> list[str]:
     """Calibration-normalized latency/throughput gate vs a committed run."""
     with open(baseline_path, "r", encoding="utf-8") as handle:
@@ -220,7 +368,21 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs-per-client", type=int, default=6,
                         help="jobs each client submits (default 6)")
     parser.add_argument("--quick", action="store_true",
-                        help="CI-sized run: 8 clients x 4 jobs")
+                        help="CI-sized run: 8 clients x 4 jobs "
+                             "(mixed-registry: 12 passes)")
+    parser.add_argument("--mixed-registry", action="store_true",
+                        help="run the sharded-dispatcher vs serial-baseline "
+                             "sweep over one task per registry code instead "
+                             "of the concurrent load test")
+    parser.add_argument("--lanes", type=int, default=4,
+                        help="dispatcher lanes for the sharded side of "
+                             "--mixed-registry (default 4)")
+    parser.add_argument("--per-spec", type=int, default=40,
+                        help="timed passes over the mixed-registry workload "
+                             "(default 40)")
+    parser.add_argument("--min-speedup", type=float, default=1.5,
+                        help="required sharded/serial jobs-per-second ratio "
+                             "in --mixed-registry (default 1.5)")
     parser.add_argument("--output", default="BENCH_service.json",
                         help="where to write the JSON report")
     parser.add_argument("--check-baseline", default=None, metavar="PATH",
@@ -230,6 +392,9 @@ def main(argv=None) -> int:
     parser.add_argument("--no-assert", action="store_true",
                         help="measure and write the report without gating")
     args = parser.parse_args(argv)
+
+    if args.mixed_registry:
+        return main_mixed_registry(args)
 
     clients = args.clients
     jobs_per_client = 4 if args.quick else args.jobs_per_client
@@ -270,6 +435,69 @@ def main(argv=None) -> int:
         else:
             problems.extend(
                 check_baseline(report, args.check_baseline, args.tolerance)
+            )
+
+    report["problems"] = problems
+    report["passed"] = not problems
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"report written to {args.output}")
+    if problems and not args.no_assert:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main_mixed_registry(args) -> int:
+    per_spec = 12 if args.quick else args.per_spec
+    report = {
+        "schema": 1,
+        "mode": "mixed-registry",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "calibration_seconds": calibrate(),
+        "mixed_registry": run_mixed_registry(per_spec, args.lanes),
+    }
+    mixed = report["mixed_registry"]
+    serial, sharded = mixed["serial"], mixed["sharded"]
+    print(
+        f"serial   (1 lane, no warm start, 2-conn): "
+        f"{serial['jobs_per_second']:.1f} jobs/s  "
+        f"p50 {1e3 * serial['job_latency_p50']:.2f}ms"
+    )
+    print(
+        f"sharded  ({sharded['lanes']} lanes, warm start, keep-alive): "
+        f"{sharded['jobs_per_second']:.1f} jobs/s  "
+        f"p50 {1e3 * sharded['job_latency_p50']:.2f}ms  "
+        f"absorbed {sharded['family_absorbed']} clauses"
+    )
+    print(
+        f"speedup {mixed['speedup']:.2f}x  "
+        f"verdicts {'match' if mixed['verdicts_match'] else 'DIVERGE'}"
+    )
+
+    problems: list[str] = []
+    if not mixed["verdicts_match"]:
+        problems.append(
+            f"sharded verdicts diverge from serial: "
+            f"serial={serial['verdicts']} sharded={sharded['verdicts']}"
+        )
+    if mixed["speedup"] < args.min_speedup:
+        problems.append(
+            f"speedup {mixed['speedup']:.2f}x below required "
+            f"{args.min_speedup}x"
+        )
+    if sharded["family_absorbed"] <= 0:
+        problems.append("family warm start absorbed no clauses")
+    if args.check_baseline:
+        if not os.path.exists(args.check_baseline):
+            problems.append(f"missing baseline file: {args.check_baseline}")
+        else:
+            problems.extend(
+                check_dispatch_baseline(report, args.check_baseline, args.tolerance)
             )
 
     report["problems"] = problems

@@ -171,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", action="store_true",
         help="emit structured JSON access logs on stderr",
     )
+    serve.add_argument(
+        "--lanes", type=int, default=4,
+        help="dispatcher worker lanes; each code (or code family) is pinned "
+        "to one lane, so jobs on different codes solve concurrently "
+        "(1 = the serial dispatcher)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     return parser
@@ -201,6 +207,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             ),
             request_timeout=args.request_timeout,
             drain_grace=args.drain_grace,
+            lanes=args.lanes,
         )
         await service.start()
         # The "listening" line is the readiness protocol: supervisors (and

@@ -36,7 +36,7 @@ from repro.verifier.encodings import (
 )
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
 from repro.api.events import DistanceProbe, SolverStats, SubtaskStarted, TaskCompiled
-from repro.api.jobs import Job, JobExecutor
+from repro.api.jobs import Job, ShardedJobExecutor
 from repro.api.resources import ResourceManager
 from repro.api.result import Result
 from repro.api.tasks import (
@@ -91,31 +91,43 @@ class Engine:
         cache_size: int = 128,
         session_cache_size: int = 32,
         max_pools: int = 4,
+        lanes: int = 4,
+        family_warm_start: bool = True,
     ):
         self.backend: Backend = coerce_backend(backend)
         self.cache_size = cache_size
         self.session_cache_size = session_cache_size
+        self.lanes = max(1, int(lanes))
         self._cache: OrderedDict[Task, CompiledTask] = OrderedDict()
         # Engine-owned solver resources: one shared live session per *code*
         # (correction, detection and distance queries on a code share learnt
         # clauses through task-selector guards) and persistent worker pools
         # keyed by base formula, kept alive across run/run_many calls.
         self.resources = ResourceManager(
-            max_contexts=session_cache_size, max_pools=max_pools
+            max_contexts=session_cache_size,
+            max_pools=max_pools,
+            family_warm_start=family_warm_start,
         )
+        self.resources.configure_shards(self.lanes)
         self._hits = 0
         self._misses = 0
         self._uncacheable = 0
-        # The job layer: created lazily on the first submit().  Execution is
-        # serialized — by the executor's single dispatcher AND the run lock,
-        # so blocking Engine.run calls and background jobs never race on the
-        # shared solver resources.
-        self._executor: JobExecutor | None = None
+        # The job layer: created lazily on the first submit().  Concurrency
+        # safety is lane affinity: every execution — background jobs AND
+        # blocking Engine.run calls — first routes its task to a shard
+        # (``ResourceManager.shard_for_task``) and runs under that shard's
+        # lane lock, so a SolveSession is only ever touched by one thread
+        # at a time even when lanes solve different codes concurrently.
+        self._executor: ShardedJobExecutor | None = None
         self._job_counter = 0
-        self._run_lock = threading.RLock()
+        self._lane_locks = [threading.RLock() for _ in range(self.lanes)]
+        # Guards the compile cache (shared across lanes) separately from
+        # execution, so a lane compiling a new task never blocks another
+        # lane's solve.
+        self._cache_lock = threading.Lock()
         # Guards submit-time state only (job ids, lazy executor creation);
         # never held across a solve, so submitting stays non-blocking while
-        # a job runs under _run_lock.
+        # jobs run under the lane locks.
         self._submit_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -137,7 +149,8 @@ class Engine:
         }
 
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
         self.resources.clear_contexts()
 
     def close(self) -> None:
@@ -157,20 +170,31 @@ class Engine:
         if not task.deterministic:
             self._uncacheable += 1
             return self._compile(task), False
-        try:
-            cached = self._cache.get(task)
-        except TypeError:  # unhashable payload (e.g. an ad-hoc triple)
-            self._uncacheable += 1
-            return self._compile(task), False
-        if cached is not None:
-            self._hits += 1
-            self._cache.move_to_end(task)
-            return cached, True
-        self._misses += 1
+        with self._cache_lock:
+            try:
+                cached = self._cache.get(task)
+            except TypeError:  # unhashable payload (e.g. an ad-hoc triple)
+                cached = None
+                hashable = False
+            else:
+                hashable = True
+            if cached is not None:
+                self._hits += 1
+                self._cache.move_to_end(task)
+                return cached, True
+            if hashable:
+                self._misses += 1
+            else:
+                self._uncacheable += 1
+        # Compile outside the lock: two lanes may compile the same task
+        # concurrently (harmless duplicate work), but a slow compile never
+        # stalls cache hits on other lanes.
         compiled = self._compile(task)
-        self._cache[task] = compiled
-        while len(self._cache) > self.cache_size:
-            self._cache.popitem(last=False)
+        if hashable:
+            with self._cache_lock:
+                self._cache[task] = compiled
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
         return compiled, False
 
     def _compile(self, task: Task) -> CompiledTask:
@@ -325,19 +349,22 @@ class Engine:
     ) -> Job:
         """Enqueue ``task`` and immediately return its :class:`Job` handle.
 
-        Jobs run on the engine's dispatcher thread, highest ``priority``
-        first (FIFO among equals); ``deadline`` bounds wall-clock seconds
-        from submission, enforced inside the solver hot path.  The handle
-        streams typed events (``job.events()``), blocks for the result
-        (``job.result()``) and cancels (``job.cancel()``) — a cancelled solve
-        stops within one control slice and the shared session stays
-        reusable.  ``Engine.run`` remains the blocking one-task wrapper.
+        Jobs run on the sharded executor's lane threads — each task routes
+        to the lane owning its code's shard, highest ``priority`` first
+        (FIFO among equals) within a lane; ``deadline`` bounds wall-clock
+        seconds from submission, enforced inside the solver hot path.  The
+        handle streams typed events (``job.events()``), blocks for the
+        result (``job.result()``) and cancels (``job.cancel()``) — a
+        cancelled solve stops within one control slice and the shared
+        session stays reusable.  ``Engine.run`` remains the blocking
+        one-task wrapper.
         """
         with self._submit_lock:
             self._job_counter += 1
             job_id = f"job-{self._job_counter}"
             if self._executor is None:
-                self._executor = JobExecutor(self)
+                self._executor = ShardedJobExecutor(self, lanes=self.lanes)
+                self.resources.attach_executor(self._executor)
             executor = self._executor
         job = Job(
             job_id,
@@ -373,63 +400,95 @@ class Engine:
 
         ``control``/``emit`` are optional instrumentation: with both None
         this is exactly the historical blocking path, byte-for-byte.
+
+        Execution runs under the lane lock of the task's shard — the same
+        lock the sharded executor's lane thread holds — so blocking calls
+        and background jobs on the *same* code serialize, while different
+        shards proceed concurrently.
         """
-        with self._run_lock:
-            if isinstance(task, DistanceTask):
-                return self._run_distance(task, chosen, control=control, emit=emit)
-            start = time.perf_counter()
-            compiled, cached = self._compile_cached(task)
-            if emit is not None:
-                emit(TaskCompiled(
-                    task_kind=compiled.kind, subject=compiled.subject,
-                    cached=cached, compile_seconds=compiled.compile_seconds,
-                ))
-            session = None
-            if getattr(chosen, "wants_session", False):
-                session = self.resources.session_for(task, compiled)
-            kwargs = {}
-            if control is not None and getattr(chosen, "supports_control", False):
-                kwargs["control"] = control
-            else:
-                self._check_control(control)
-            if emit is not None:
-                emit(SubtaskStarted(index=0, description=f"solve:{compiled.kind}"))
-            if getattr(chosen, "wants_resources", False):
-                check = chosen.check(
-                    compiled, session=session, resources=self.resources, **kwargs
+        shard = self.resources.shard_for_task(task)
+        with self._lane_locks[shard % len(self._lane_locks)]:
+            try:
+                return self._execute_on_lane(task, chosen, control, emit)
+            finally:
+                # Evicted contexts whose warm state must be persisted are
+                # parked per shard; flushing at the job boundary keeps the
+                # session access on the owning lane.
+                self.resources.flush_retired(shard)
+
+    def _execute_on_lane(
+        self,
+        task: Task,
+        chosen: Backend,
+        control: SolveControl | None = None,
+        emit: Emit | None = None,
+    ) -> Result:
+        if isinstance(task, DistanceTask):
+            return self._run_distance(task, chosen, control=control, emit=emit)
+        start = time.perf_counter()
+        compiled, cached = self._compile_cached(task)
+        if emit is not None:
+            emit(TaskCompiled(
+                task_kind=compiled.kind, subject=compiled.subject,
+                cached=cached, compile_seconds=compiled.compile_seconds,
+            ))
+        session = None
+        absorbed = 0
+        if getattr(chosen, "wants_session", False):
+            session = self.resources.session_for(task, compiled)
+            if session is not None and hasattr(session, "context"):
+                # Family warm start: offer this code's context the learnt
+                # clauses of its smaller siblings before the solve, guarded
+                # by this task's own selectors.
+                absorbed = self.resources.absorb_from_family(
+                    getattr(task, "code", None), session.context, session.selectors
                 )
-            else:
-                check = chosen.check(compiled, session=session, **kwargs)
-            elapsed = time.perf_counter() - start
-            if emit is not None:
-                emit(SolverStats(
-                    conflicts=check.conflicts, decisions=check.decisions,
-                    propagations=check.propagations,
-                    num_variables=check.num_variables, num_clauses=check.num_clauses,
-                    blocker_hits=getattr(check, "blocker_hits", 0),
-                    heap_discards=getattr(check, "heap_discards", 0),
-                    binary_subsumed=getattr(check, "binary_subsumed", 0),
-                ))
-            details = dict(compiled.details)
-            details.update(check.metadata)
-            if session is not None or getattr(chosen, "wants_resources", False):
-                details["resources"] = self.resources.stats()
-            return Result(
-                task=compiled.kind,
-                subject=compiled.subject,
-                verified=check.is_unsat,
-                counterexample=check.model if check.is_sat else None,
-                elapsed_seconds=elapsed,
-                compile_seconds=compiled.compile_seconds,
-                backend=chosen.name,
-                cached=cached,
-                num_variables=check.num_variables,
-                num_clauses=check.num_clauses,
-                conflicts=check.conflicts,
-                decisions=check.decisions,
-                propagations=check.propagations,
-                details=details,
+        kwargs = {}
+        if control is not None and getattr(chosen, "supports_control", False):
+            kwargs["control"] = control
+        else:
+            self._check_control(control)
+        if emit is not None:
+            emit(SubtaskStarted(index=0, description=f"solve:{compiled.kind}"))
+        if getattr(chosen, "wants_resources", False):
+            check = chosen.check(
+                compiled, session=session, resources=self.resources, **kwargs
             )
+        else:
+            check = chosen.check(compiled, session=session, **kwargs)
+        elapsed = time.perf_counter() - start
+        if emit is not None:
+            emit(SolverStats(
+                conflicts=check.conflicts, decisions=check.decisions,
+                propagations=check.propagations,
+                num_variables=check.num_variables, num_clauses=check.num_clauses,
+                blocker_hits=getattr(check, "blocker_hits", 0),
+                heap_discards=getattr(check, "heap_discards", 0),
+                binary_subsumed=getattr(check, "binary_subsumed", 0),
+                family_absorbed=absorbed,
+            ))
+        details = dict(compiled.details)
+        details.update(check.metadata)
+        if absorbed:
+            details["family_absorbed"] = absorbed
+        if session is not None or getattr(chosen, "wants_resources", False):
+            details["resources"] = self.resources.stats()
+        return Result(
+            task=compiled.kind,
+            subject=compiled.subject,
+            verified=check.is_unsat,
+            counterexample=check.model if check.is_sat else None,
+            elapsed_seconds=elapsed,
+            compile_seconds=compiled.compile_seconds,
+            backend=chosen.name,
+            cached=cached,
+            num_variables=check.num_variables,
+            num_clauses=check.num_clauses,
+            conflicts=check.conflicts,
+            decisions=check.decisions,
+            propagations=check.propagations,
+            details=details,
+        )
 
     @staticmethod
     def _distance_strategy(task: DistanceTask, code, limit: int) -> str:
@@ -491,6 +550,7 @@ class Engine:
         num_workers = getattr(backend, "num_workers", 1)
         used_resources = True
         context = None
+        family_absorbed = 0
         # On the shared context session the extracted witness also assigns
         # variables of other guarded task formulas; restrict it to the base
         # encoding's own variables.  The pool/fallback sessions hold only the
@@ -519,6 +579,9 @@ class Engine:
                 context.maybe_warm_load()
                 session = context.session
                 base_selectors = (base_guard,)
+                family_absorbed = self.resources.absorb_from_family(
+                    task.code, context, base_selectors
+                )
             else:
                 base, weight = precise_detection_base(code, error_model)
                 session = SolveSession(base)
@@ -558,63 +621,72 @@ class Engine:
         lo, hi = 1, limit - 1
         galloping = strategy == "galloping"
         gallop_bound = 1
-        while lo <= hi:
-            self._check_control(control)
-            if galloping:
-                mid = min(gallop_bound, hi)
-                gallop_bound *= 2
-            else:
-                mid = (lo + hi) // 2
-            selectors = list(base_selectors)
-            if lo > 1:
-                selectors.append(lower(lo))
-            selectors.append(upper(mid))
-            if emit is not None:
-                emit(SubtaskStarted(
-                    index=len(trials),
-                    description=f"probe {lo} <= weight <= {mid}",
-                ))
-            trial_start = time.perf_counter()
-            last = session.check(select=tuple(selectors), control=control)
-            conflicts += last.conflicts
-            decisions += last.decisions
-            propagations += last.propagations
-            blocker_hits += getattr(last, "blocker_hits", 0)
-            heap_discards += getattr(last, "heap_discards", 0)
-            binary_subsumed += getattr(last, "binary_subsumed", 0)
-            trial_elapsed = time.perf_counter() - trial_start
-            trials.append(
-                {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
-                 "verified": last.is_unsat,
-                 "elapsed_seconds": trial_elapsed,
-                 "conflicts": last.conflicts, "decisions": last.decisions}
-            )
-            found = None
-            if last.is_sat:
-                # The witness pins the distance to its own weight; everything
-                # strictly below stays open for the next probe.  A satisfiable
-                # probe also ends any galloping phase: the answer is bracketed
-                # and bisection finishes the narrowed window.
-                model = last.model or {}
-                if base_variables is not None:
-                    model = {name: value for name, value in model.items()
-                             if name in base_variables}
-                found = max(1, model_error_weight(model, error_model))
-                distance = found
-                witness = model
-                hi = found - 1
-                galloping = False
-            else:
-                lo = mid + 1
-            if emit is not None:
-                emit(DistanceProbe(
-                    bound=mid, window=[trials[-1]["window"][0], trials[-1]["window"][1]],
-                    sat=last.is_sat, witness_weight=found,
-                    conflicts=last.conflicts, decisions=last.decisions,
-                    elapsed_seconds=trial_elapsed,
-                ))
-        elapsed = time.perf_counter() - start
-        stats = session.stats()
+        # A pool session must not be evicted (closed) by another lane's
+        # split_session() while this walk drives it.
+        pool_session = session if num_workers > 1 else None
+        if pool_session is not None:
+            self.resources.pools.mark_busy(pool_session)
+        try:
+            while lo <= hi:
+                self._check_control(control)
+                if galloping:
+                    mid = min(gallop_bound, hi)
+                    gallop_bound *= 2
+                else:
+                    mid = (lo + hi) // 2
+                selectors = list(base_selectors)
+                if lo > 1:
+                    selectors.append(lower(lo))
+                selectors.append(upper(mid))
+                if emit is not None:
+                    emit(SubtaskStarted(
+                        index=len(trials),
+                        description=f"probe {lo} <= weight <= {mid}",
+                    ))
+                trial_start = time.perf_counter()
+                last = session.check(select=tuple(selectors), control=control)
+                conflicts += last.conflicts
+                decisions += last.decisions
+                propagations += last.propagations
+                blocker_hits += getattr(last, "blocker_hits", 0)
+                heap_discards += getattr(last, "heap_discards", 0)
+                binary_subsumed += getattr(last, "binary_subsumed", 0)
+                trial_elapsed = time.perf_counter() - trial_start
+                trials.append(
+                    {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
+                     "verified": last.is_unsat,
+                     "elapsed_seconds": trial_elapsed,
+                     "conflicts": last.conflicts, "decisions": last.decisions}
+                )
+                found = None
+                if last.is_sat:
+                    # The witness pins the distance to its own weight; everything
+                    # strictly below stays open for the next probe.  A satisfiable
+                    # probe also ends any galloping phase: the answer is bracketed
+                    # and bisection finishes the narrowed window.
+                    model = last.model or {}
+                    if base_variables is not None:
+                        model = {name: value for name, value in model.items()
+                                 if name in base_variables}
+                    found = max(1, model_error_weight(model, error_model))
+                    distance = found
+                    witness = model
+                    hi = found - 1
+                    galloping = False
+                else:
+                    lo = mid + 1
+                if emit is not None:
+                    emit(DistanceProbe(
+                        bound=mid, window=[trials[-1]["window"][0], trials[-1]["window"][1]],
+                        sat=last.is_sat, witness_weight=found,
+                        conflicts=last.conflicts, decisions=last.decisions,
+                        elapsed_seconds=trial_elapsed,
+                    ))
+            elapsed = time.perf_counter() - start
+            stats = session.stats()
+        finally:
+            if pool_session is not None:
+                self.resources.pools.mark_idle(pool_session)
         if emit is not None:
             emit(SolverStats(
                 conflicts=conflicts, decisions=decisions, propagations=propagations,
@@ -622,6 +694,7 @@ class Engine:
                 num_clauses=last.num_clauses if last is not None else 0,
                 blocker_hits=blocker_hits, heap_discards=heap_discards,
                 binary_subsumed=binary_subsumed,
+                family_absorbed=family_absorbed,
             ))
         details = {
             "distance": distance,
@@ -630,6 +703,8 @@ class Engine:
             "strategy": strategy,
             "session": stats,
         }
+        if family_absorbed:
+            details["family_absorbed"] = family_absorbed
         if used_resources:
             details["resources"] = self.resources.stats()
         if num_workers > 1:

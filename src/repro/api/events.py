@@ -145,6 +145,12 @@ class SolverStats(Event):
     only-when-nonzero rule, they are serialized only when the solve actually
     produced them, so pre-overhaul consumers (and streams from the linear
     fallback policy) see the historical payload unchanged.
+
+    The sharded dispatcher adds two more optional members under the same
+    rule: ``lane`` (which worker lane ran the job; serialized only for jobs
+    dispatched through the sharded executor, never for blocking runs) and
+    ``family_absorbed`` (learnt clauses absorbed from smaller same-family
+    codes before this solve; serialized only when absorption happened).
     """
 
     conflicts: int = 0
@@ -155,11 +161,13 @@ class SolverStats(Event):
     blocker_hits: int = 0
     heap_discards: int = 0
     binary_subsumed: int = 0
+    family_absorbed: int = 0
+    lane: int = -1
 
     TYPE: ClassVar[str] = "SolverStats"
 
     _OPTIONAL_WHEN_ZERO: ClassVar[tuple[str, ...]] = (
-        "blocker_hits", "heap_discards", "binary_subsumed",
+        "blocker_hits", "heap_discards", "binary_subsumed", "family_absorbed",
     )
 
     def to_dict(self) -> dict:
@@ -167,6 +175,8 @@ class SolverStats(Event):
         for name in self._OPTIONAL_WHEN_ZERO:
             if not payload.get(name):
                 payload.pop(name, None)
+        if payload.get("lane", -1) < 0:
+            payload.pop("lane", None)
         return payload
 
 
@@ -255,6 +265,8 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "blocker_hits": ((int,), False),
         "heap_discards": ((int,), False),
         "binary_subsumed": ((int,), False),
+        "family_absorbed": ((int,), False),
+        "lane": ((int,), False),
     },
     "JobCompleted": {
         "verified": ((bool,), True),

@@ -5,11 +5,17 @@ lifecycle:
 
 * :meth:`Engine.submit` enqueues a task and immediately returns a
   :class:`Job` handle;
-* the engine-owned :class:`JobExecutor` drains the queue on a dispatcher
-  thread, highest :attr:`Job.priority` first (FIFO among equals), running one
-  job at a time — solver resources (shared per-code sessions, persistent
-  pools) are single-threaded by design, so serializing execution is what
-  makes many concurrent *handles* safe;
+* the engine-owned :class:`ShardedJobExecutor` routes each job to a worker
+  *lane* (one dispatcher thread + priority queue per lane, highest
+  :attr:`Job.priority` first, FIFO among equals).  Lane assignment is the
+  concurrency-safety invariant: every code — and every code *family*, so
+  that cross-code clause absorption stays single-threaded too — maps to
+  exactly one lane via the engine's
+  :class:`~repro.api.resources.ResourceManager`, so two jobs that could
+  touch the same :class:`~repro.smt.interface.SolveSession` always run on
+  the same thread while jobs on unrelated codes run concurrently.
+  :class:`JobExecutor` is the legacy single-lane dispatcher, equivalent to
+  a one-lane sharded executor;
 * every observable step is emitted as a typed event
   (:mod:`repro.api.events`): replayable, so a subscriber attached after the
   fact still sees the whole stream, ending in exactly one terminal event;
@@ -40,13 +46,20 @@ from repro.api.events import (
     JobCompleted,
     JobFailed,
     JobSubmitted,
+    SolverStats,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.engine import Engine
     from repro.api.result import Result
 
-__all__ = ["Job", "JobCancelledError", "JobExecutor", "JobStatus"]
+__all__ = [
+    "Job",
+    "JobCancelledError",
+    "JobExecutor",
+    "JobStatus",
+    "ShardedJobExecutor",
+]
 
 
 class JobStatus(str, Enum):
@@ -99,6 +112,9 @@ class Job:
         self.priority = priority
         self.deadline = deadline
         self.backend = backend
+        #: worker lane the sharded executor routed this job to (None until
+        #: submitted, and forever for the legacy single-lane dispatcher).
+        self.lane: int | None = None
         self.status = JobStatus.PENDING
         self.submitted_at = time.monotonic()
         self._deadline_at = (
@@ -143,23 +159,40 @@ class Job:
                         pass
         return event
 
-    def subscribe(self, callback: Callable[[Event], None]) -> None:
-        """Replay every past event into ``callback``, then deliver live ones.
+    def subscribe(self, callback: Callable[[Event], None], from_seq: int = 0) -> None:
+        """Replay past events into ``callback``, then deliver live ones.
 
         Callbacks run on the emitting thread (the executor's dispatcher) and
         must be cheap — push to a queue, set a flag.  Subscribing to a
         finished job just replays; nothing is retained.  A callback that
         raises (during replay or live delivery) is dropped — same contract
         as :meth:`emit` — so a broken consumer can never wedge the stream.
+
+        ``from_seq`` skips the replay of events below that sequence number —
+        the resumption point for a consumer that already drained a
+        :meth:`snapshot` and only needs what was emitted since.
         """
         with self._lock:
-            for event in self._events:
+            for event in self._events[from_seq:]:
                 try:
                     callback(event)
                 except Exception:
                     return
             if not self.status.terminal:
                 self._subscribers.append(callback)
+
+    def snapshot(self) -> tuple[list[Event], bool]:
+        """Every event emitted so far plus whether the stream is complete.
+
+        Taken atomically under the job lock: when the flag is True the list
+        ends with the terminal event and no further events can follow, so a
+        consumer can serve the whole stream from the copy without
+        subscribing (the fast path for finished jobs); otherwise resume with
+        ``subscribe(..., from_seq=len(events))`` — the replay-from-seq closes
+        the gap between the snapshot and the subscription atomically.
+        """
+        with self._lock:
+            return list(self._events), self.status.terminal
 
     def events(self, timeout: float | None = None) -> Iterator[Event]:
         """Iterate this job's event stream, blocking until the terminal event.
@@ -351,7 +384,7 @@ class JobExecutor:
         with self._condition:
             if self._thread is None or not self._thread.is_alive():
                 self._thread = threading.Thread(
-                    target=self._loop, name="repro-job-executor", daemon=True
+                    target=self._loop, name="repro-dispatch", daemon=True
                 )
                 self._thread.start()
 
@@ -422,3 +455,195 @@ class JobExecutor:
         if wait and self._thread is not None and self._thread.is_alive():
             if threading.current_thread() is not self._thread:
                 self._thread.join()
+
+
+class _Lane:
+    """One worker lane: a priority heap, its condition, and its thread."""
+
+    def __init__(self, lane_id: int):
+        self.id = lane_id
+        self.heap: list[tuple[int, int, Job]] = []
+        self.counter = itertools.count()
+        self.condition = threading.Condition()
+        self.thread: threading.Thread | None = None
+        self.current: Job | None = None
+
+
+class ShardedJobExecutor:
+    """Hash-sharded job runner: one dispatcher thread + queue per lane.
+
+    Routing is delegated to the engine's
+    :class:`~repro.api.resources.ResourceManager`: the shard key is the
+    task's code *family* when it has one (so family members — whose contexts
+    absorb each other's learnt clauses — share a thread) and the code itself
+    otherwise, with code-less tasks pinned to lane 0.  Lane affinity is the
+    whole concurrency story: a ``SolveSession`` is only ever touched from
+    the one lane its code maps to (blocking ``Engine.run`` calls serialize
+    against that same lane through the engine's per-lane locks), so no
+    session, context or family-absorption path needs its own locking.
+
+    Lane threads are named ``repro-lane-<shard>`` and started lazily on the
+    first job routed to them; a one-lane executor behaves exactly like the
+    legacy serial :class:`JobExecutor`.
+    """
+
+    def __init__(self, engine: "Engine", lanes: int = 4, autostart: bool = True):
+        self.engine = engine
+        self.autostart = autostart
+        self.lanes = max(1, int(lanes))
+        self._lanes = [_Lane(index) for index in range(self.lanes)]
+        # Serializes submit vs shutdown across every lane: a submission that
+        # loses the race must raise before emitting JobSubmitted, and one
+        # that wins must have its job pushed before the drain sweeps.
+        self._lock = threading.Lock()
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    def lane_for(self, task) -> int:
+        """The lane ``task`` is (or would be) routed to.
+
+        The modulo guards a lane count differing from the resource
+        manager's shard count (a standalone executor built with its own
+        ``lanes``); affinity is preserved because the mapping stays a pure
+        function of the shard."""
+        return self.engine.resources.shard_for_task(task) % len(self._lanes)
+
+    def submit(self, job: Job) -> Job:
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("executor is shut down")
+            job.emit(
+                JobSubmitted(
+                    task_kind=getattr(type(job.task), "kind", type(job.task).__name__),
+                    subject=getattr(
+                        job.task, "code_name", getattr(job.task, "subject", "")
+                    ),
+                    priority=job.priority,
+                    deadline=job.deadline,
+                )
+            )
+            lane = self._lanes[self.lane_for(job.task)]
+            job.lane = lane.id
+            with lane.condition:
+                heapq.heappush(lane.heap, (-job.priority, next(lane.counter), job))
+                stats = self.engine.resources.lane_stat(lane.id)
+                if stats is not None:
+                    stats.enqueued += 1
+                lane.condition.notify()
+        if self.autostart:
+            self.start(lane.id)
+        return job
+
+    def start(self, lane_id: int | None = None) -> None:
+        """Start one lane's thread (or every lane's) if not already running."""
+        targets = self._lanes if lane_id is None else [self._lanes[lane_id]]
+        for lane in targets:
+            with lane.condition:
+                if lane.thread is None or not lane.thread.is_alive():
+                    lane.thread = threading.Thread(
+                        target=self._loop,
+                        args=(lane,),
+                        name=f"repro-lane-{lane.id}",
+                        daemon=True,
+                    )
+                    lane.thread.start()
+
+    def pending(self) -> int:
+        total = 0
+        for lane in self._lanes:
+            with lane.condition:
+                total += len(lane.heap)
+        return total
+
+    def queue_depths(self) -> list[int]:
+        """Per-lane queue depth, indexed by lane id (for /stats snapshots)."""
+        depths = []
+        for lane in self._lanes:
+            with lane.condition:
+                depths.append(len(lane.heap))
+        return depths
+
+    # ------------------------------------------------------------------
+    def _loop(self, lane: _Lane) -> None:
+        while True:
+            with lane.condition:
+                while not lane.heap and not self._shutdown:
+                    lane.condition.wait()
+                if not lane.heap:
+                    return
+                _, _, job = heapq.heappop(lane.heap)
+                lane.current = job
+            try:
+                self._run_job(job, lane)
+            except Exception as error:  # noqa: BLE001 - lane must survive
+                job._finish_failed(error)
+            finally:
+                lane.current = None
+
+    def _run_job(self, job: Job, lane: _Lane) -> None:
+        control = job.control()
+        reason = control.interrupted()
+        if reason is not None:
+            job._finish_cancelled(reason)
+            return
+        job._mark_running()
+
+        def emit(event):
+            # Stamp solver-phase events with the lane that ran them; the
+            # engine emits them lane-agnostically.
+            if isinstance(event, SolverStats) and event.lane < 0:
+                event.lane = lane.id
+            return job.emit(event)
+
+        stats = self.engine.resources.lane_stat(lane.id)
+        started = time.perf_counter()
+
+        def account() -> None:
+            # Settle the lane counters BEFORE the terminal event publishes:
+            # a client that just read JobCompleted off the wire must see a
+            # /stats lane table that already includes this job.
+            if stats is not None:
+                stats.busy_seconds += time.perf_counter() - started
+                stats.jobs_completed += 1
+
+        try:
+            result = self.engine._execute(
+                job.task,
+                self.engine.coerce(job.backend),
+                control=control,
+                emit=emit,
+            )
+        except SolverInterrupted as interrupt:
+            self.engine.release_task(job.task)
+            account()
+            job._finish_cancelled(interrupt.reason)
+        except Exception as error:  # noqa: BLE001 - job boundary
+            account()
+            job._finish_failed(error)
+        else:
+            account()
+            job._finish_completed(result)
+
+    # ------------------------------------------------------------------
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs, cancel everything queued, optionally join.
+
+        In-flight jobs (one per busy lane) run to completion — interrupting
+        them is the caller's business via :meth:`Job.cancel` beforehand.
+        """
+        with self._lock:
+            self._shutdown = True
+            drained: list[Job] = []
+            for lane in self._lanes:
+                with lane.condition:
+                    drained.extend(job for _, _, job in lane.heap)
+                    lane.heap.clear()
+                    lane.condition.notify_all()
+        for job in drained:
+            job._finish_cancelled("shutdown")
+        if wait:
+            me = threading.current_thread()
+            for lane in self._lanes:
+                thread = lane.thread
+                if thread is not None and thread.is_alive() and thread is not me:
+                    thread.join()

@@ -30,18 +30,24 @@ This module centralizes those resources *per code*:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
 import weakref
+import zlib
 from collections import OrderedDict
 
 from repro.classical.expr import free_variables
+from repro.codes.registry import family_of, family_siblings
 from repro.smt.interface import SMTCheck, SolveSession
 from repro.smt.parallel import IncrementalSplitSession
+from repro.smt.solver import SolveControl, SolverInterrupted
 
 __all__ = [
     "CodeContext",
     "ContextView",
+    "LaneStats",
     "PoolManager",
     "ResourceManager",
     "SessionCache",
@@ -133,6 +139,14 @@ class CodeContext:
         self._warm_fingerprint: str | None = None
         self._warm_vars = 0
         self.warm_absorbed = 0
+        # Family warm-start bookkeeping: how many sibling learnt clauses
+        # were already examined per (sibling key, shared-subformula
+        # fingerprint), which candidate clauses were already absorbed, and
+        # the cumulative absorbed/probed counters for stats.
+        self._sibling_marks: dict[tuple, int] = {}
+        self._absorbed_keys: set[tuple] = set()
+        self.family_absorbed = 0
+        self.family_probes = 0
 
     # ------------------------------------------------------------------
     def task_view(self, task, formula) -> ContextView:
@@ -214,6 +228,100 @@ class CodeContext:
             self.session.add_weight_lower_guard(name, weight, bound)
             self._weight_guards.add(name)
         return name
+
+    # ------------------------------------------------------------------
+    # Family warm start: absorb a smaller sibling's learnt clauses.
+    def absorb_from_sibling(
+        self,
+        sibling: "CodeContext",
+        selectors: tuple[str, ...],
+        max_probes: int = 24,
+        conflict_budget: int = 200,
+    ) -> int:
+        """Warm-start this context from a smaller same-family sibling.
+
+        The sibling's learnt clauses are *candidates*, not facts: its CNF is
+        a different formula, so nothing it learnt transfers by fingerprint.
+        Instead each clause is projected onto the variable names the two
+        encodings share (auxiliary/Tseitin literals are dropped, which may
+        strengthen the clause — harmless, because nothing below relies on
+        the projection being implied by anything), then *re-proved on this
+        context*: a conflict-budgeted ``check`` under ``selectors`` with the
+        projected clause negated as assumptions.  Only a candidate the
+        target session itself refutes — i.e. proves entailed under the
+        active selectors — is attached, via
+        :meth:`~repro.smt.interface.SolveSession.absorb_learnt`, widened
+        with the selectors' negations so it is vacuous whenever the guards
+        are inactive.  Soundness therefore never depends on the projection
+        quality or on the sibling at all; the sibling only proposes.
+
+        Probes are memoised by ``(sibling key, shared-subformula
+        fingerprint)`` high-water marks, so repeated calls only examine
+        clauses the sibling learnt since last time.  Callers must ensure
+        the sibling is not solving concurrently — the sharded dispatcher
+        guarantees that by construction, since family members share a lane.
+        Returns the number of clauses absorbed.
+        """
+        if not selectors or sibling.session._solver is None:
+            return 0
+        my_names = self.session.encoder.named_literals()
+        sibling_names = sibling.session.encoder.named_literals()
+        shared = sorted(set(my_names) & set(sibling_names))
+        if not shared:
+            return 0
+        shared_fingerprint = hashlib.sha256("\n".join(shared).encode()).hexdigest()
+        mark_key = (sibling.key, shared_fingerprint)
+        learnt = sibling.session.learnt_clauses()
+        start = self._sibling_marks.get(mark_key, 0)
+        self._sibling_marks[mark_key] = len(learnt)
+        if start >= len(learnt):
+            return 0
+        shared_set = set(shared)
+        reverse = {var: name for name, var in sibling_names.items()}
+        guard_key = tuple(selectors)
+        candidates: list[list[tuple[str, bool]]] = []
+        seen: set[frozenset] = set()
+        for clause in learnt[start:]:
+            projected = []
+            for literal in clause:
+                name = reverse.get(abs(literal))
+                if name is None or name not in shared_set:
+                    continue
+                projected.append((name, literal > 0))
+            # Tiny projections (short, high-reuse consequences) are the ones
+            # worth a probe; long ones rarely pass and cost more to attach.
+            if not 2 <= len(projected) <= 6:
+                continue
+            key = frozenset(projected)
+            if key in seen or (key, guard_key) in self._absorbed_keys:
+                continue
+            seen.add(key)
+            candidates.append(projected)
+        absorbed = 0
+        encoder = self.session.encoder
+        for projected in candidates[:max_probes]:
+            self.family_probes += 1
+            assumptions = {name: not positive for name, positive in projected}
+            control = SolveControl(
+                conflict_budget=conflict_budget, check_interval=32
+            )
+            try:
+                check = self.session.check(
+                    assumptions, select=selectors, control=control
+                )
+            except SolverInterrupted:
+                continue  # not cheaply entailed; skip, stay sound
+            if not check.is_unsat:
+                continue
+            literals = [
+                encoder.variable(name) if positive else -encoder.variable(name)
+                for name, positive in projected
+            ]
+            literals.extend(-encoder.selector(selector) for selector in selectors)
+            absorbed += self.session.absorb_learnt([literals])
+            self._absorbed_keys.add((frozenset(projected), guard_key))
+        self.family_absorbed += absorbed
+        return absorbed
 
     # ------------------------------------------------------------------
     # Warm cache: learnt clauses round-trip through the cache directory,
@@ -312,6 +420,10 @@ class PoolManager:
         self.hits = 0
         self.misses = 0
         self._sessions: OrderedDict[tuple, IncrementalSplitSession] = OrderedDict()
+        self._lock = threading.RLock()
+        # Sessions currently driving a walk on some lane: never evict these
+        # (closing a pool under a live walk would strand its workers).
+        self._busy: dict[int, int] = {}
         # The finalizer must not reference self (that would keep the manager
         # alive forever); closing over the sessions dict alone is enough.
         self._finalizer = weakref.finalize(self, _close_split_sessions, self._sessions)
@@ -327,12 +439,13 @@ class PoolManager:
     ) -> IncrementalSplitSession:
         key = (formula, tuple(split_variables), heuristic_weight, threshold,
                num_workers, max_subtasks)
-        session = self._sessions.get(key)
-        if session is not None:
-            self.hits += 1
-            self._sessions.move_to_end(key)
-            return session
-        self.misses += 1
+        with self._lock:
+            session = self._sessions.get(key)
+            if session is not None:
+                self.hits += 1
+                self._sessions.move_to_end(key)
+                return session
+            self.misses += 1
         session = IncrementalSplitSession(
             formula,
             split_variables=list(split_variables),
@@ -342,15 +455,37 @@ class PoolManager:
             max_subtasks=max_subtasks,
             warm_dir=self.warm_cache.directory if self.warm_cache is not None else None,
         )
-        self._sessions[key] = session
-        while len(self._sessions) > self.max_pools:
-            _, evicted = self._sessions.popitem(last=False)
+        evicted_sessions: list[IncrementalSplitSession] = []
+        with self._lock:
+            self._sessions[key] = session
+            spare = [
+                k for k in self._sessions
+                if id(self._sessions[k]) not in self._busy
+            ]
+            while len(self._sessions) > self.max_pools and spare:
+                stale = spare.pop(0)
+                evicted_sessions.append(self._sessions.pop(stale))
+        for evicted in evicted_sessions:
             evicted.save_warm()
             evicted.close()
         return session
 
+    def mark_busy(self, session: IncrementalSplitSession) -> None:
+        """Pin ``session`` against eviction while a walk drives it."""
+        with self._lock:
+            self._busy[id(session)] = self._busy.get(id(session), 0) + 1
+
+    def mark_idle(self, session: IncrementalSplitSession) -> None:
+        with self._lock:
+            left = self._busy.get(id(session), 0) - 1
+            if left > 0:
+                self._busy[id(session)] = left
+            else:
+                self._busy.pop(id(session), None)
+
     def __len__(self) -> int:
-        return len(self._sessions)
+        with self._lock:
+            return len(self._sessions)
 
     def warm_absorbed(self) -> int:
         return sum(session.warm_absorbed for session in self._sessions.values())
@@ -363,11 +498,50 @@ class PoolManager:
         _close_split_sessions(self._sessions)
 
 
-class ResourceManager:
-    """The engine's solver-resource facade: contexts, pools, warm cache."""
+class LaneStats:
+    """Counters for one dispatcher lane (mutated by the sharded executor
+    and the family-absorption path; read by ``ResourceManager.stats``)."""
 
-    def __init__(self, max_contexts: int = 32, max_pools: int = 4):
+    __slots__ = ("lane", "enqueued", "jobs_completed", "busy_seconds",
+                 "absorbed_clauses")
+
+    def __init__(self, lane: int):
+        self.lane = lane
+        self.enqueued = 0
+        self.jobs_completed = 0
+        self.busy_seconds = 0.0
+        self.absorbed_clauses = 0
+
+
+class ResourceManager:
+    """The engine's solver-resource facade: contexts, pools, warm cache.
+
+    With the sharded dispatcher the manager is also the *routing authority*:
+    :meth:`shard_for_task` maps every task to the one worker lane allowed to
+    touch its code's session.  The shard key is the code's registry *family*
+    when it has one (family members must share a lane so cross-code clause
+    absorption is single-threaded by construction) and the code itself
+    otherwise; assignment is sticky — a key, once mapped, keeps its lane for
+    the manager's lifetime — with crc32 hashing onto free lanes and
+    least-recently-used lane reuse once every lane carries keys.
+
+    The internal lock only guards the manager's own dict bookkeeping
+    (context/session registries, shard assignments).  Sessions themselves
+    are deliberately unlocked: lane affinity guarantees each one is only
+    ever driven from its lane's thread (blocking ``Engine.run`` calls
+    serialize against that lane through the engine's per-lane locks).
+    """
+
+    def __init__(
+        self,
+        max_contexts: int = 32,
+        max_pools: int = 4,
+        family_warm_start: bool = True,
+    ):
         self.max_contexts = max_contexts
+        #: master switch for cross-code clause absorption; off reproduces the
+        #: pre-family behaviour exactly (the benchmark's serial baseline).
+        self.family_warm_start = family_warm_start
         self.pools = PoolManager(max_pools=max_pools)
         self.warm_cache: SessionCache | None = None
         self._contexts: OrderedDict[object, CodeContext] = OrderedDict()
@@ -376,23 +550,134 @@ class ResourceManager:
         # repeated runs reuse learnt clauses as they did before the
         # per-code contexts existed.
         self._task_sessions: OrderedDict[object, SolveSession] = OrderedDict()
+        self._lock = threading.RLock()
+        self._executor = None
+        self.num_shards = 1
+        self.configure_shards(1)
+
+    # ------------------------------------------------------------------
+    # Sharding: code/family → lane
+    # ------------------------------------------------------------------
+    def configure_shards(self, num_shards: int) -> None:
+        """(Re)size the lane table; called by the engine before any job runs."""
+        with self._lock:
+            self.num_shards = max(1, int(num_shards))
+            self._shard_assignments: dict[str, int] = {}
+            self._keys_per_lane = [0] * self.num_shards
+            # Least-recently-assigned first; reused when every lane is taken.
+            self._lane_lru = list(range(self.num_shards))
+            self._lane_stats = [LaneStats(index) for index in range(self.num_shards)]
+            self._retired: list[list[CodeContext]] = [
+                [] for _ in range(self.num_shards)
+            ]
+
+    def attach_executor(self, executor) -> None:
+        """Register the sharded executor so stats can report queue depths."""
+        self._executor = executor
+
+    def lane_stat(self, lane: int) -> LaneStats | None:
+        if 0 <= lane < len(self._lane_stats):
+            return self._lane_stats[lane]
+        return None
+
+    def shard_key(self, code) -> str:
+        """The affinity key for a code: its registry family, else itself."""
+        if isinstance(code, str):
+            return family_of(code) or code
+        name = getattr(code, "name", "")
+        return name if name else type(code).__name__
+
+    def shard_for(self, key: str | None) -> int:
+        """The lane for a shard key (sticky; hash-then-LRU on collision)."""
+        if key is None or self.num_shards <= 1:
+            return 0
+        with self._lock:
+            lane = self._shard_assignments.get(key)
+            if lane is None:
+                preferred = zlib.crc32(str(key).encode()) % self.num_shards
+                if self._keys_per_lane[preferred] == 0:
+                    lane = preferred
+                else:
+                    # Hash collision: reuse the emptiest lane, breaking ties
+                    # toward the least recently assigned one.
+                    lane = min(
+                        self._lane_lru, key=lambda l: self._keys_per_lane[l]
+                    )
+                self._shard_assignments[key] = lane
+                self._keys_per_lane[lane] += 1
+            self._lane_lru.remove(lane)
+            self._lane_lru.append(lane)
+            return lane
+
+    def shard_for_task(self, task) -> int:
+        """The lane ``task`` must run on (code-less tasks pin to lane 0)."""
+        code = getattr(task, "code", None)
+        if code is None:
+            return 0
+        return self.shard_for(self.shard_key(code))
 
     # ------------------------------------------------------------------
     def context_for(self, key) -> CodeContext | None:
         """The live context for a code key (LRU, created on first use)."""
-        try:
-            context = self._contexts.get(key)
-        except TypeError:  # unhashable key
-            return None
-        if context is None:
-            context = CodeContext(key, warm_cache=self.warm_cache)
-            self._contexts[key] = context
-            while len(self._contexts) > self.max_contexts:
-                evicted_key, evicted = self._contexts.popitem(last=False)
-                evicted.save_warm()
-        else:
-            self._contexts.move_to_end(key)
-        return context
+        with self._lock:
+            try:
+                context = self._contexts.get(key)
+            except TypeError:  # unhashable key
+                return None
+            if context is None:
+                context = CodeContext(key, warm_cache=self.warm_cache)
+                self._contexts[key] = context
+                while len(self._contexts) > self.max_contexts:
+                    evicted_key, evicted = self._contexts.popitem(last=False)
+                    if evicted.warm_cache is not None:
+                        # save_warm touches the evicted session, which only
+                        # its own lane may do: park it on that lane's retire
+                        # list, flushed at the lane's next job boundary.
+                        shard = self.shard_for(self.shard_key(evicted_key))
+                        self._retired[shard].append(evicted)
+            else:
+                self._contexts.move_to_end(key)
+            return context
+
+    def flush_retired(self, shard: int) -> None:
+        """Persist evicted contexts parked on ``shard``'s retire list.
+
+        Called from the shard's own lane (with the engine's lane lock held),
+        which makes the ``save_warm`` session access single-threaded."""
+        with self._lock:
+            if not 0 <= shard < len(self._retired) or not self._retired[shard]:
+                return
+            retired, self._retired[shard] = self._retired[shard], []
+        for context in retired:
+            context.save_warm()
+
+    # ------------------------------------------------------------------
+    # Family warm start
+    # ------------------------------------------------------------------
+    def absorb_from_family(self, code_key, context: CodeContext, selectors) -> int:
+        """Offer ``context`` the learnt clauses of its smaller family
+        siblings (those with live contexts), under the task's selectors.
+
+        Safe to call only from the code's own lane: family members share a
+        shard by construction, so no sibling session is solving concurrently.
+        Returns the number of clauses absorbed (0 for non-family codes).
+        """
+        if not self.family_warm_start:
+            return 0
+        if not isinstance(code_key, str) or not selectors:
+            return 0
+        total = 0
+        for sibling_key in family_siblings(code_key):
+            with self._lock:
+                sibling = self._contexts.get(sibling_key)
+            if sibling is None or sibling is context:
+                continue
+            total += context.absorb_from_sibling(sibling, tuple(selectors))
+        if total:
+            stats = self.lane_stat(self.shard_for(self.shard_key(code_key)))
+            if stats is not None:
+                stats.absorbed_clauses += total
+        return total
 
     def session_for(self, task, compiled) -> ContextView | SolveSession | None:
         """A persistent session for ``task``: a guarded shared-context view
@@ -413,18 +698,19 @@ class ResourceManager:
             return None
 
     def _task_session_for(self, task, compiled) -> SolveSession | None:
-        try:
-            session = self._task_sessions.get(task)
-        except TypeError:  # unhashable payload
-            return None
-        if session is None:
-            session = SolveSession(compiled.formula)
-            self._task_sessions[task] = session
-            while len(self._task_sessions) > self.max_contexts:
-                self._task_sessions.popitem(last=False)
-        else:
-            self._task_sessions.move_to_end(task)
-        return session
+        with self._lock:
+            try:
+                session = self._task_sessions.get(task)
+            except TypeError:  # unhashable payload
+                return None
+            if session is None:
+                session = SolveSession(compiled.formula)
+                self._task_sessions[task] = session
+                while len(self._task_sessions) > self.max_contexts:
+                    self._task_sessions.popitem(last=False)
+            else:
+                self._task_sessions.move_to_end(task)
+            return session
 
     def retire_task(self, task) -> bool:
         """Release a (cancelled) task's solver state without touching the
@@ -437,46 +723,53 @@ class ResourceManager:
         run on the same context cheap.
         """
         code_key = getattr(task, "code", None)
-        if code_key is None:
+        with self._lock:
+            if code_key is None:
+                try:
+                    return self._task_sessions.pop(task, None) is not None
+                except TypeError:
+                    return False
             try:
-                return self._task_sessions.pop(task, None) is not None
+                context = self._contexts.get(code_key)
             except TypeError:
                 return False
-        try:
-            context = self._contexts.get(code_key)
-        except TypeError:
-            return False
         if context is None:
             return False
         return context.retire_task(task)
 
     # ------------------------------------------------------------------
     def enable_warm_cache(self, directory: str) -> SessionCache:
-        self.warm_cache = SessionCache(directory)
-        self.pools.warm_cache = self.warm_cache
-        for context in self._contexts.values():
-            if context.warm_cache is None:
-                context.warm_cache = self.warm_cache
-        return self.warm_cache
+        with self._lock:
+            self.warm_cache = SessionCache(directory)
+            self.pools.warm_cache = self.warm_cache
+            for context in self._contexts.values():
+                if context.warm_cache is None:
+                    context.warm_cache = self.warm_cache
+            return self.warm_cache
 
     def save_warm(self) -> None:
-        for context in self._contexts.values():
+        with self._lock:
+            contexts = list(self._contexts.values())
+        for context in contexts:
             context.save_warm()
         if self.warm_cache is not None:
             self.pools.save_warm()
 
     # ------------------------------------------------------------------
     def num_contexts(self) -> int:
-        return len(self._contexts) + len(self._task_sessions)
+        with self._lock:
+            return len(self._contexts) + len(self._task_sessions)
 
     def clear_contexts(self) -> None:
-        self._contexts.clear()
-        self._task_sessions.clear()
+        with self._lock:
+            self._contexts.clear()
+            self._task_sessions.clear()
 
     def close(self) -> None:
         self.save_warm()
-        self._contexts.clear()
-        self._task_sessions.clear()
+        with self._lock:
+            self._contexts.clear()
+            self._task_sessions.clear()
         self.pools.close_all()
 
     def stats(self) -> dict:
@@ -491,7 +784,13 @@ class ResourceManager:
         blocker_hits = 0
         heap_discards = 0
         binary_subsumed = 0
-        for context in self._contexts.values():
+        family_absorbed = 0
+        family_probes = 0
+        with self._lock:
+            contexts = list(self._contexts.values())
+            num_contexts = len(self._contexts)
+            assignments = dict(self._shard_assignments)
+        for context in contexts:
             session_stats = context.session.stats()
             learnt_kept += session_stats.get("learnt_kept", 0)
             learnt_deleted += session_stats.get("learnt_deleted", 0)
@@ -503,8 +802,10 @@ class ResourceManager:
             context_misses += context.misses
             warm_absorbed += context.warm_absorbed
             retired_guards += context.retired
+            family_absorbed += context.family_absorbed
+            family_probes += context.family_probes
         stats = {
-            "contexts": len(self._contexts),
+            "contexts": num_contexts,
             "context_hits": context_hits,
             "context_misses": context_misses,
             "pools": len(self.pools),
@@ -526,8 +827,31 @@ class ResourceManager:
             stats["heap_discards"] = heap_discards
         if binary_subsumed:
             stats["binary_subsumed"] = binary_subsumed
+        if family_probes:
+            stats["family_absorbed"] = family_absorbed
+            stats["family_probes"] = family_probes
         if self.warm_cache is not None:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses
             stats["warm_absorbed"] = warm_absorbed + self.pools.warm_absorbed()
+        # The lane table appears once jobs have been dispatched through the
+        # sharded executor (same only-when-active rule as the counters
+        # above), so blocking-only runs keep their historical schema.
+        if self._executor is not None:
+            depths = self._executor.queue_depths()
+            stats["lanes"] = [
+                {
+                    "lane": lane.lane,
+                    "queue_depth": depths[lane.lane] if lane.lane < len(depths) else 0,
+                    "enqueued": lane.enqueued,
+                    "jobs_completed": lane.jobs_completed,
+                    "busy_seconds": round(lane.busy_seconds, 6),
+                    "absorbed_clauses": lane.absorbed_clauses,
+                    "shard_keys": sorted(
+                        key for key, assigned in assignments.items()
+                        if assigned == lane.lane
+                    ),
+                }
+                for lane in self._lane_stats
+            ]
         return stats

@@ -22,18 +22,34 @@ from repro.codes.shor import shor_code
 from repro.codes.steane import steane_code
 from repro.codes.surface import rotated_surface_code, xzzx_surface_code
 
-__all__ = ["CodeEntry", "CODE_REGISTRY", "build_code", "list_codes"]
+__all__ = [
+    "CodeEntry",
+    "CODE_REGISTRY",
+    "build_code",
+    "family_of",
+    "family_siblings",
+    "list_codes",
+]
 
 
 @dataclass(frozen=True)
 class CodeEntry:
-    """One row of the benchmark table."""
+    """One row of the benchmark table.
+
+    ``family`` groups codes sharing sub-structure (e.g. the rotated surface
+    codes at increasing distance): the dispatcher co-locates a family on one
+    worker lane and the resource layer warm-starts a member from the learnt
+    clauses of its smaller siblings.  ``family_rank`` orders members within
+    the family (smaller rank = smaller code); 0 means "not in a family".
+    """
 
     key: str
     builder: Callable[[], StabilizerCode]
     target: str  # "correction" or "detection"
     paper_name: str
     note: str = ""
+    family: str = ""
+    family_rank: int = 0
 
 
 def _tanner_substitute() -> StabilizerCode:
@@ -54,7 +70,12 @@ def _surface_from_repetition() -> StabilizerCode:
 CODE_REGISTRY: dict[str, CodeEntry] = {
     "steane": CodeEntry("steane", steane_code, "correction", "Steane code [[7,1,3]]"),
     "five-qubit": CodeEntry(
-        "five-qubit", five_qubit_code, "correction", "Five-qubit perfect code [[5,1,3]]"
+        "five-qubit",
+        five_qubit_code,
+        "correction",
+        "Five-qubit perfect code [[5,1,3]]",
+        family="perfect",
+        family_rank=5,
     ),
     "six-qubit": CodeEntry(
         "six-qubit",
@@ -62,6 +83,8 @@ CODE_REGISTRY: dict[str, CodeEntry] = {
         "correction",
         "Six-qubit code [[6,1,3]]",
         note="one-qubit extension of the [[5,1,3]] code",
+        family="perfect",
+        family_rank=6,
     ),
     "shor": CodeEntry(
         "shor",
@@ -71,10 +94,20 @@ CODE_REGISTRY: dict[str, CodeEntry] = {
         note="substitutes the quantum dodecacode entry",
     ),
     "surface-3": CodeEntry(
-        "surface-3", lambda: rotated_surface_code(3), "correction", "Rotated surface code d=3"
+        "surface-3",
+        lambda: rotated_surface_code(3),
+        "correction",
+        "Rotated surface code d=3",
+        family="surface",
+        family_rank=3,
     ),
     "surface-5": CodeEntry(
-        "surface-5", lambda: rotated_surface_code(5), "correction", "Rotated surface code d=5"
+        "surface-5",
+        lambda: rotated_surface_code(5),
+        "correction",
+        "Rotated surface code d=5",
+        family="surface",
+        family_rank=5,
     ),
     "xzzx-3": CodeEntry(
         "xzzx-3", lambda: xzzx_surface_code(3), "correction", "XZZX surface code"
@@ -103,12 +136,16 @@ CODE_REGISTRY: dict[str, CodeEntry] = {
         "detection",
         "Hypergraph product code",
         note="also substitutes the quantum Tanner code entries",
+        family="hgp",
+        family_rank=2,
     ),
     "hgp-repetition": CodeEntry(
         "hgp-repetition",
         _surface_from_repetition,
         "detection",
         "Hypergraph product of repetition codes",
+        family="hgp",
+        family_rank=1,
     ),
     "color-832": CodeEntry(
         "color-832", color_code_832, "detection", "3D basic color code [[8,3,2]]"
@@ -139,3 +176,28 @@ def build_code(key: str) -> StabilizerCode:
 
 def list_codes() -> list[str]:
     return sorted(CODE_REGISTRY)
+
+
+def family_of(key: str) -> str | None:
+    """The family a registry key belongs to, or None (unknown key, no family)."""
+    entry = CODE_REGISTRY.get(key) if isinstance(key, str) else None
+    if entry is None or not entry.family:
+        return None
+    return entry.family
+
+
+def family_siblings(key: str) -> list[str]:
+    """Smaller same-family registry keys, ordered smallest first.
+
+    These are the codes whose learnt clauses are worth offering to ``key``
+    as warm-start candidates (a larger code never seeds a smaller one).
+    """
+    entry = CODE_REGISTRY.get(key) if isinstance(key, str) else None
+    if entry is None or not entry.family:
+        return []
+    members = [
+        other
+        for other in CODE_REGISTRY.values()
+        if other.family == entry.family and other.family_rank < entry.family_rank
+    ]
+    return [member.key for member in sorted(members, key=lambda m: m.family_rank)]

@@ -107,6 +107,11 @@ class AdmissionController:
         self._pending = 0
         self.admitted = 0
         self.rejected: dict[str, int] = {"capacity": 0, "quota": 0, "rate": 0}
+        # Cumulative per-key counters: unlike ``_inflight`` (which drains
+        # back to empty as jobs finish) these survive the load, so a
+        # post-run ``GET /stats`` still shows who submitted what.
+        self.admitted_by_key: dict[str, int] = {}
+        self.completed_by_key: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def admit(self, api_key: str) -> AdmissionDecision:
@@ -133,6 +138,7 @@ class AdmissionController:
             self._pending += 1
             self._inflight[api_key] = self._inflight.get(api_key, 0) + 1
             self.admitted += 1
+            self.admitted_by_key[api_key] = self.admitted_by_key.get(api_key, 0) + 1
             return AdmissionDecision(True)
 
     def release(self, api_key: str) -> None:
@@ -146,6 +152,7 @@ class AdmissionController:
                 self._inflight[api_key] = left
             else:
                 self._inflight.pop(api_key, None)
+            self.completed_by_key[api_key] = self.completed_by_key.get(api_key, 0) + 1
 
     # ------------------------------------------------------------------
     def pending(self) -> int:
@@ -162,4 +169,6 @@ class AdmissionController:
                 "max_inflight_per_key": self.max_inflight_per_key,
                 "clients": len(self._buckets),
                 "inflight_by_key": dict(self._inflight),
+                "admitted_by_key": dict(self.admitted_by_key),
+                "completed_by_key": dict(self.completed_by_key),
             }

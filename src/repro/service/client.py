@@ -42,8 +42,13 @@ class ServiceError(Exception):
 
 
 class ServiceClient:
-    """One service endpoint; a fresh connection per request (the server
-    closes after each response anyway)."""
+    """One service endpoint; by default a fresh connection per request (the
+    server closes after each response).  With ``keep_alive=True`` the client
+    asks the server for a persistent connection and ``submit_stream`` pumps
+    every job through one socket — the cheap path for high-rate dispatch.
+    A keep-alive client is NOT thread-safe (one live socket); use one client
+    per thread, and fully consume each event stream before the next submit.
+    """
 
     def __init__(
         self,
@@ -52,20 +57,47 @@ class ServiceClient:
         *,
         api_key: str | None = None,
         timeout: float = 60.0,
+        keep_alive: bool = False,
     ):
         self.host = host
         self.port = port
         self.api_key = api_key
         self.timeout = timeout
+        self.keep_alive = keep_alive
+        self._conn: http.client.HTTPConnection | None = None
+        self._conn_clean = True  # previous response fully drained?
 
     # ------------------------------------------------------------------
     def _connect(self) -> http.client.HTTPConnection:
         return http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
 
+    def _persistent(self) -> http.client.HTTPConnection:
+        if not self._conn_clean:
+            self._drop_persistent()
+        if self._conn is None:
+            self._conn = self._connect()
+            self._conn_clean = True
+        return self._conn
+
+    def _drop_persistent(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            except Exception:  # noqa: BLE001 - teardown
+                pass
+            self._conn = None
+        self._conn_clean = True
+
+    def close(self) -> None:
+        """Release the persistent connection (no-op without keep_alive)."""
+        self._drop_persistent()
+
     def _headers(self) -> dict[str, str]:
         headers = {"Content-Type": "application/json"}
         if self.api_key is not None:
             headers["X-API-Key"] = self.api_key
+        if self.keep_alive:
+            headers["Connection"] = "keep-alive"
         return headers
 
     def request(self, method: str, path: str, body: dict | None = None) -> dict:
@@ -110,6 +142,106 @@ class ServiceClient:
         if deadline is not None:
             body["deadline"] = deadline
         return self.request("POST", "/jobs", body)
+
+    def submit_stream(
+        self,
+        task: dict,
+        *,
+        priority: int | None = None,
+        lane: str | None = None,
+        deadline: float | None = None,
+        raw: bool = False,
+    ) -> tuple[str, Iterator[dict | str]]:
+        """``POST /jobs`` with ``"stream": true``: submit and consume the
+        job's event stream on ONE connection.
+
+        Returns ``(job_id, events)`` where ``events`` yields one event per
+        NDJSON line until the terminal event; the job id comes from the
+        ``X-Job-Id`` response header.  This halves the connection count of
+        the submit-then-``events()`` pattern.  With ``keep_alive=True`` the
+        same socket is reused across calls (chunked streams are
+        self-delimiting), dropping the per-job connection cost to zero —
+        but each stream must be fully consumed before the next submit.
+        """
+        body: dict = {"task": task, "stream": True}
+        if priority is not None:
+            body["priority"] = priority
+        if lane is not None:
+            body["lane"] = lane
+        if deadline is not None:
+            body["deadline"] = deadline
+        payload_bytes = json.dumps(body)
+        persistent = self.keep_alive
+        conn: http.client.HTTPConnection
+        response = None
+        # A pooled socket may have gone stale (server closed it between
+        # calls); retry exactly once on a fresh connection.
+        for attempt in (0, 1):
+            conn = self._persistent() if persistent else self._connect()
+            if persistent:
+                self._conn_clean = False
+            try:
+                conn.request(
+                    "POST", "/jobs", body=payload_bytes, headers=self._headers()
+                )
+                response = conn.getresponse()
+                if persistent and attempt == 0 and response.status == 408:
+                    # An idle pooled socket the server had already timed out:
+                    # that buffered 408 answers the PREVIOUS idle period, not
+                    # this request.  Resubmit on a fresh connection.
+                    self._drop_persistent()
+                    continue
+                break
+            except (
+                http.client.BadStatusLine,
+                http.client.CannotSendRequest,
+                ConnectionError,
+                OSError,
+            ):
+                if persistent:
+                    self._drop_persistent()
+                else:
+                    conn.close()
+                if not persistent or attempt:
+                    raise
+        assert response is not None
+        if response.status != 201:
+            raw_body = response.read()
+            payload = json.loads(raw_body) if raw_body else {}
+            if persistent:
+                # Error bodies are Connection: close — start fresh next time.
+                self._drop_persistent()
+            else:
+                conn.close()
+            raise ServiceError(
+                response.status,
+                payload,
+                {k.lower(): v for k, v in response.getheaders()},
+            )
+        job_id = response.getheader("X-Job-Id", "")
+
+        def lines() -> Iterator[dict | str]:
+            drained = False
+            try:
+                for line in response:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    yield line.decode() if raw else json.loads(line)
+                drained = True
+            finally:
+                if persistent:
+                    if drained and not response.isclosed():
+                        response.close()  # releases the conn for reuse
+                        self._conn_clean = True
+                    elif drained and response.isclosed():
+                        self._conn_clean = True
+                    else:
+                        self._drop_persistent()
+                else:
+                    conn.close()
+
+        return job_id, lines()
 
     def job(self, job_id: str) -> dict:
         return self.request("GET", f"/jobs/{job_id}")

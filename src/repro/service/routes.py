@@ -10,11 +10,14 @@
 ============================  =============================================
 
 The ``POST /jobs`` body is ``{"task": {...}, "priority"?: int,
-"lane"?: str, "deadline"?: seconds}`` where the task spec is decoded by
-:func:`repro.api.tasks.task_from_dict` — malformed specs are 400s, never
-500s.  ``lane`` names a priority lane (``batch`` < ``normal`` <
+"lane"?: str, "deadline"?: seconds, "stream"?: bool}`` where the task spec
+is decoded by :func:`repro.api.tasks.task_from_dict` — malformed specs are
+400s, never 500s.  ``lane`` names a priority lane (``batch`` < ``normal`` <
 ``interactive``) mapped onto the dispatcher's numeric priorities; an
-explicit ``priority`` overrides the lane.
+explicit ``priority`` overrides the lane.  With ``"stream": true`` the 201
+response body is the job's NDJSON event stream itself (the job id travels
+in the ``X-Job-Id`` header) — submit-and-stream on one connection instead
+of a submit round-trip followed by a ``GET .../events`` connection.
 
 The event stream's lines are exactly
 :meth:`repro.api.events.Event.to_json` — the ``schema_version 1.0``
@@ -85,6 +88,8 @@ class Response:
     headers: dict[str, str] = field(default_factory=dict)
     #: streaming responses yield byte chunks instead of carrying a payload
     stream: AsyncIterator[bytes] | None = None
+    #: extra fields merged into the access-log record (job id, lane, ...)
+    log: dict = field(default_factory=dict)
 
     def body(self) -> bytes:
         if self.payload is None:
@@ -145,6 +150,10 @@ class Router:
         ):
             raise HttpError(400, "deadline must be a positive number of seconds")
 
+        stream = payload.get("stream", False)
+        if not isinstance(stream, bool):
+            raise HttpError(400, "stream must be a boolean")
+
         api_key = request.api_key
         decision = service.admission.admit(api_key)
         if not decision.allowed:
@@ -160,6 +169,20 @@ class Router:
             raise
         service.drain.track(job)
         job.add_done_callback(lambda _job: service.admission.release(api_key))
+        log = {"job_id": job.id, "job_lane": job.lane}
+        if stream:
+            # Submit-and-stream: the event stream IS the response body, so a
+            # client that wants the verdict pays one connection per job
+            # instead of two.
+            return Response(
+                201,
+                stream=self._event_stream(job),
+                headers={
+                    "Content-Type": "application/x-ndjson",
+                    "X-Job-Id": job.id,
+                },
+                log=log,
+            )
         return Response(
             201,
             {
@@ -170,6 +193,7 @@ class Router:
                 "task_kind": type(task).kind,
                 "events": f"/jobs/{job.id}/events",
             },
+            log=log,
         )
 
     # ------------------------------------------------------------------
@@ -212,25 +236,59 @@ class Router:
             )
         return Response(202, {"id": job.id, "status": "cancelling"})
 
-    def job_events(self, job_id: str) -> Response:
-        job = self._job(job_id)
+    @staticmethod
+    def _encode_events(events) -> bytes:
+        return "".join(event.to_json() + "\n" for event in events).encode()
+
+    def _event_stream(self, job: Job) -> AsyncIterator[bytes]:
+        """The job's NDJSON event feed: replay first, then live events.
+
+        Two wire optimisations over the naive one-callback-one-chunk loop:
+        a *finished* job's history is served as a single pre-joined chunk
+        with no subscription (and no per-event loop hops), and a live job's
+        events are greedily coalesced — everything queued by the time the
+        stream task wakes goes out as one chunk — so a fast solver doesn't
+        pay one writer drain per event.
+        """
 
         async def ndjson() -> AsyncIterator[bytes]:
+            events, terminal = job.snapshot()
+            if terminal:
+                if events:
+                    yield self._encode_events(events)
+                return
             loop = asyncio.get_running_loop()
             feed: asyncio.Queue = asyncio.Queue()
 
             def _push(event) -> None:
                 loop.call_soon_threadsafe(feed.put_nowait, event)
 
-            job.subscribe(_push)
+            # Subscribing from the snapshot boundary replays (under the
+            # job's lock) anything emitted since, so no event is lost
+            # between snapshot() and subscribe().
+            job.subscribe(_push, from_seq=len(events))
+            if events:
+                yield self._encode_events(events)
             while True:
-                event = await feed.get()
-                yield (event.to_json() + "\n").encode()
-                if event.TERMINAL:
+                batch = [await feed.get()]
+                while True:
+                    try:
+                        batch.append(feed.get_nowait())
+                    except asyncio.QueueEmpty:
+                        break
+                yield self._encode_events(batch)
+                if any(event.TERMINAL for event in batch):
                     return
 
+        return ndjson()
+
+    def job_events(self, job_id: str) -> Response:
+        job = self._job(job_id)
         return Response(
-            200, stream=ndjson(), headers={"Content-Type": "application/x-ndjson"}
+            200,
+            stream=self._event_stream(job),
+            headers={"Content-Type": "application/x-ndjson"},
+            log={"job_id": job.id, "job_lane": job.lane},
         )
 
     # ------------------------------------------------------------------

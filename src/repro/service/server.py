@@ -1,10 +1,13 @@
 """The asyncio HTTP/1.1 server: sockets, timeouts, logging, lifecycle.
 
 Stdlib only: :func:`asyncio.start_server` plus a small, strict HTTP/1.1
-reader (request line, headers, ``Content-Length`` body, size caps).  One
-request per connection (every response carries ``Connection: close``) —
-verification jobs are seconds-long, so connection reuse buys nothing and
-keeps the state machine trivial.  Event streams are sent with chunked
+reader (request line, headers, ``Content-Length`` body, size caps).  By
+default one request per connection (responses carry ``Connection: close``);
+a client that sends an explicit ``Connection: keep-alive`` gets a
+persistent connection instead — chunked streams are self-delimiting, so a
+submit-and-stream client can pump many jobs through ONE socket, which is
+what makes high-rate dispatch cheap (per-job TCP setup is the dominant
+wire cost for sub-millisecond solves).  Event streams are sent with chunked
 transfer encoding and tolerate the client hanging up mid-stream: the writer
 error just ends that consumer; the job, its guards, and the shared session
 are unaffected (a broken subscriber is dropped by
@@ -152,10 +155,34 @@ class VerificationService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         self.connections_open += 1
+        try:
+            # Serve requests until the client closes, errors, or didn't ask
+            # for keep-alive (the default is still one request per
+            # connection, so legacy clients see the historical behaviour).
+            while await self._serve_one(reader, writer):
+                pass
+        finally:
+            self.connections_open -= 1
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # CancelledError: loop teardown cancelling a parked keep-alive
+                # handler mid-close; the socket is closed either way, and
+                # completing quietly keeps asyncio's connection callback from
+                # logging a spurious traceback.
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """One request/response cycle; True = keep the connection open."""
         started = time.monotonic()
         request: Request | None = None
+        response: Response | None = None
         status = 0  # 0 = nothing sent (clean EOF / client vanished)
         sent = 0
+        keep = False
         try:
             try:
                 request = await asyncio.wait_for(
@@ -163,40 +190,44 @@ class VerificationService:
                 )
             except asyncio.TimeoutError:
                 status, sent = await self._send_error(writer, 408, "request timeout")
-                return
+                return False
             except HttpError as error:
                 status, sent = await self._send_error(
                     writer, error.status, error.message, error.headers
                 )
-                return
+                return False
             except (asyncio.IncompleteReadError, ConnectionError):
-                return  # client went away before completing a request
+                return False  # client went away before completing a request
             if request is None:
-                return  # clean EOF before any request bytes
+                return False  # clean EOF before any request bytes
+            keep = request.headers.get("connection", "").lower() == "keep-alive"
             try:
                 response = await self.router.handle(request)
             except HttpError as error:
                 status, sent = await self._send_error(
                     writer, error.status, error.message, error.headers
                 )
-                return
+                return False
             except Exception as error:  # noqa: BLE001 - the connection boundary
                 logging.getLogger("repro.service").exception("handler error")
                 status, sent = await self._send_error(
                     writer, 500, f"{type(error).__name__}: {error}"
                 )
-                return
-            status, sent = await self._send_response(writer, response)
+                return False
+            status, sent = await self._send_response(
+                writer, response, keep_alive=keep
+            )
+            return keep
         finally:
-            self.connections_open -= 1
             if request is not None or status:
                 self.requests_served += 1
-                self._log_access(request, status, sent, time.monotonic() - started)
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+                self._log_access(
+                    request,
+                    status,
+                    sent,
+                    time.monotonic() - started,
+                    extra=response.log if response is not None else None,
+                )
 
     async def _read_request(self, reader: asyncio.StreamReader) -> Request | None:
         try:
@@ -242,25 +273,28 @@ class VerificationService:
     # Response writing
     # ------------------------------------------------------------------
     @staticmethod
-    def _head(status: int, headers: dict[str, str]) -> bytes:
+    def _head(status: int, headers: dict[str, str], keep_alive: bool = False) -> bytes:
         reason = _STATUS_REASONS.get(status, "Unknown")
         lines = [f"HTTP/1.1 {status} {reason}"]
         lines.extend(f"{name}: {value}" for name, value in headers.items())
-        lines.append("Connection: close")
+        lines.append("Connection: keep-alive" if keep_alive else "Connection: close")
         return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
     async def _send_response(
-        self, writer: asyncio.StreamWriter, response: Response
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        keep_alive: bool = False,
     ) -> tuple[int, int]:
         if response.stream is not None:
-            return await self._send_stream(writer, response)
+            return await self._send_stream(writer, response, keep_alive=keep_alive)
         body = response.body()
         headers = {
             "Content-Type": "application/json",
             "Content-Length": str(len(body)),
             **response.headers,
         }
-        writer.write(self._head(response.status, headers) + body)
+        writer.write(self._head(response.status, headers, keep_alive) + body)
         try:
             await writer.drain()
         except (ConnectionError, OSError):
@@ -268,7 +302,10 @@ class VerificationService:
         return response.status, len(body)
 
     async def _send_stream(
-        self, writer: asyncio.StreamWriter, response: Response
+        self,
+        writer: asyncio.StreamWriter,
+        response: Response,
+        keep_alive: bool = False,
     ) -> tuple[int, int]:
         headers = {
             "Content-Type": "application/x-ndjson",
@@ -277,7 +314,7 @@ class VerificationService:
         }
         sent = 0
         try:
-            writer.write(self._head(response.status, headers))
+            writer.write(self._head(response.status, headers, keep_alive))
             await writer.drain()
             async for chunk in response.stream:
                 writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
@@ -312,7 +349,12 @@ class VerificationService:
 
     # ------------------------------------------------------------------
     def _log_access(
-        self, request: Request | None, status: int, sent: int, duration: float
+        self,
+        request: Request | None,
+        status: int,
+        sent: int,
+        duration: float,
+        extra: dict | None = None,
     ) -> None:
         record = {
             "method": request.method if request else "-",
@@ -322,6 +364,10 @@ class VerificationService:
             "bytes": sent,
             "duration_ms": round(duration * 1000, 3),
         }
+        if extra:
+            # Route-provided context: job id and the dispatcher lane the job
+            # routed to (``job_lane``), so per-lane behaviour is greppable.
+            record.update(extra)
         access_log.info(json.dumps(record, default=str))
 
     def server_stats(self) -> dict:

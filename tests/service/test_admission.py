@@ -108,3 +108,27 @@ class TestAdmissionController:
         control = AdmissionController(clock=FakeClock())
         control.release("never-admitted")
         assert control.pending() == 0
+
+    def test_cumulative_per_key_counters_survive_the_load(self):
+        """Regression: after every job finishes, ``inflight_by_key`` drains
+        back to empty — the cumulative ``admitted_by_key`` /
+        ``completed_by_key`` counters are what keep post-run stats
+        inspectable."""
+        control = AdmissionController(
+            max_pending=10, max_inflight_per_key=10, rate=100.0, burst=100.0,
+            clock=FakeClock(),
+        )
+        for _ in range(3):
+            assert control.admit("a").allowed
+        assert control.admit("b").allowed
+        for _ in range(3):
+            control.release("a")
+        control.release("b")
+        stats = control.stats()
+        assert stats["inflight_by_key"] == {}  # the old, drained snapshot
+        assert stats["admitted_by_key"] == {"a": 3, "b": 1}
+        assert stats["completed_by_key"] == {"a": 3, "b": 1}
+        # rejected submissions never touch the per-key admitted counter
+        tight = AdmissionController(max_pending=0, clock=FakeClock())
+        assert not tight.admit("c").allowed
+        assert tight.stats()["admitted_by_key"] == {}
