@@ -10,6 +10,14 @@
 5. SIGTERM the server and require a graceful drain: exit code 0 and a
    ``drained`` line reporting no orphaned jobs.
 
+Then the resume smoke: a server with ``--clause-store`` is SIGTERMed
+mid-distance-walk (zero drain grace, so the in-flight job is cancelled,
+leaving its checkpoint behind), a fresh server over the same store
+directory replays the job, and the replay must report ``resumed_from``,
+finish in strictly fewer probes than a cold walk, and land on the same
+distance.  The cancel races the walk, so the kill is retried with a fresh
+store until it lands mid-flight.
+
 Exits non-zero on any deviation.  Run from the repository root:
 
     PYTHONPATH=src python scripts/service_smoke.py
@@ -29,6 +37,120 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+
+def _start_server(*extra_args: str) -> tuple[subprocess.Popen, int]:
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra_args],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        cwd=REPO,
+        env={**__import__("os").environ, "PYTHONPATH": str(SRC)},
+    )
+    ready = json.loads(server.stdout.readline())
+    assert ready["event"] == "listening", ready
+    return server, ready["port"]
+
+
+def _checkpoint_count(store_dir: str) -> int:
+    import os
+    import sqlite3
+
+    path = os.path.join(store_dir, "clauses.sqlite")
+    if not os.path.isfile(path):
+        return 0
+    with sqlite3.connect(path) as conn:
+        (count,) = conn.execute("SELECT COUNT(*) FROM checkpoints").fetchone()
+    return count
+
+
+def resume_smoke() -> int:
+    """Kill a distance walk mid-flight, restart over the same store, and
+    require the replay to resume instead of restarting."""
+    from repro.api import DistanceTask, Engine
+    from repro.service.client import ServiceClient
+
+    task = {"kind": "distance", "code": "surface-5"}
+    cold_engine = Engine()
+    cold = cold_engine.run(DistanceTask(code="surface-5"))
+    cold_engine.close()
+    cold_probes = len(cold.details["trials"])
+    cold_distance = cold.details["distance"]
+    print(f"cold reference: {cold_probes} probes, distance {cold_distance}")
+
+    store_dir = None
+    for attempt in range(8):
+        store_dir = tempfile.mkdtemp(prefix="smoke-clause-store-")
+        server, port = _start_server("--clause-store", store_dir, "--drain-grace", "0.05")
+        try:
+            client = ServiceClient("127.0.0.1", port, api_key="ci-smoke")
+            job = client.submit(task)
+            # SIGTERM as soon as the walk reports its first probe: zero
+            # drain grace cancels the in-flight job, whose checkpoint stays.
+            try:
+                for line in client.events(job["id"], raw=True):
+                    if '"DistanceProbe"' in line:
+                        server.send_signal(signal.SIGTERM)
+            except Exception:  # noqa: BLE001 - the stream dies with the server
+                pass
+            server.communicate(timeout=60)
+        finally:
+            if server.poll() is None:
+                server.kill()
+        if _checkpoint_count(store_dir) == 1:
+            break  # the kill landed mid-walk
+        print(f"resume-smoke attempt {attempt + 1}: walk finished before the kill; retrying")
+    else:
+        print("FAIL: could not interrupt a distance walk mid-flight", file=sys.stderr)
+        return 1
+
+    server, port = _start_server("--clause-store", store_dir)
+    try:
+        client = ServiceClient("127.0.0.1", port, api_key="ci-smoke")
+        job = client.submit(task)
+        stream = tempfile.mktemp(suffix=".ndjson")
+        probes = 0
+        completed = None
+        with open(stream, "w", encoding="utf-8") as handle:
+            for line in client.events(job["id"], raw=True):
+                handle.write(line + "\n")
+                if '"DistanceProbe"' in line:
+                    probes += 1
+                if '"JobCompleted"' in line:
+                    completed = json.loads(line)
+        final = client.job(job["id"])
+        server.send_signal(signal.SIGTERM)
+        server.communicate(timeout=60)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    validate = subprocess.run(
+        [sys.executable, "-m", "repro", "validate-events", stream],
+        cwd=REPO,
+        env={**__import__("os").environ, "PYTHONPATH": str(SRC)},
+    )
+    failures = []
+    if validate.returncode != 0:
+        failures.append("resumed event stream failed schema validation")
+    if final["status"] != "succeeded":
+        failures.append(f"resumed job ended {final['status']}")
+    if not completed or not completed.get("resumed_from"):
+        failures.append(f"resumed JobCompleted lacks resumed_from: {completed}")
+    if probes >= cold_probes:
+        failures.append(f"resumed walk used {probes} probes, cold used {cold_probes}")
+    distance = final.get("result", {}).get("details", {}).get("distance")
+    if distance != cold_distance:
+        failures.append(f"resumed distance {distance} != cold {cold_distance}")
+    if failures:
+        print("FAIL:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    print(
+        f"resume smoke passed: killed mid-walk, resumed in {probes} probes "
+        f"(cold {cold_probes}), distance {distance}"
+    )
+    return 0
 
 
 def main() -> int:
@@ -111,4 +233,5 @@ def main() -> int:
 
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    rc = main()
+    raise SystemExit(rc if rc else resume_smoke())

@@ -71,12 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
     )
-    verify.add_argument(
-        "--warm-cache",
-        metavar="DIR",
-        default=None,
-        help="cache dir for learnt-clause state; repeated invocations warm-start",
-    )
+    _add_store_arguments(verify)
     _add_job_arguments(verify)
     verify.add_argument("--json", action="store_true", help="emit the result as JSON")
     verify.set_defaults(func=_cmd_verify)
@@ -87,12 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
     distance.add_argument(
         "--workers", type=int, default=1, help="worker count (>1 selects the parallel backend)"
     )
-    distance.add_argument(
-        "--warm-cache",
-        metavar="DIR",
-        default=None,
-        help="cache dir for learnt-clause state; repeated invocations warm-start",
-    )
+    _add_store_arguments(distance)
     distance.add_argument(
         "--strategy",
         choices=["auto", "binary", "galloping"],
@@ -118,12 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--jobs", type=int, default=1, help="process pool size across tasks (run_many)"
     )
-    sweep.add_argument(
-        "--warm-cache",
-        metavar="DIR",
-        default=None,
-        help="cache dir for learnt-clause state; repeated invocations warm-start",
-    )
+    _add_store_arguments(sweep)
     _add_job_arguments(sweep)
     sweep.add_argument("--json", action="store_true", help="emit results as JSON")
     sweep.set_defaults(func=_cmd_sweep)
@@ -177,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         "to one lane, so jobs on different codes solve concurrently "
         "(1 = the serial dispatcher)",
     )
+    serve.add_argument(
+        "--clause-store",
+        metavar="DIR",
+        default=None,
+        help="durable clause-store directory shared across restarts (and "
+        "replicas); enables warm-started sessions and resumable distance walks",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     return parser
@@ -208,6 +200,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             request_timeout=args.request_timeout,
             drain_grace=args.drain_grace,
             lanes=args.lanes,
+            clause_store=args.clause_store,
         )
         await service.start()
         # The "listening" line is the readiness protocol: supervisors (and
@@ -229,6 +222,38 @@ def _cmd_validate_events(args: argparse.Namespace) -> int:
     from repro.api.events import main as validate_main
 
     return validate_main(args.files)
+
+
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--clause-store",
+        metavar="DIR",
+        default=None,
+        help="durable clause-store directory; repeated invocations (and "
+        "sibling codes) warm-start, distance walks resume after a kill",
+    )
+    parser.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        default=None,
+        help="deprecated alias for --clause-store",
+    )
+
+
+def _store_directory(args: argparse.Namespace, warn: bool = False) -> str | None:
+    """The clause-store directory from ``--clause-store`` or its legacy alias."""
+    directory = getattr(args, "clause_store", None)
+    legacy = getattr(args, "warm_cache", None)
+    if directory:
+        return directory
+    if legacy:
+        if warn:
+            print(
+                "warning: --warm-cache is deprecated; use --clause-store",
+                file=sys.stderr,
+            )
+        return legacy
+    return None
 
 
 def _add_job_arguments(parser: argparse.ArgumentParser) -> None:
@@ -278,13 +303,14 @@ def _run_as_job(engine: Engine, task, args: argparse.Namespace, print_result) ->
 
 def _make_engine(backend, args: argparse.Namespace) -> Engine:
     engine = Engine(backend=backend)
-    if getattr(args, "warm_cache", None):
-        engine.resources.enable_warm_cache(args.warm_cache)
+    directory = _store_directory(args, warn=True)
+    if directory:
+        engine.resources.enable_clause_store(directory)
     return engine
 
 
 def _finish_engine(engine: Engine, args: argparse.Namespace) -> None:
-    if getattr(args, "warm_cache", None):
+    if _store_directory(args):
         engine.resources.save_warm()
 
 
@@ -484,6 +510,12 @@ def _resource_table(stats: dict) -> str:
     if "warm_hits" in stats:
         lines.append(f"{'warm-cache':12s} {stats.get('warm_absorbed', 0):6d}   "
                      f"hits {stats.get('warm_hits', 0)}, misses {stats.get('warm_misses', 0)}")
+    if "store" in stats:
+        store = stats["store"]
+        lines.append(f"{'store':12s} {store.get('stored', 0):6d}   "
+                     f"hits {store.get('hits', 0)}, misses {store.get('misses', 0)}, "
+                     f"absorbed {stats.get('store_absorbed', 0)}, "
+                     f"evicted {store.get('evictions', 0)}")
     return "\n".join(lines)
 
 

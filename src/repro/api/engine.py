@@ -15,6 +15,7 @@ the ``verify_triple`` pipeline and the ``python -m repro`` CLI:
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import threading
 import time
@@ -23,7 +24,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
 from repro.classical.expr import BoolExpr, BoolVar, Not
-from repro.codes.registry import CODE_REGISTRY
+from repro.codes.registry import CODE_REGISTRY, family_of
 from repro.smt.interface import SolveSession
 from repro.smt.solver import SolveControl, SolverInterrupted
 from repro.verifier.constraints import discreteness_constraint, locality_constraint
@@ -82,6 +83,40 @@ def _split_hints(code, error_model) -> tuple[tuple[str, ...], int, int]:
     return names, 2 * (code.distance or 3), code.num_qubits
 
 
+def _validate_checkpoint(state: dict | None, limit: int) -> dict | None:
+    """Sanitize a distance-walk checkpoint blob loaded from the store.
+
+    The store already checksums payloads against torn writes; this guards
+    the *semantics* — every field must be a well-typed value inside the
+    walk's own bounds, or the whole checkpoint is ignored and the walk runs
+    cold.  A bad checkpoint can therefore never change a reported distance,
+    only forfeit the resume shortcut.
+    """
+    if not isinstance(state, dict) or state.get("version") != 1:
+        return None
+    if state.get("limit") != limit:
+        return None
+    lo, hi = state.get("lo"), state.get("hi")
+    distance = state.get("distance")
+    probes = state.get("probes")
+    gallop_bound = state.get("gallop_bound")
+    if not all(isinstance(value, int) and not isinstance(value, bool)
+               for value in (lo, hi, distance, probes, gallop_bound)):
+        return None
+    if not (1 <= lo <= limit and 0 <= hi <= limit - 1 and 1 <= distance <= limit):
+        return None
+    if probes < 1 or gallop_bound < 1 or not isinstance(state.get("galloping"), bool):
+        return None
+    witness = state.get("witness")
+    if witness is not None:
+        if not isinstance(witness, dict) or not all(
+            isinstance(name, str) and isinstance(value, bool)
+            for name, value in witness.items()
+        ):
+            return None
+    return state
+
+
 class Engine:
     """Compiles verification tasks and dispatches them to a backend."""
 
@@ -93,6 +128,7 @@ class Engine:
         max_pools: int = 4,
         lanes: int = 4,
         family_warm_start: bool = True,
+        clause_store: str | None = None,
     ):
         self.backend: Backend = coerce_backend(backend)
         self.cache_size = cache_size
@@ -109,6 +145,11 @@ class Engine:
             family_warm_start=family_warm_start,
         )
         self.resources.configure_shards(self.lanes)
+        # The persistent clause store (``repro.store``): durable learnt
+        # clauses, family candidates and distance-walk checkpoints shared
+        # across every lane, pool worker and process using the directory.
+        if clause_store is not None:
+            self.resources.enable_clause_store(clause_store)
         self._hits = 0
         self._misses = 0
         self._uncacheable = 0
@@ -434,6 +475,7 @@ class Engine:
             ))
         session = None
         absorbed = 0
+        store_absorbed = 0
         if getattr(chosen, "wants_session", False):
             session = self.resources.session_for(task, compiled)
             if session is not None and hasattr(session, "context"):
@@ -441,6 +483,11 @@ class Engine:
                 # clauses of its smaller siblings before the solve, guarded
                 # by this task's own selectors.
                 absorbed = self.resources.absorb_from_family(
+                    getattr(task, "code", None), session.context, session.selectors
+                )
+                # Clause-store transfer: sibling-fingerprint candidates from
+                # past runs / other processes, entailment-proved on attach.
+                store_absorbed = self.resources.absorb_from_store(
                     getattr(task, "code", None), session.context, session.selectors
                 )
         kwargs = {}
@@ -466,11 +513,15 @@ class Engine:
                 heap_discards=getattr(check, "heap_discards", 0),
                 binary_subsumed=getattr(check, "binary_subsumed", 0),
                 family_absorbed=absorbed,
+                store_absorbed=store_absorbed,
+                learnt_evicted=getattr(check, "learnt_evicted", 0),
             ))
         details = dict(compiled.details)
         details.update(check.metadata)
         if absorbed:
             details["family_absorbed"] = absorbed
+        if store_absorbed:
+            details["store_absorbed"] = store_absorbed
         if session is not None or getattr(chosen, "wants_resources", False):
             details["resources"] = self.resources.stats()
         return Result(
@@ -512,6 +563,30 @@ class Engine:
         expected = code.distance or max(2, round(code.num_qubits ** 0.5))
         return "galloping" if span >= 4 * expected else "binary-search"
 
+    @staticmethod
+    def _distance_checkpoint_key(task: DistanceTask, code, limit: int, model_kind: str) -> str:
+        """Semantic identity of one distance walk, for checkpoint keying.
+
+        Hashes what the bracket is a fact *about* — the code (registry key,
+        or name/size/stabilizers for ad-hoc codes), the search limit and the
+        error model — so a checkpoint can never be loaded by a walk whose
+        answer could differ, while a restarted process (or another service
+        replica on the same store) maps the identical task to the same key.
+        """
+        digest = hashlib.sha256()
+        if isinstance(task.code, str):
+            identity = task.code
+        else:
+            stabilizers = getattr(code, "stabilizers", None) or ()
+            identity = "/".join(
+                [getattr(code, "name", type(code).__name__), str(code.num_qubits)]
+                + [str(stabilizer) for stabilizer in stabilizers]
+            )
+        for part in ("distance-walk", identity, str(limit), model_kind):
+            digest.update(part.encode())
+            digest.update(b"\x1f")
+        return digest.hexdigest()
+
     def _run_distance(
         self,
         task: DistanceTask,
@@ -551,6 +626,7 @@ class Engine:
         used_resources = True
         context = None
         family_absorbed = 0
+        store_absorbed = 0
         # On the shared context session the extracted witness also assigns
         # variables of other guarded task formulas; restrict it to the base
         # encoding's own variables.  The pool/fallback sessions hold only the
@@ -580,6 +656,9 @@ class Engine:
                 session = context.session
                 base_selectors = (base_guard,)
                 family_absorbed = self.resources.absorb_from_family(
+                    task.code, context, base_selectors
+                )
+                store_absorbed = self.resources.absorb_from_store(
                     task.code, context, base_selectors
                 )
             else:
@@ -617,10 +696,36 @@ class Engine:
         witness = None
         conflicts = decisions = propagations = 0
         blocker_hits = heap_discards = binary_subsumed = 0
+        learnt_evicted = 0
         last = None
         lo, hi = 1, limit - 1
         galloping = strategy == "galloping"
         gallop_bound = 1
+        # Checkpoint/resume: with a clause store attached, the walk persists
+        # its bracket after every probe under a semantic task key, so a
+        # cancelled or deadline-killed job picks the search up from where it
+        # stopped instead of re-refuting bounds it already settled.
+        store = self.resources.clause_store
+        checkpoint_key = None
+        resumed_from = None
+        prior_probes = 0
+        if store is not None and context is not None and task.deterministic:
+            checkpoint_key = self._distance_checkpoint_key(task, code, limit, error_model.kind)
+            state = _validate_checkpoint(store.checkpoint_load(checkpoint_key), limit)
+            if state is not None:
+                lo, hi = state["lo"], state["hi"]
+                distance = state["distance"]
+                witness = state.get("witness")
+                prior_probes = state["probes"]
+                if state.get("strategy") == strategy:
+                    galloping = state["galloping"]
+                    gallop_bound = state["gallop_bound"]
+                else:
+                    # A different strategy still inherits the bracket — the
+                    # refuted bounds are facts about the code, not the walk —
+                    # but restarts its own probe schedule inside it.
+                    galloping = False
+                resumed_from = {"lo": lo, "hi": hi, "probes": prior_probes}
         # A pool session must not be evicted (closed) by another lane's
         # split_session() while this walk drives it.
         pool_session = session if num_workers > 1 else None
@@ -651,6 +756,7 @@ class Engine:
                 blocker_hits += getattr(last, "blocker_hits", 0)
                 heap_discards += getattr(last, "heap_discards", 0)
                 binary_subsumed += getattr(last, "binary_subsumed", 0)
+                learnt_evicted += getattr(last, "learnt_evicted", 0)
                 trial_elapsed = time.perf_counter() - trial_start
                 trials.append(
                     {"trial_distance": mid + 1, "bound": mid, "window": [lo, hi],
@@ -675,13 +781,38 @@ class Engine:
                     galloping = False
                 else:
                     lo = mid + 1
+                if checkpoint_key is not None:
+                    payload = {
+                        "version": 1,
+                        "strategy": strategy,
+                        "limit": limit,
+                        "lo": lo,
+                        "hi": hi,
+                        "distance": distance,
+                        "probes": prior_probes + len(trials),
+                        "galloping": galloping,
+                        "gallop_bound": gallop_bound,
+                    }
+                    if witness:
+                        payload["witness"] = witness
+                    store.checkpoint_save(checkpoint_key, payload)
+                    # Flush learnt clauses at the probe boundary too, so a
+                    # kill between probes loses neither the bracket nor the
+                    # clauses that made its probes cheap.
+                    context.save_warm()
                 if emit is not None:
                     emit(DistanceProbe(
                         bound=mid, window=[trials[-1]["window"][0], trials[-1]["window"][1]],
                         sat=last.is_sat, witness_weight=found,
                         conflicts=last.conflicts, decisions=last.decisions,
                         elapsed_seconds=trial_elapsed,
+                        resumed_from=resumed_from if len(trials) == 1 else None,
                     ))
+            if checkpoint_key is not None:
+                # A finished walk leaves no checkpoint: resume is a benefit
+                # reserved for interrupted walks, and a rerun of a completed
+                # task must report the same structure as a cold run.
+                store.checkpoint_delete(checkpoint_key)
             elapsed = time.perf_counter() - start
             stats = session.stats()
         finally:
@@ -695,6 +826,8 @@ class Engine:
                 blocker_hits=blocker_hits, heap_discards=heap_discards,
                 binary_subsumed=binary_subsumed,
                 family_absorbed=family_absorbed,
+                store_absorbed=store_absorbed,
+                learnt_evicted=learnt_evicted,
             ))
         details = {
             "distance": distance,
@@ -705,6 +838,10 @@ class Engine:
         }
         if family_absorbed:
             details["family_absorbed"] = family_absorbed
+        if store_absorbed:
+            details["store_absorbed"] = store_absorbed
+        if resumed_from is not None:
+            details["resumed_from"] = resumed_from
         if used_resources:
             details["resources"] = self.resources.stats()
         if num_workers > 1:
@@ -797,6 +934,7 @@ class Engine:
         tasks: Iterable[Task],
         backend: Backend | str | None = None,
         processes: int | None = None,
+        schedule: str | None = None,
     ) -> list[Result]:
         """Decide a batch of tasks, preserving order, with per-task timing.
 
@@ -805,22 +943,90 @@ class Engine:
         :class:`ParallelBackend` pool is forced sequential because pool
         workers are daemonic).  Tasks must be picklable for the pool path,
         which every registry-key task is.
+
+        ``schedule`` controls *execution* order — results always come back
+        in input order.  ``"fifo"`` runs tasks as given; ``"reuse"`` orders
+        the sweep by (family, family rank, task kind, weight window), so
+        smaller family members run before larger ones and consecutive tasks
+        maximally hit the shared contexts and the clause store.  The default
+        is ``"reuse"`` whenever a clause store is attached (the reordering
+        exists to feed it) and ``"fifo"`` otherwise, preserving historical
+        behaviour for store-less engines.
         """
         batch = list(tasks)
         chosen = coerce_backend(backend) if backend is not None else self.backend
+        store = self.resources.clause_store
+        if schedule is None:
+            schedule = "reuse" if store is not None else "fifo"
+        order = list(range(len(batch)))
+        if schedule == "reuse" and len(batch) > 1:
+            order.sort(key=lambda index: _reuse_sort_key(batch[index]))
         if processes and processes > 1 and len(batch) > 1:
-            worker_backend = chosen
-            if isinstance(worker_backend, ParallelBackend):
-                worker_backend = replace(worker_backend, num_workers=1)
-            payloads = [(task, worker_backend) for task in batch]
+            store_dir = store.directory if store is not None else None
+            payloads = [(batch[index], _worker_backend(chosen), store_dir) for index in order]
             with multiprocessing.Pool(processes=processes) as pool:
-                return pool.map(_run_payload, payloads)
-        return [self.run(task, backend=chosen) for task in batch]
+                mapped = pool.map(_run_payload, payloads)
+            results: list[Result | None] = [None] * len(batch)
+            for index, result in zip(order, mapped):
+                results[index] = result
+            return results  # type: ignore[return-value]
+        results = [None] * len(batch)
+        for index in order:
+            results[index] = self.run(batch[index], backend=chosen)
+        return results  # type: ignore[return-value]
 
 
-def _run_payload(payload: tuple[Task, Backend]) -> Result:
-    task, backend = payload
-    return Engine(backend=backend).run(task)
+def _worker_backend(chosen: Backend) -> Backend:
+    if isinstance(chosen, ParallelBackend):
+        return replace(chosen, num_workers=1)
+    return chosen
+
+
+# Execution-order key for the reuse-aware sweep schedule: group by family
+# (smaller family_rank first, so each code warm-starts its bigger siblings),
+# then by task kind cheapest-first, then by how wide the weight window is.
+_KIND_ORDER = {
+    "precise-detection": 0,
+    "accurate-correction": 1,
+    "constrained-correction": 2,
+    "fixed-error": 3,
+    "find-distance": 4,
+}
+
+
+def _reuse_sort_key(task: Task) -> tuple:
+    code = getattr(task, "code", None)
+    if isinstance(code, str):
+        entry = CODE_REGISTRY.get(code)
+        family = family_of(code) or f"~{code}"
+        rank = entry.family_rank if entry is not None else 0
+        code_name = code
+    else:
+        code_name = getattr(code, "name", type(code).__name__ if code is not None else "")
+        family = f"~{code_name}"
+        rank = getattr(code, "num_qubits", 0)
+    kind = _KIND_ORDER.get(getattr(task, "kind", ""), len(_KIND_ORDER))
+    window = (
+        getattr(task, "max_errors", None)
+        or getattr(task, "trial_distance", None)
+        or getattr(task, "max_trial", None)
+        or 0
+    )
+    return (family, rank, code_name, kind, window)
+
+
+def _run_payload(payload: tuple) -> Result:
+    task, backend = payload[0], payload[1]
+    store_dir = payload[2] if len(payload) > 2 else None
+    engine = Engine(backend=backend, clause_store=store_dir)
+    try:
+        return engine.run(task)
+    finally:
+        if store_dir is not None:
+            # Pool workers are throwaway engines: without an explicit flush
+            # their learnt clauses would die with the process instead of
+            # landing in the shared store.
+            engine.resources.save_warm()
 
 
 def registry_sweep_tasks(keys: Sequence[str] | None = None) -> list[Task]:

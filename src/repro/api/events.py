@@ -120,6 +120,12 @@ class DistanceProbe(Event):
     ``window`` is the ``[lo, hi]`` weight bracket still open when the probe
     was issued, ``bound`` the upper bound actually activated; on sat the
     witness's weight (``witness_weight``) clamps the next bracket.
+
+    ``resumed_from`` is an *optional* member added by the clause store:
+    when a walk picks up a checkpointed bracket instead of starting cold,
+    the first probe carries ``{"lo", "hi", "probes"}`` describing the
+    restored state; serialized only in that case, so streams from
+    non-resumed walks keep the historical payload.
     """
 
     bound: int = 0
@@ -129,8 +135,15 @@ class DistanceProbe(Event):
     conflicts: int = 0
     decisions: int = 0
     elapsed_seconds: float = 0.0
+    resumed_from: dict | None = None
 
     TYPE: ClassVar[str] = "DistanceProbe"
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        if payload.get("resumed_from") is None:
+            payload.pop("resumed_from", None)
+        return payload
 
 
 @dataclass
@@ -151,6 +164,11 @@ class SolverStats(Event):
     dispatched through the sharded executor, never for blocking runs) and
     ``family_absorbed`` (learnt clauses absorbed from smaller same-family
     codes before this solve; serialized only when absorption happened).
+
+    The clause store adds ``store_absorbed`` (clauses absorbed from the
+    persistent store's family index) and ``learnt_evicted`` (learnt clauses
+    the solver's database reduction deleted during this job — eviction was
+    previously silent), both under the only-when-nonzero rule.
     """
 
     conflicts: int = 0
@@ -162,12 +180,15 @@ class SolverStats(Event):
     heap_discards: int = 0
     binary_subsumed: int = 0
     family_absorbed: int = 0
+    store_absorbed: int = 0
+    learnt_evicted: int = 0
     lane: int = -1
 
     TYPE: ClassVar[str] = "SolverStats"
 
     _OPTIONAL_WHEN_ZERO: ClassVar[tuple[str, ...]] = (
         "blocker_hits", "heap_discards", "binary_subsumed", "family_absorbed",
+        "store_absorbed", "learnt_evicted",
     )
 
     def to_dict(self) -> dict:
@@ -182,13 +203,26 @@ class SolverStats(Event):
 
 @dataclass
 class JobCompleted(Event):
-    """Terminal: the task was decided; the full Result is on the job handle."""
+    """Terminal: the task was decided; the full Result is on the job handle.
+
+    ``resumed_from`` is an *optional* member mirroring the first
+    :class:`DistanceProbe`'s resume marker (the checkpointed ``lo``/``hi``
+    bracket and prior probe count a killed walk restarted from); serialized
+    only for jobs that actually resumed.
+    """
 
     verified: bool = False
     elapsed_seconds: float = 0.0
+    resumed_from: dict | None = None
 
     TYPE: ClassVar[str] = "JobCompleted"
     TERMINAL: ClassVar[bool] = True
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        if payload.get("resumed_from") is None:
+            payload.pop("resumed_from", None)
+        return payload
 
 
 @dataclass
@@ -255,6 +289,7 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "conflicts": ((int,), True),
         "decisions": ((int,), True),
         "elapsed_seconds": (_NUMBER, True),
+        "resumed_from": ((dict,), False),
     },
     "SolverStats": {
         "conflicts": ((int,), True),
@@ -266,11 +301,14 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
         "heap_discards": ((int,), False),
         "binary_subsumed": ((int,), False),
         "family_absorbed": ((int,), False),
+        "store_absorbed": ((int,), False),
+        "learnt_evicted": ((int,), False),
         "lane": ((int,), False),
     },
     "JobCompleted": {
         "verified": ((bool,), True),
         "elapsed_seconds": (_NUMBER, True),
+        "resumed_from": ((dict,), False),
     },
     "JobCancelled": {
         "reason": ((str,), True),

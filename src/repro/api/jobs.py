@@ -309,9 +309,15 @@ class Job:
 
     def _finish_completed(self, result: "Result") -> None:
         self._result = result
+        details = result.details if isinstance(result.details, dict) else {}
+        resumed_from = details.get("resumed_from")
         self._finish(
             JobStatus.SUCCEEDED,
-            JobCompleted(verified=result.verified, elapsed_seconds=result.elapsed_seconds),
+            JobCompleted(
+                verified=result.verified,
+                elapsed_seconds=result.elapsed_seconds,
+                resumed_from=resumed_from if isinstance(resumed_from, dict) else None,
+            ),
         )
 
     def _finish_cancelled(self, reason: str) -> None:

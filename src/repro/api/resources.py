@@ -43,6 +43,7 @@ from repro.codes.registry import family_of, family_siblings
 from repro.smt.interface import SMTCheck, SolveSession
 from repro.smt.parallel import IncrementalSplitSession
 from repro.smt.solver import SolveControl, SolverInterrupted
+from repro.store import ClauseStore
 
 __all__ = [
     "CodeContext",
@@ -139,6 +140,8 @@ class CodeContext:
         self._warm_fingerprint: str | None = None
         self._warm_vars = 0
         self.warm_absorbed = 0
+        self.warm_hits = 0
+        self.warm_misses = 0
         # Family warm-start bookkeeping: how many sibling learnt clauses
         # were already examined per (sibling key, shared-subformula
         # fingerprint), which candidate clauses were already absorbed, and
@@ -147,6 +150,12 @@ class CodeContext:
         self._absorbed_keys: set[tuple] = set()
         self.family_absorbed = 0
         self.family_probes = 0
+        # Clause-store transfer bookkeeping: candidates already probed (in
+        # either direction — absorbed or refuted — so repeated jobs on the
+        # same context never re-pay failed probes) plus cumulative counters.
+        self._store_probed: set[tuple] = set()
+        self.store_absorbed = 0
+        self.store_probes = 0
 
     # ------------------------------------------------------------------
     def task_view(self, task, formula) -> ContextView:
@@ -297,10 +306,35 @@ class CodeContext:
                 continue
             seen.add(key)
             candidates.append(projected)
+        absorbed, probed = self._absorb_candidates(
+            candidates, selectors, max_probes, conflict_budget
+        )
+        self.family_probes += probed
+        self.family_absorbed += absorbed
+        return absorbed
+
+    def _absorb_candidates(
+        self,
+        candidates: list[list[tuple[str, bool]]],
+        selectors: tuple[str, ...],
+        max_probes: int,
+        conflict_budget: int,
+    ) -> tuple[int, int]:
+        """Entailment-probe projected candidates and attach the proven ones.
+
+        The shared verification core of both transfer paths (live sibling
+        contexts and the persistent clause store): each candidate clause is
+        re-proved by a conflict-budgeted check with its negation assumed
+        under ``selectors``, and only refuted (entailed) candidates are
+        absorbed, widened with the selector negations.  Returns
+        ``(absorbed, probed)``.
+        """
+        guard_key = tuple(selectors)
         absorbed = 0
+        probed = 0
         encoder = self.session.encoder
         for projected in candidates[:max_probes]:
-            self.family_probes += 1
+            probed += 1
             assumptions = {name: not positive for name, positive in projected}
             control = SolveControl(
                 conflict_budget=conflict_budget, check_interval=32
@@ -320,7 +354,60 @@ class CodeContext:
             literals.extend(-encoder.selector(selector) for selector in selectors)
             absorbed += self.session.absorb_learnt([literals])
             self._absorbed_keys.add((frozenset(projected), guard_key))
-        self.family_absorbed += absorbed
+        return absorbed, probed
+
+    def absorb_from_store(
+        self,
+        selectors: tuple[str, ...],
+        max_probes: int = 24,
+        conflict_budget: int = 200,
+    ) -> int:
+        """Warm-start this context from the clause store's family index.
+
+        Candidates are named-literal projections recorded by *sibling
+        fingerprints* (other codes of the same family, possibly from other
+        processes or past runs).  They go through exactly the same
+        entailment re-proof as live-sibling candidates — a stale, foreign or
+        corrupted store entry can cost probe budget, never soundness.
+        Returns the number of clauses absorbed.
+        """
+        cache = self.warm_cache
+        if cache is None or not selectors:
+            return 0
+        family_lookup = getattr(cache, "family_candidates", None)
+        if family_lookup is None:
+            return 0
+        family = family_of(self.key) if isinstance(self.key, str) else None
+        if not family:
+            return 0
+        # Snapshot the fingerprint first so our own persisted entries are
+        # excluded from the candidate set (they come back via the exact path).
+        self.maybe_warm_load()
+        if self.warm_hits:
+            # The exact-fingerprint entry already restored this context's
+            # own learnt state; sibling candidates could only re-prove
+            # weaker versions of it.  Probing them would spend conflict
+            # budget for nothing on every warm start.
+            return 0
+        my_names = set(self.session.encoder.named_literals())
+        guard_key = tuple(selectors)
+        candidates: list[list[tuple[str, bool]]] = []
+        for pairs in family_lookup(family, exclude_fingerprint=self._warm_fingerprint or ""):
+            projected = [(name, positive) for name, positive in pairs if name in my_names]
+            if not 2 <= len(projected) <= 6:
+                continue
+            key = (frozenset(projected), guard_key)
+            if key in self._store_probed or key in self._absorbed_keys:
+                continue
+            self._store_probed.add(key)
+            candidates.append(projected)
+            if len(candidates) >= max_probes:
+                break
+        absorbed, probed = self._absorb_candidates(
+            candidates, selectors, max_probes, conflict_budget
+        )
+        self.store_probes += probed
+        self.store_absorbed += absorbed
         return absorbed
 
     # ------------------------------------------------------------------
@@ -335,14 +422,49 @@ class CodeContext:
         self._warm_vars = self.session.encoder.cnf.num_vars
         learnt = self.warm_cache.load(self._warm_fingerprint)
         if learnt:
+            self.warm_hits += 1
             self.warm_absorbed = self.session.absorb_learnt(learnt)
+        else:
+            self.warm_misses += 1
 
     def save_warm(self) -> None:
         if self.warm_cache is None or not self._warm_attempted:
             return
-        self.warm_cache.store(
-            self._warm_fingerprint, self.session.learnt_clauses(max_var=self._warm_vars)
-        )
+        store_meta = getattr(self.warm_cache, "store_meta", None)
+        if store_meta is None:
+            self.warm_cache.store(
+                self._warm_fingerprint, self.session.learnt_clauses(max_var=self._warm_vars)
+            )
+            return
+        # Clause store: persist LBDs for eviction ranking, and record the
+        # named-literal projections of every learnt clause under the code's
+        # family so sibling fingerprints can pick them up as candidates.
+        meta = self.session.learnt_clauses_meta(max_var=self._warm_vars)
+        family = family_of(self.key) if isinstance(self.key, str) else None
+        named: list[tuple[tuple[tuple[str, bool], ...], int]] = []
+        if family:
+            reverse = {
+                var: name
+                for name, var in self.session.encoder.named_literals().items()
+            }
+            seen: set[frozenset] = set()
+            for clause, lbd in self.session.learnt_clauses_meta():
+                projected = []
+                for literal in clause:
+                    name = reverse.get(abs(literal))
+                    if name is None:
+                        continue
+                    projected.append((name, literal > 0))
+                # Same window as the sibling path: short projections are the
+                # reusable ones, and consumers re-prove them anyway.
+                if not 2 <= len(projected) <= 6:
+                    continue
+                key = frozenset(projected)
+                if key in seen:
+                    continue
+                seen.add(key)
+                named.append((tuple(projected), lbd))
+        store_meta(self._warm_fingerprint, meta, family=family or "", named=named)
 
 
 class SessionCache:
@@ -666,6 +788,14 @@ class ResourceManager:
             return 0
         if not isinstance(code_key, str) or not selectors:
             return 0
+        if self.warm_cache is not None:
+            # With a cache attached, try the exact-fingerprint entry first:
+            # a hit restores this context's own learnt state, which strictly
+            # dominates anything a sibling could offer — re-proving sibling
+            # candidates on top would spend probe budget for nothing.
+            context.maybe_warm_load()
+            if context.warm_hits:
+                return 0
         total = 0
         for sibling_key in family_siblings(code_key):
             with self._lock:
@@ -747,6 +877,40 @@ class ResourceManager:
                     context.warm_cache = self.warm_cache
             return self.warm_cache
 
+    def enable_clause_store(self, directory: "str | ClauseStore") -> ClauseStore:
+        """Attach the persistent sqlite clause store (supersedes the JSON
+        warm cache: same ``load``/``store`` plumbing, plus LBD-ranked
+        eviction, the family candidate index and distance checkpoints)."""
+        store = directory if isinstance(directory, ClauseStore) else ClauseStore(str(directory))
+        with self._lock:
+            self.warm_cache = store
+            self.pools.warm_cache = store
+            for context in self._contexts.values():
+                if context.warm_cache is None:
+                    context.warm_cache = store
+            return store
+
+    @property
+    def clause_store(self) -> ClauseStore | None:
+        cache = self.warm_cache
+        return cache if isinstance(cache, ClauseStore) else None
+
+    def absorb_from_store(self, code_key, context: CodeContext | None, selectors) -> int:
+        """Offer ``context`` the store's family candidates (sibling
+        fingerprints from any process, past or present), entailment-proved
+        before attachment.  Gated on the same ``family_warm_start`` switch
+        as live-sibling absorption; returns the number absorbed."""
+        if not self.family_warm_start or self.clause_store is None:
+            return 0
+        if context is None or not selectors:
+            return 0
+        absorbed = context.absorb_from_store(tuple(selectors))
+        if absorbed:
+            stats = self.lane_stat(self.shard_for(self.shard_key(code_key)))
+            if stats is not None:
+                stats.absorbed_clauses += absorbed
+        return absorbed
+
     def save_warm(self) -> None:
         with self._lock:
             contexts = list(self._contexts.values())
@@ -786,6 +950,12 @@ class ResourceManager:
         binary_subsumed = 0
         family_absorbed = 0
         family_probes = 0
+        store_absorbed = 0
+        store_probes = 0
+        store = self.clause_store
+        # Per-lane warm hit/miss/absorption attribution: each context maps to
+        # exactly one lane (its shard key's sticky assignment).
+        lane_store: dict[int, list[int]] = {}
         with self._lock:
             contexts = list(self._contexts.values())
             num_contexts = len(self._contexts)
@@ -804,6 +974,15 @@ class ResourceManager:
             retired_guards += context.retired
             family_absorbed += context.family_absorbed
             family_probes += context.family_probes
+            store_absorbed += context.store_absorbed
+            store_probes += context.store_probes
+            if store is not None:
+                lane = assignments.get(self.shard_key(context.key))
+                if lane is not None:
+                    row = lane_store.setdefault(lane, [0, 0, 0])
+                    row[0] += context.warm_hits
+                    row[1] += context.warm_misses
+                    row[2] += context.warm_absorbed + context.store_absorbed
         stats = {
             "contexts": num_contexts,
             "context_hits": context_hits,
@@ -834,13 +1013,21 @@ class ResourceManager:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses
             stats["warm_absorbed"] = warm_absorbed + self.pools.warm_absorbed()
+        if store is not None:
+            if store_probes:
+                stats["store_absorbed"] = store_absorbed
+                stats["store_probes"] = store_probes
+            if store.evictions:
+                stats["store_evictions"] = store.evictions
+            stats["store"] = store.stats()
         # The lane table appears once jobs have been dispatched through the
         # sharded executor (same only-when-active rule as the counters
         # above), so blocking-only runs keep their historical schema.
         if self._executor is not None:
             depths = self._executor.queue_depths()
-            stats["lanes"] = [
-                {
+            rows = []
+            for lane in self._lane_stats:
+                row = {
                     "lane": lane.lane,
                     "queue_depth": depths[lane.lane] if lane.lane < len(depths) else 0,
                     "enqueued": lane.enqueued,
@@ -852,6 +1039,17 @@ class ResourceManager:
                         if assigned == lane.lane
                     ),
                 }
-                for lane in self._lane_stats
-            ]
+                if store is not None:
+                    # Store hit-rate per lane validates the dispatcher's
+                    # family routing against actual reuse.
+                    hits, misses, absorbed = lane_store.get(lane.lane, (0, 0, 0))
+                    looked_up = hits + misses
+                    row["store_hits"] = hits
+                    row["store_misses"] = misses
+                    row["store_absorbed"] = absorbed
+                    row["store_hit_rate"] = (
+                        round(hits / looked_up, 4) if looked_up else 0.0
+                    )
+                rows.append(row)
+            stats["lanes"] = rows
         return stats

@@ -56,6 +56,10 @@ class SMTCheck:
     #: conflict analysis (glucose-style resolution against the dedicated
     #: binary watcher arrays); a per-check delta like the counters above.
     binary_subsumed: int = 0
+    #: Learnt clauses deleted by clause-database reduction during this check —
+    #: surfaced so eviction is observable instead of happening silently inside
+    #: the solver; a per-check delta like the counters above.
+    learnt_evicted: int = 0
     metadata: dict = field(default_factory=dict)
 
     @property
@@ -206,6 +210,7 @@ class SolveSession:
             blocker_hits=result.blocker_hits,
             heap_discards=result.heap_discards,
             binary_subsumed=result.binary_subsumed,
+            learnt_evicted=result.learnt_evicted,
             metadata={"session": self.stats()},
         )
 
@@ -233,6 +238,16 @@ class SolveSession:
         if self._solver is None:
             return []
         return self._solver.learnt_clauses(max_var)
+
+    def learnt_clauses_meta(self, max_var: int | None = None) -> list[tuple[list[int], int]]:
+        """Learnt clauses paired with their LBD (empty before the first check).
+
+        The clause store keeps the LBD so eviction can rank entries by
+        usefulness; plain JSON warm caches use :meth:`learnt_clauses`.
+        """
+        if self._solver is None:
+            return []
+        return self._solver.learnt_clauses_meta(max_var)
 
     def absorb_learnt(self, clauses) -> int:
         """Re-attach serialized learnt clauses; returns how many were kept.
@@ -274,6 +289,11 @@ class SolveSession:
             stats["heap_discards"] = solver.heap_discards
         if solver is not None and solver.binary_subsumed:
             stats["binary_subsumed"] = solver.binary_subsumed
+        if solver is not None and solver.learnt_deleted:
+            # Alias of ``learnt_deleted`` under the name the eviction
+            # observability chain uses (SolverStats events, GET /stats);
+            # only-when-nonzero so quiet sessions keep their schema.
+            stats["learnt_evicted"] = solver.learnt_deleted
         return stats
 
 

@@ -582,6 +582,12 @@ def _load_warm(directory: str, fingerprint: str) -> list[list[int]] | None:
     import json
     import os
 
+    if os.path.isfile(os.path.join(directory, "clauses.sqlite")):
+        # The directory holds the sqlite clause store (repro.store) rather
+        # than JSON warm files; route through its stdlib-only helpers.
+        from repro.store import load_clauses
+
+        return load_clauses(directory, fingerprint)
     try:
         with open(os.path.join(directory, f"{fingerprint}.json"), "r", encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -604,6 +610,11 @@ def _store_warm(directory: str, fingerprint: str, learnt: list[list[int]]) -> No
     import json
     import os
 
+    if os.path.isfile(os.path.join(directory, "clauses.sqlite")):
+        from repro.store import merge_clauses
+
+        merge_clauses(directory, fingerprint, learnt)
+        return
     existing = _load_warm(directory, fingerprint) or []
     seen = {tuple(clause) for clause in existing}
     merged = list(existing)

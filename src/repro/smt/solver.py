@@ -96,6 +96,9 @@ class SolverResult:
     blocker_hits: int = 0
     heap_discards: int = 0
     binary_subsumed: int = 0
+    #: Learnt clauses deleted by clause-database reduction during this call —
+    #: a per-call delta of the cumulative ``solver.learnt_deleted`` counter.
+    learnt_evicted: int = 0
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -391,6 +394,22 @@ class SATSolver:
             if max_var is not None and any(abs(lit) > max_var for lit in clause):
                 continue
             result.append(list(clause))
+        return result
+
+    def learnt_clauses_meta(self, max_var: int | None = None) -> list[tuple[list[int], int]]:
+        """Like :meth:`learnt_clauses`, but paired with each clause's LBD.
+
+        The clause store persists the LBD alongside the literals so its
+        size-bounded eviction can drop the least valuable clauses (worst LBD,
+        then oldest) instead of evicting blindly.
+        """
+        result = []
+        for index, clause in enumerate(self.clauses):
+            if not self.clause_is_learnt[index]:
+                continue
+            if max_var is not None and any(abs(lit) > max_var for lit in clause):
+                continue
+            result.append((list(clause), self.clause_lbd[index]))
         return result
 
     def _simplify_against_root(self, clause) -> list[int] | None:
@@ -1264,6 +1283,7 @@ class SATSolver:
             self.blocker_hits,
             self.heap_discards,
             self.binary_subsumed,
+            self.learnt_deleted,
         )
         if control is not None:
             reason = control.interrupted(0)
@@ -1280,6 +1300,7 @@ class SATSolver:
                 self.blocker_hits - start[3],
                 self.heap_discards - start[4],
                 self.binary_subsumed - start[5],
+                self.learnt_deleted - start[6],
             )
 
         if self._contradiction:

@@ -1,0 +1,500 @@
+"""A persistent, concurrency-safe learnt-clause store over sqlite.
+
+Design (ROADMAP item 4 — durable shared verification state):
+
+* **Keying.**  Exact reuse is keyed by the session's CNF fingerprint
+  (sha256 over variable count + clause list), the same safety condition the
+  JSON ``SessionCache`` used: a learnt clause is only a consequence of the
+  exact clause database it was learnt against.  Every row additionally
+  carries a checksum binding ``(fingerprint, clause)``, so a torn write or a
+  bit-flipped row is *dropped on load* instead of being absorbed — corrupted
+  state can degrade the cache, never the verdict.
+
+* **Family index.**  Alongside the exact entries, learnt clauses that
+  project onto *named* literals (shared error indicators) are recorded under
+  the owning code's family.  A sibling lookup returns those projections as
+  *candidates only*: the caller re-proves each one by entailment under its
+  own encoding before attachment (``CodeContext.absorb_from_store``), so
+  foreign clauses are verified, never trusted.
+
+* **Eviction.**  The store is size-bounded; when an upsert pushes it over
+  budget the worst clauses go first — highest LBD, then least recently
+  used — mirroring the in-solver reduction policy.
+
+* **Concurrency.**  WAL journaling plus a busy timeout makes the store safe
+  to share between threads, engine lanes, pool workers and service replicas
+  on one host; every mutation is a single transaction of atomic upserts.
+  Connections are cached per (pid, thread) and never cross a fork.
+
+* **Checkpoints.**  Small checksummed JSON blobs keyed by a semantic task
+  hash persist a distance walk's bracket so a killed job resumes instead of
+  restarting (engine side: ``Engine._run_distance``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import threading
+import time
+
+__all__ = ["STORE_FILENAME", "ClauseStore", "has_store", "load_clauses", "merge_clauses"]
+
+STORE_FILENAME = "clauses.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS clauses (
+    fingerprint TEXT    NOT NULL,
+    clause      TEXT    NOT NULL,
+    checksum    TEXT    NOT NULL,
+    lbd         INTEGER NOT NULL,
+    size        INTEGER NOT NULL,
+    created     REAL    NOT NULL,
+    last_used   REAL    NOT NULL,
+    hits        INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (fingerprint, clause)
+);
+CREATE INDEX IF NOT EXISTS clauses_eviction ON clauses (lbd DESC, last_used ASC);
+CREATE TABLE IF NOT EXISTS named_clauses (
+    family      TEXT    NOT NULL,
+    fingerprint TEXT    NOT NULL,
+    clause      TEXT    NOT NULL,
+    checksum    TEXT    NOT NULL,
+    lbd         INTEGER NOT NULL,
+    updated     REAL    NOT NULL,
+    PRIMARY KEY (family, fingerprint, clause)
+);
+CREATE INDEX IF NOT EXISTS named_by_family ON named_clauses (family, lbd ASC);
+CREATE TABLE IF NOT EXISTS checkpoints (
+    key      TEXT PRIMARY KEY,
+    payload  TEXT NOT NULL,
+    checksum TEXT NOT NULL,
+    updated  REAL NOT NULL
+);
+"""
+
+
+def _row_checksum(*parts: str) -> str:
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(part.encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:16]
+
+
+def _canonical_clause(clause) -> list[int]:
+    literals = sorted({int(lit) for lit in clause})
+    if not literals or any(lit == 0 for lit in literals):
+        raise ValueError("malformed clause")
+    return literals
+
+
+class ClauseStore:
+    """Persistent learnt-clause + checkpoint store shared across processes.
+
+    Implements the ``SessionCache`` protocol (``load`` / ``store`` /
+    ``hits`` / ``misses`` / ``directory``) so it drops into the existing
+    warm-start plumbing of :class:`repro.api.resources.ResourceManager`,
+    and extends it with LBD-aware metadata, family candidates and
+    checkpoints.  All public methods degrade gracefully on storage errors:
+    a broken database behaves like an empty cache and is counted in
+    ``storage_errors``, never raised into a solve.
+    """
+
+    def __init__(self, directory: str, max_clauses: int = 200_000, max_named: int = 20_000):
+        self.directory = str(directory)
+        self.path = os.path.join(self.directory, STORE_FILENAME)
+        self.max_clauses = max_clauses
+        self.max_named = max_named
+        self.hits = 0
+        self.misses = 0
+        self.stored = 0
+        self.evictions = 0
+        self.corrupt_dropped = 0
+        self.storage_errors = 0
+        self.family_queries = 0
+        self.family_served = 0
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoints_saved = 0
+        self._local = threading.local()
+        self._pid = os.getpid()
+        self._broken = False
+        os.makedirs(self.directory, exist_ok=True)
+        self._init_schema()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> sqlite3.Connection | None:
+        if self._broken:
+            return None
+        if os.getpid() != self._pid:
+            # Forked child: the inherited connection (and thread-local slot)
+            # must never be reused across the fork boundary.
+            self._pid = os.getpid()
+            self._local = threading.local()
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            try:
+                conn = sqlite3.connect(self.path, timeout=10.0)
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.execute("PRAGMA busy_timeout=10000")
+            except sqlite3.Error:
+                self.storage_errors += 1
+                return None
+            self._local.conn = conn
+        return conn
+
+    def _init_schema(self) -> None:
+        for attempt in (0, 1):
+            conn = self._connect()
+            if conn is not None:
+                try:
+                    with conn:
+                        conn.executescript(_SCHEMA)
+                    return
+                except sqlite3.Error:
+                    self.storage_errors += 1
+                    self._local = threading.local()
+            if attempt == 0:
+                # Whatever sits at the path is not a usable database (torn
+                # write, foreign content).  Quarantine it and start fresh —
+                # the store is a cache, losing it is safe.
+                try:
+                    os.replace(self.path, self.path + ".corrupt")
+                except OSError:
+                    break
+        self._broken = True
+
+    def close(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            try:
+                conn.close()
+            except sqlite3.Error:
+                pass
+            self._local.conn = None
+
+    # ------------------------------------------------------------------
+    # SessionCache protocol: exact-fingerprint clause reuse
+    # ------------------------------------------------------------------
+    def load(self, fingerprint: str) -> list[list[int]] | None:
+        """Learnt clauses previously stored for this exact CNF, or ``None``.
+
+        Rows failing their checksum (torn or tampered writes) are dropped
+        from the result and deleted, so corruption can only ever cost cache
+        coverage — callers still gate absorption on the fingerprint match.
+        """
+        conn = self._connect()
+        if conn is None:
+            self.misses += 1
+            return None
+        try:
+            rows = conn.execute(
+                "SELECT clause, checksum FROM clauses WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchall()
+        except sqlite3.Error:
+            self.storage_errors += 1
+            self.misses += 1
+            return None
+        if not rows:
+            self.misses += 1
+            return None
+        clauses = []
+        bad = []
+        for text, checksum in rows:
+            if checksum != _row_checksum(fingerprint, text):
+                bad.append(text)
+                continue
+            try:
+                clause = _canonical_clause(json.loads(text))
+            except (ValueError, TypeError):
+                bad.append(text)
+                continue
+            clauses.append(clause)
+        try:
+            with conn:
+                if bad:
+                    conn.executemany(
+                        "DELETE FROM clauses WHERE fingerprint = ? AND clause = ?",
+                        [(fingerprint, text) for text in bad],
+                    )
+                if clauses:
+                    conn.execute(
+                        "UPDATE clauses SET hits = hits + 1, last_used = ? "
+                        "WHERE fingerprint = ?",
+                        (time.time(), fingerprint),
+                    )
+        except sqlite3.Error:
+            self.storage_errors += 1
+        self.corrupt_dropped += len(bad)
+        if not clauses:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return clauses
+
+    def store(self, fingerprint: str, learnt) -> None:
+        """SessionCache-compatible write: LBD defaults to the clause length."""
+        self.store_meta(fingerprint, [(clause, len(clause)) for clause in learnt])
+
+    def store_meta(
+        self,
+        fingerprint: str,
+        clauses,
+        family: str = "",
+        named=(),
+    ) -> None:
+        """Merge learnt clauses (with LBD) and optional family candidates.
+
+        ``clauses`` is an iterable of ``(literal_list, lbd)``; ``named`` an
+        iterable of ``(((name, value), ...), lbd)`` projections onto named
+        literals, indexed under ``family`` for sibling transfer.  Upserts
+        keep the best (lowest) LBD seen for a clause; the whole merge is one
+        transaction, so concurrent writers interleave atomically.
+        """
+        conn = self._connect()
+        if conn is None:
+            return
+        now = time.time()
+        clause_rows = []
+        for clause, lbd in clauses:
+            try:
+                literals = _canonical_clause(clause)
+            except (ValueError, TypeError):
+                continue
+            text = json.dumps(literals, separators=(",", ":"))
+            clause_rows.append(
+                (fingerprint, text, _row_checksum(fingerprint, text), int(lbd), len(literals), now, now)
+            )
+        named_rows = []
+        if family:
+            for projection, lbd in named:
+                pairs = sorted((str(name), bool(value)) for name, value in projection)
+                text = json.dumps(pairs, separators=(",", ":"))
+                named_rows.append(
+                    (family, fingerprint, text, _row_checksum(family, fingerprint, text), int(lbd), now)
+                )
+        if not clause_rows and not named_rows:
+            return
+        try:
+            with conn:
+                if clause_rows:
+                    conn.executemany(
+                        "INSERT INTO clauses (fingerprint, clause, checksum, lbd, size, created, last_used) "
+                        "VALUES (?, ?, ?, ?, ?, ?, ?) "
+                        "ON CONFLICT (fingerprint, clause) DO UPDATE SET "
+                        "lbd = MIN(lbd, excluded.lbd), last_used = excluded.last_used",
+                        clause_rows,
+                    )
+                if named_rows:
+                    conn.executemany(
+                        "INSERT INTO named_clauses (family, fingerprint, clause, checksum, lbd, updated) "
+                        "VALUES (?, ?, ?, ?, ?, ?) "
+                        "ON CONFLICT (family, fingerprint, clause) DO UPDATE SET "
+                        "lbd = MIN(lbd, excluded.lbd), updated = excluded.updated",
+                        named_rows,
+                    )
+            self.stored += len(clause_rows)
+            self._evict(conn)
+        except sqlite3.Error:
+            self.storage_errors += 1
+
+    def _evict(self, conn: sqlite3.Connection) -> None:
+        """Trim both clause tables to budget: worst LBD first, then oldest."""
+        try:
+            with conn:
+                (count,) = conn.execute("SELECT COUNT(*) FROM clauses").fetchone()
+                excess = count - self.max_clauses
+                if excess > 0:
+                    conn.execute(
+                        "DELETE FROM clauses WHERE rowid IN ("
+                        "SELECT rowid FROM clauses ORDER BY lbd DESC, last_used ASC, rowid ASC LIMIT ?)",
+                        (excess,),
+                    )
+                    self.evictions += excess
+                (count,) = conn.execute("SELECT COUNT(*) FROM named_clauses").fetchone()
+                excess = count - self.max_named
+                if excess > 0:
+                    conn.execute(
+                        "DELETE FROM named_clauses WHERE rowid IN ("
+                        "SELECT rowid FROM named_clauses ORDER BY lbd DESC, updated ASC, rowid ASC LIMIT ?)",
+                        (excess,),
+                    )
+                    self.evictions += excess
+        except sqlite3.Error:
+            self.storage_errors += 1
+
+    # ------------------------------------------------------------------
+    # Family-aware secondary index
+    # ------------------------------------------------------------------
+    def family_candidates(
+        self, family: str, exclude_fingerprint: str = "", limit: int = 256
+    ) -> list[list[tuple[str, bool]]]:
+        """Named-literal clause candidates learnt by sibling fingerprints.
+
+        Best (lowest-LBD) candidates first.  These are *hints*, not facts:
+        the caller must re-prove each projection by entailment against its
+        own encoding before attaching anything.
+        """
+        self.family_queries += 1
+        conn = self._connect()
+        if not family or conn is None:
+            return []
+        try:
+            rows = conn.execute(
+                "SELECT DISTINCT clause FROM named_clauses "
+                "WHERE family = ? AND fingerprint != ? ORDER BY lbd ASC, updated DESC LIMIT ?",
+                (family, exclude_fingerprint, limit),
+            ).fetchall()
+        except sqlite3.Error:
+            self.storage_errors += 1
+            return []
+        candidates = []
+        for (text,) in rows:
+            try:
+                pairs = [(str(name), bool(value)) for name, value in json.loads(text)]
+            except (ValueError, TypeError):
+                self.corrupt_dropped += 1
+                continue
+            if pairs:
+                candidates.append(pairs)
+        self.family_served += len(candidates)
+        return candidates
+
+    # ------------------------------------------------------------------
+    # Checkpoints (resumable distance walks)
+    # ------------------------------------------------------------------
+    def checkpoint_save(self, key: str, payload: dict) -> None:
+        """Atomically upsert a checkpoint blob; the checksum makes torn or
+        tampered payloads detectable on load (same discipline as the
+        temp-file + ``os.replace`` JSON caches)."""
+        conn = self._connect()
+        if conn is None:
+            return
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT INTO checkpoints (key, payload, checksum, updated) VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT (key) DO UPDATE SET payload = excluded.payload, "
+                    "checksum = excluded.checksum, updated = excluded.updated",
+                    (key, text, _row_checksum(key, text), time.time()),
+                )
+            self.checkpoints_saved += 1
+        except sqlite3.Error:
+            self.storage_errors += 1
+
+    def checkpoint_load(self, key: str) -> dict | None:
+        conn = self._connect()
+        if conn is None:
+            self.checkpoint_misses += 1
+            return None
+        try:
+            row = conn.execute(
+                "SELECT payload, checksum FROM checkpoints WHERE key = ?", (key,)
+            ).fetchone()
+        except sqlite3.Error:
+            self.storage_errors += 1
+            self.checkpoint_misses += 1
+            return None
+        if row is None:
+            self.checkpoint_misses += 1
+            return None
+        text, checksum = row
+        payload = None
+        if checksum == _row_checksum(key, text):
+            try:
+                payload = json.loads(text)
+            except ValueError:
+                payload = None
+        if not isinstance(payload, dict):
+            self.corrupt_dropped += 1
+            self.checkpoint_misses += 1
+            self.checkpoint_delete(key)
+            return None
+        self.checkpoint_hits += 1
+        return payload
+
+    def checkpoint_delete(self, key: str) -> None:
+        conn = self._connect()
+        if conn is None:
+            return
+        try:
+            with conn:
+                conn.execute("DELETE FROM checkpoints WHERE key = ?", (key,))
+        except sqlite3.Error:
+            self.storage_errors += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def clause_count(self) -> int:
+        conn = self._connect()
+        if conn is None:
+            return 0
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM clauses").fetchone()
+            return int(count)
+        except sqlite3.Error:
+            self.storage_errors += 1
+            return 0
+
+    def stats(self) -> dict:
+        """Per-instance counters (process-local, not database-wide totals)."""
+        stats = {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stored": self.stored,
+            "evictions": self.evictions,
+        }
+        for key in (
+            "corrupt_dropped",
+            "storage_errors",
+            "family_queries",
+            "family_served",
+            "checkpoint_hits",
+            "checkpoint_misses",
+            "checkpoints_saved",
+        ):
+            value = getattr(self, key)
+            if value:
+                stats[key] = value
+        return stats
+
+
+# ----------------------------------------------------------------------
+# Worker-side helpers: the process-pool init payload carries only the cache
+# *directory* (a string), so workers probe for the sqlite store by filename
+# and fall back to the JSON layout when it is absent.
+# ----------------------------------------------------------------------
+_WORKER_STORES: dict[tuple[int, str], ClauseStore] = {}
+
+
+def has_store(directory: str) -> bool:
+    """Whether ``directory`` holds a sqlite clause store (vs JSON warm files)."""
+    return os.path.isfile(os.path.join(directory, STORE_FILENAME))
+
+
+def _worker_store(directory: str) -> ClauseStore:
+    key = (os.getpid(), os.path.realpath(directory))
+    store = _WORKER_STORES.get(key)
+    if store is None:
+        store = ClauseStore(directory)
+        _WORKER_STORES[key] = store
+    return store
+
+
+def load_clauses(directory: str, fingerprint: str) -> list[list[int]] | None:
+    """Exact-fingerprint load for pool workers (no api-layer imports)."""
+    return _worker_store(directory).load(fingerprint)
+
+
+def merge_clauses(directory: str, fingerprint: str, clauses) -> None:
+    """Merge a worker's learnt clauses back into the shared store."""
+    _worker_store(directory).store(fingerprint, clauses)

@@ -357,3 +357,39 @@ class TestDrain:
                 setattr, harness.service.drain, "_draining", False
             )
             time.sleep(0.1)
+
+
+class TestClauseStore:
+    def test_stats_carry_per_lane_store_hit_rates(self, tmp_path):
+        store_dir = str(tmp_path / "store")
+        with ServiceHarness(clause_store=store_dir) as harness:
+            client = harness.client()
+            job = client.submit({"kind": "correction", "code": "steane"})
+            list(client.events(job["id"]))
+            stats = client.stats()["resources"]
+            assert "store" in stats
+            assert stats["store"]["misses"] >= 1  # first contact is cold
+            lanes = {lane["lane"]: lane for lane in stats["lanes"]}
+            steane_lane = next(
+                lane for lane in lanes.values() if "steane" in lane.get("shard_keys", [])
+            )
+            assert steane_lane["store_misses"] >= 1
+            assert steane_lane["store_hit_rate"] == 0.0
+            harness.stop()
+
+        # A restarted replica over the same directory warm-starts: the
+        # drain flushed the learnt clauses into the shared sqlite file.
+        with ServiceHarness(clause_store=store_dir) as harness:
+            client = harness.client()
+            job = client.submit({"kind": "correction", "code": "steane"})
+            lines = list(client.events(job["id"], raw=True))
+            _, counts, errors = validate_stream(lines)
+            assert errors == [] and counts["JobCompleted"] == 1
+            stats = client.stats()["resources"]
+            assert stats["store"]["hits"] >= 1
+            lanes = {lane["lane"]: lane for lane in stats["lanes"]}
+            steane_lane = next(
+                lane for lane in lanes.values() if "steane" in lane.get("shard_keys", [])
+            )
+            assert steane_lane["store_hits"] >= 1
+            assert steane_lane["store_hit_rate"] > 0.0
