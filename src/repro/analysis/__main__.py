@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — direct entry to the analyzer CLI."""
+
+import sys
+
+from repro.analysis.engine import main
+
+sys.exit(main())

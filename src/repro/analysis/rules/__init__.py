@@ -1,0 +1,24 @@
+"""The project rule set. Add new rules here and in the README table."""
+
+from repro.analysis.rules.affinity import SessionAffinityRule
+from repro.analysis.rules.asyncblock import BlockingInAsyncRule
+from repro.analysis.rules.eventschema import EventSchemaRule
+from repro.analysis.rules.locks import LockDisciplineRule
+from repro.analysis.rules.statschain import StatsChainRule
+
+__all__ = [
+    "DEFAULT_RULES",
+    "BlockingInAsyncRule",
+    "EventSchemaRule",
+    "LockDisciplineRule",
+    "SessionAffinityRule",
+    "StatsChainRule",
+]
+
+DEFAULT_RULES = (
+    LockDisciplineRule(),
+    SessionAffinityRule(),
+    BlockingInAsyncRule(),
+    StatsChainRule(),
+    EventSchemaRule(),
+)

@@ -1,0 +1,92 @@
+"""REPRO-ASYNC — blocking calls inside ``async def`` bodies.
+
+The service is a single-event-loop asyncio server: one blocking call in a
+coroutine stalls every connection, heartbeat and drain timer at once.
+Blocking work must be pushed through ``loop.run_in_executor`` (passing
+the callable, not calling it) — the drain coordinator's
+``run_in_executor(None, job.wait, remaining)`` is the idiom.
+
+Flagged inside coroutine bodies (nested *sync* ``def``s are separate
+scopes and exempt — they run wherever they are called):
+
+* ``time.sleep`` (use ``asyncio.sleep``)
+* anything rooted at ``sqlite3`` (the clause store is synchronous by
+  design; keep it off the loop)
+* blocking socket construction (``socket.socket``/``create_connection``)
+* the ``open`` builtin and ``os.system``/``subprocess.*``
+* ``ServiceClient`` — the *blocking* HTTP client; a coroutine talking to
+  the service should use the asyncio primitives directly
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile, attr_chain
+
+__all__ = ["BlockingInAsyncRule"]
+
+BLOCKING_CALLS = frozenset({
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "os.system",
+    "os.popen",
+    "urllib.request.urlopen",
+})
+
+BLOCKING_CALL_PREFIXES = ("sqlite3.", "subprocess.")
+
+BLOCKING_BUILTINS = frozenset({"open", "input"})
+
+BLOCKING_NAMES = frozenset({"ServiceClient"})
+
+
+class BlockingInAsyncRule(Rule):
+    rule_id = "REPRO-ASYNC"
+    description = "blocking call inside an 'async def' body (stalls the event loop)"
+
+    def check_file(self, source: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                for child in node.body:
+                    yield from self._scan(source, child)
+
+    def _scan(self, source: SourceFile, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.Lambda)):
+            return  # sync scope: runs where it is *called*, not here
+        if isinstance(node, ast.AsyncFunctionDef):
+            # ast.walk at the top level already visits nested coroutines.
+            return
+        yield from self._check(source, node)
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(source, child)
+
+    def _check(self, source: SourceFile, node: ast.AST) -> Iterator[Finding]:
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if chain is not None:
+                if chain in BLOCKING_CALLS or chain.startswith(BLOCKING_CALL_PREFIXES):
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"'{chain}(...)' blocks the event loop; use asyncio "
+                        "primitives or loop.run_in_executor",
+                    )
+                    return
+            if isinstance(node.func, ast.Name) and node.func.id in BLOCKING_BUILTINS:
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"builtin '{node.func.id}(...)' is blocking file/terminal "
+                    "I/O; offload it with loop.run_in_executor",
+                )
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in BLOCKING_NAMES:
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"'{node.id}' is the blocking client; a coroutine must "
+                    "not issue synchronous HTTP on the loop",
+                )

@@ -1,0 +1,146 @@
+"""REPRO-EVENT — event dataclasses drifting from the NDJSON schema contract.
+
+``repro.api.events`` carries the schema_version 1.0 contract twice: once
+as the event dataclasses that serialize, and once as the declarative
+``EVENT_SCHEMAS`` table the NDJSON validator checks streams against.
+The two must describe the same payloads — a field added to a dataclass
+but not the table makes the validator reject every stream that carries
+it, and a table entry with no backing field can never be produced.
+
+The rule finds the ``EVENT_SCHEMAS`` dict literal and every dataclass
+declaring a ``TYPE`` ClassVar, then diffs field names against schema
+keys in both directions (base ``Event`` bookkeeping — ``job_id``/``seq``
+— lives on the base class, so subclass bodies are exactly the payload).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["EventSchemaRule"]
+
+SCHEMA_TABLE = "EVENT_SCHEMAS"
+BASE_CLASS = "Event"
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    return "ClassVar" in ast.unparse(annotation)
+
+
+def _payload_fields(cls: ast.ClassDef) -> list[str]:
+    fields = []
+    for item in cls.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and not item.target.id.startswith("_")
+            and not _is_classvar(item.annotation)
+        ):
+            fields.append(item.target.id)
+    return fields
+
+
+def _declared_type(cls: ast.ClassDef) -> str | None:
+    """The value of the class's ``TYPE: ClassVar[str] = "..."`` member."""
+    for item in cls.body:
+        target = None
+        value = None
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            target, value = item.target.id, item.value
+        elif isinstance(item, ast.Assign) and len(item.targets) == 1:
+            if isinstance(item.targets[0], ast.Name):
+                target, value = item.targets[0].id, item.value
+        if target == "TYPE" and isinstance(value, ast.Constant):
+            if isinstance(value.value, str):
+                return value.value
+    return None
+
+
+def _schema_tables(source: SourceFile) -> Iterator[tuple[ast.AST, dict[str, set[str]]]]:
+    for node in ast.walk(source.tree):
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+        if (
+            isinstance(target, ast.Name)
+            and target.id == SCHEMA_TABLE
+            and isinstance(value, ast.Dict)
+        ):
+            table: dict[str, set[str]] = {}
+            for key, inner in zip(value.keys, value.values):
+                if (
+                    isinstance(key, ast.Constant)
+                    and isinstance(key.value, str)
+                    and isinstance(inner, ast.Dict)
+                ):
+                    table[key.value] = {
+                        k.value
+                        for k in inner.keys
+                        if isinstance(k, ast.Constant) and isinstance(k.value, str)
+                    }
+            yield node, table
+
+
+class EventSchemaRule(Rule):
+    rule_id = "REPRO-EVENT"
+    description = (
+        "event dataclass fields out of sync with the EVENT_SCHEMAS validator table"
+    )
+
+    def check_project(self, files: list[SourceFile]) -> Iterator[Finding]:
+        for source in files:
+            for table_node, table in _schema_tables(source):
+                yield from self._check_module(source, table_node, table)
+
+    def _check_module(
+        self,
+        source: SourceFile,
+        table_node: ast.AST,
+        table: dict[str, set[str]],
+    ) -> Iterator[Finding]:
+        seen_types = set()
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ClassDef) or node.name == BASE_CLASS:
+                continue
+            declared = _declared_type(node)
+            if declared is None:
+                continue
+            seen_types.add(declared)
+            fields = _payload_fields(node)
+            schema = table.get(declared)
+            if schema is None:
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"event type '{declared}' has no {SCHEMA_TABLE} entry — "
+                    "the validator would reject every stream carrying it",
+                )
+                continue
+            for name in fields:
+                if name not in schema:
+                    yield source.finding(
+                        self.rule_id,
+                        node,
+                        f"'{node.name}.{name}' is serialized but absent from "
+                        f"{SCHEMA_TABLE}['{declared}']",
+                    )
+            for name in sorted(schema - set(fields)):
+                yield source.finding(
+                    self.rule_id,
+                    node,
+                    f"{SCHEMA_TABLE}['{declared}'] declares '{name}' but "
+                    f"'{node.name}' has no such field — it can never be produced",
+                )
+        for declared in sorted(set(table) - seen_types):
+            yield source.finding(
+                self.rule_id,
+                table_node,
+                f"{SCHEMA_TABLE} declares type '{declared}' but no event "
+                "dataclass in this module serializes it",
+            )

@@ -1,0 +1,158 @@
+"""REPRO-STATS — a solver counter missing from a downstream stats layer.
+
+Every new solver counter travels five layers before a user sees it:
+
+    SolverResult (smt/solver.py)       the solver's own dataclass
+      -> SMTCheck (smt/interface.py)   per-check snapshot
+      -> SolveSession.stats()          cumulative session dict
+      -> SolverStats (api/events.py)   the NDJSON event
+      -> every emit(SolverStats(...))  call site threading the values
+
+PRs 5–8 each rewired this chain by hand and a missed hop surfaces only
+as a silently-absent key.  This rule diffs the key sets mechanically:
+the *counters* are ``SolverResult``'s ``int = 0`` fields, and each
+downstream layer must know every one of them.  Layers are located by
+class name anywhere in the analyzed file set, so the rule works on the
+real tree and on small test fixtures alike; absent layers are skipped
+(analyzing a partial tree is not an error).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["StatsChainRule"]
+
+SOURCE_CLASS = "SolverResult"
+SNAPSHOT_CLASS = "SMTCheck"
+EVENT_CLASS = "SolverStats"
+SESSION_CLASS = "SolveSession"
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    return "ClassVar" in ast.unparse(annotation)
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> list[str]:
+    fields = []
+    for item in cls.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and not item.target.id.startswith("_")
+            and not _is_classvar(item.annotation)
+        ):
+            fields.append(item.target.id)
+    return fields
+
+
+def _counter_fields(cls: ast.ClassDef) -> list[str]:
+    """``int``-annotated fields defaulting to 0 — the accumulating counters."""
+    counters = []
+    for item in cls.body:
+        if (
+            isinstance(item, ast.AnnAssign)
+            and isinstance(item.target, ast.Name)
+            and isinstance(item.annotation, ast.Name)
+            and item.annotation.id == "int"
+            and isinstance(item.value, ast.Constant)
+            and item.value.value == 0
+        ):
+            counters.append(item.target.id)
+    return counters
+
+
+def _find_class(files: list[SourceFile], name: str) -> tuple[SourceFile, ast.ClassDef] | None:
+    for source in files:
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ClassDef) and node.name == name:
+                return source, node
+    return None
+
+
+def _method(cls: ast.ClassDef, name: str) -> ast.FunctionDef | None:
+    for item in cls.body:
+        if isinstance(item, ast.FunctionDef) and item.name == name:
+            return item
+    return None
+
+
+def _string_constants(node: ast.AST) -> set[str]:
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+class StatsChainRule(Rule):
+    rule_id = "REPRO-STATS"
+    description = (
+        "solver counter emitted at one stats-chain layer but absent downstream"
+    )
+
+    def check_project(self, files: list[SourceFile]) -> Iterator[Finding]:
+        found = _find_class(files, SOURCE_CLASS)
+        if found is None:
+            return
+        _, result_cls = found
+        counters = _counter_fields(result_cls)
+        if not counters:
+            return
+
+        for layer_name in (SNAPSHOT_CLASS, EVENT_CLASS):
+            layer = _find_class(files, layer_name)
+            if layer is None:
+                continue
+            source, cls = layer
+            known = set(_dataclass_fields(cls))
+            for counter in counters:
+                if counter not in known:
+                    yield source.finding(
+                        self.rule_id,
+                        cls,
+                        f"counter '{counter}' ({SOURCE_CLASS}) is missing from "
+                        f"'{layer_name}' — the stats chain drops it here",
+                    )
+
+        session = _find_class(files, SESSION_CLASS)
+        if session is not None:
+            source, cls = session
+            stats = _method(cls, "stats")
+            if stats is not None:
+                keys = _string_constants(stats)
+                for counter in counters:
+                    if counter not in keys:
+                        yield source.finding(
+                            self.rule_id,
+                            stats,
+                            f"counter '{counter}' ({SOURCE_CLASS}) never appears "
+                            f"as a key in '{SESSION_CLASS}.stats()'",
+                        )
+
+        # Emit sites: every keyword-style SolverStats(...) constructor call
+        # must thread all counters (a missed keyword silently zeroes one).
+        for source in files:
+            for node in ast.walk(source.tree):
+                if not (isinstance(node, ast.Call) and node.keywords):
+                    continue
+                callee = node.func
+                name = callee.attr if isinstance(callee, ast.Attribute) else (
+                    callee.id if isinstance(callee, ast.Name) else None
+                )
+                if name != EVENT_CLASS:
+                    continue
+                if any(keyword.arg is None for keyword in node.keywords):
+                    continue  # **kwargs: not statically checkable
+                passed = {keyword.arg for keyword in node.keywords}
+                for counter in counters:
+                    if counter not in passed:
+                        yield source.finding(
+                            self.rule_id,
+                            node,
+                            f"'{EVENT_CLASS}(...)' emit site does not pass "
+                            f"counter '{counter}' — it would serialize as 0",
+                        )

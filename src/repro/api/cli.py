@@ -7,6 +7,7 @@ Subcommands:
 * ``distance``   — discover a code's distance via repeated detection;
 * ``sweep``      — batch-verify many registry codes through ``Engine.run_many``;
 * ``validate-events`` — schema-check an NDJSON event stream;
+* ``analyze``    — the project's static analyzer (:mod:`repro.analysis`);
 * ``serve``      — the HTTP verification service (:mod:`repro.service`).
 
 Every subcommand takes ``--json`` for machine-readable output; the verifying
@@ -27,12 +28,12 @@ import sys
 import time
 from typing import Sequence
 
-from repro.codes.registry import CODE_REGISTRY, build_code
 from repro.api.backends import ParallelBackend, SerialBackend
 from repro.api.engine import Engine, registry_sweep_tasks
 from repro.api.jobs import Job, JobCancelledError, JobStatus
 from repro.api.result import Result
 from repro.api.tasks import ConstrainedTask, CorrectionTask, DetectionTask, DistanceTask
+from repro.codes.registry import CODE_REGISTRY, build_code
 
 __all__ = ["main", "build_parser"]
 
@@ -119,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("files", nargs="*", help="NDJSON files (default: stdin)")
     validate.set_defaults(func=_cmd_validate_events)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="project static analysis (lock/affinity/async/stats contracts)",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument("--json", action="store_true", help="emit findings as JSON")
+    analyze.add_argument(
+        "--list-rules", action="store_true", help="print the rule table and exit"
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     serve = sub.add_parser(
         "serve",
@@ -222,6 +237,17 @@ def _cmd_validate_events(args: argparse.Namespace) -> int:
     from repro.api.events import main as validate_main
 
     return validate_main(args.files)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import main as analyze_main
+
+    argv = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return analyze_main(argv)
 
 
 def _add_store_arguments(parser: argparse.ArgumentParser) -> None:

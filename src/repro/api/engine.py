@@ -23,18 +23,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
-from repro.classical.expr import BoolExpr, BoolVar, Not
-from repro.codes.registry import CODE_REGISTRY, family_of
-from repro.smt.interface import SolveSession
-from repro.smt.solver import SolveControl, SolverInterrupted
-from repro.verifier.constraints import discreteness_constraint, locality_constraint
-from repro.verifier.encodings import (
-    ErrorModel,
-    accurate_correction_formula,
-    model_error_weight,
-    precise_detection_base,
-    precise_detection_formula,
-)
+from repro import sanitize
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
 from repro.api.events import DistanceProbe, SolverStats, SubtaskStarted, TaskCompiled
 from repro.api.jobs import Job, ShardedJobExecutor
@@ -48,6 +37,18 @@ from repro.api.tasks import (
     FixedErrorTask,
     ProgramTask,
     Task,
+)
+from repro.classical.expr import BoolExpr, BoolVar, Not
+from repro.codes.registry import CODE_REGISTRY, family_of
+from repro.smt.interface import SolveSession
+from repro.smt.solver import SolveControl, SolverInterrupted
+from repro.verifier.constraints import discreteness_constraint, locality_constraint
+from repro.verifier.encodings import (
+    ErrorModel,
+    accurate_correction_formula,
+    model_error_weight,
+    precise_detection_base,
+    precise_detection_formula,
 )
 
 __all__ = ["CompiledTask", "Engine", "registry_sweep_tasks"]
@@ -209,7 +210,8 @@ class Engine:
 
     def _compile_cached(self, task: Task) -> tuple[CompiledTask, bool]:
         if not task.deterministic:
-            self._uncacheable += 1
+            with self._cache_lock:
+                self._uncacheable += 1
             return self._compile(task), False
         with self._cache_lock:
             try:
@@ -464,6 +466,15 @@ class Engine:
         control: SolveControl | None = None,
         emit: Emit | None = None,
     ) -> Result:
+        if sanitize.enabled():
+            # The lane lock requirement crosses the _execute/_execute_on_lane
+            # boundary, which the static REPRO-LOCK rule cannot see — check
+            # it dynamically for any future direct caller.
+            shard = self.resources.shard_for_task(task)
+            sanitize.assert_lock_held(
+                self._lane_locks[shard % len(self._lane_locks)],
+                f"lane {shard} session access (_execute_on_lane)",
+            )
         if isinstance(task, DistanceTask):
             return self._run_distance(task, chosen, control=control, emit=emit)
         start = time.perf_counter()

@@ -39,7 +39,6 @@ import time
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterator
 
-from repro.smt.solver import SolveControl, SolverInterrupted
 from repro.api.events import (
     Event,
     JobCancelled,
@@ -48,6 +47,7 @@ from repro.api.events import (
     JobSubmitted,
     SolverStats,
 )
+from repro.smt.solver import SolveControl, SolverInterrupted
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.api.engine import Engine

@@ -38,6 +38,7 @@ import weakref
 import zlib
 from collections import OrderedDict
 
+from repro import sanitize
 from repro.classical.expr import free_variables
 from repro.codes.registry import family_of, family_siblings
 from repro.smt.interface import SMTCheck, SolveSession
@@ -126,6 +127,9 @@ class CodeContext:
         max_task_guards: int = 64,
     ):
         self.key = key
+        # Armed only under REPRO_SANITIZE: CodeContext entry points are
+        # lane-affine exactly like the session they drive.
+        self._entry_guard = sanitize.new_entry_guard(f"CodeContext({key!r})")
         self.session = SolveSession()
         self.warm_cache = warm_cache
         self.max_task_guards = max_task_guards
@@ -158,6 +162,7 @@ class CodeContext:
         self.store_probes = 0
 
     # ------------------------------------------------------------------
+    @sanitize.entry_guarded
     def task_view(self, task, formula) -> ContextView:
         """The guarded view for ``task``, asserting ``formula`` on first use."""
         entry = self._task_guards.get(task)
@@ -181,6 +186,7 @@ class CodeContext:
         guard, variables = entry
         return ContextView(self, (guard,), variables=variables)
 
+    @sanitize.entry_guarded
     def retire_task(self, task) -> bool:
         """Release ``task``'s guarded formula from the shared session.
 
@@ -199,6 +205,7 @@ class CodeContext:
         self.retired += 1
         return True
 
+    @sanitize.entry_guarded
     def detection_base(self, model_kind: str, factory) -> tuple[object, str, frozenset[str]]:
         """The guarded trial-independent detection base for ``model_kind``.
 
@@ -240,6 +247,7 @@ class CodeContext:
 
     # ------------------------------------------------------------------
     # Family warm start: absorb a smaller sibling's learnt clauses.
+    @sanitize.entry_guarded
     def absorb_from_sibling(
         self,
         sibling: "CodeContext",
@@ -356,6 +364,7 @@ class CodeContext:
             self._absorbed_keys.add((frozenset(projected), guard_key))
         return absorbed, probed
 
+    @sanitize.entry_guarded
     def absorb_from_store(
         self,
         selectors: tuple[str, ...],
@@ -414,6 +423,7 @@ class CodeContext:
     # Warm cache: learnt clauses round-trip through the cache directory,
     # keyed on the CNF fingerprint at the moment of the first check (the
     # point identical CLI invocations reach with an identical encoding).
+    @sanitize.entry_guarded
     def maybe_warm_load(self) -> None:
         if self.warm_cache is None or self._warm_attempted:
             return
@@ -427,6 +437,7 @@ class CodeContext:
         else:
             self.warm_misses += 1
 
+    @sanitize.entry_guarded
     def save_warm(self) -> None:
         if self.warm_cache is None or not self._warm_attempted:
             return
@@ -723,7 +734,7 @@ class ResourceManager:
                     # Hash collision: reuse the emptiest lane, breaking ties
                     # toward the least recently assigned one.
                     lane = min(
-                        self._lane_lru, key=lambda l: self._keys_per_lane[l]
+                        self._lane_lru, key=lambda lane: self._keys_per_lane[lane]
                     )
                 self._shard_assignments[key] = lane
                 self._keys_per_lane[lane] += 1

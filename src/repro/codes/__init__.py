@@ -1,20 +1,20 @@
 """Stabilizer codes used throughout the paper's evaluation (Table 3)."""
 
 from repro.codes.base import StabilizerCode
-from repro.codes.css import CSSCode, hypergraph_product_code
-from repro.codes.repetition import repetition_code
-from repro.codes.steane import steane_code
-from repro.codes.five_qubit import five_qubit_code, six_qubit_code
-from repro.codes.shor import shor_code
-from repro.codes.surface import rotated_surface_code, xzzx_surface_code
-from repro.codes.reed_muller import quantum_reed_muller_code
-from repro.codes.gottesman import gottesman_eight_qubit_code
 from repro.codes.color import (
     color_code_832,
     error_detection_422,
     iceberg_code,
 )
+from repro.codes.css import CSSCode, hypergraph_product_code
+from repro.codes.five_qubit import five_qubit_code, six_qubit_code
+from repro.codes.gottesman import gottesman_eight_qubit_code
+from repro.codes.reed_muller import quantum_reed_muller_code
 from repro.codes.registry import CODE_REGISTRY, build_code, list_codes
+from repro.codes.repetition import repetition_code
+from repro.codes.shor import shor_code
+from repro.codes.steane import steane_code
+from repro.codes.surface import rotated_surface_code, xzzx_surface_code
 
 __all__ = [
     "StabilizerCode",

@@ -1,10 +1,10 @@
 """Pauli operators, stabilizer groups, tableau simulation and symbolic Pauli expressions."""
 
-from repro.pauli.pauli import PauliOperator, pauli_from_label
-from repro.pauli.group import StabilizerGroup
-from repro.pauli.tableau import StabilizerTableau
-from repro.pauli.scalar import SqrtTwoRational
 from repro.pauli.expr import PauliExpr, PauliTerm, PhaseExpr
+from repro.pauli.group import StabilizerGroup
+from repro.pauli.pauli import PauliOperator, pauli_from_label
+from repro.pauli.scalar import SqrtTwoRational
+from repro.pauli.tableau import StabilizerTableau
 
 __all__ = [
     "PauliOperator",

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.classical.expr import BoolExpr, Expr
+from repro.classical.expr import Expr
 from repro.classical.parity import ParityExpr
 from repro.pauli.clifford import CLIFFORD_1Q, CLIFFORD_2Q, backward_images, forward_images
 from repro.pauli.pauli import PauliOperator

@@ -30,6 +30,7 @@ import logging
 import signal
 import time
 
+from repro import sanitize
 from repro.api.engine import Engine
 from repro.service.admission import AdmissionController
 from repro.service.drain import DrainCoordinator
@@ -85,6 +86,7 @@ class VerificationService:
         self.connections_open = 0
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
+        self._watchdog: "sanitize.LoopWatchdog | None" = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -96,6 +98,9 @@ class VerificationService:
         )
         self.port = self._server.sockets[0].getsockname()[1]
         self.started_at = time.monotonic()
+        # Under REPRO_SANITIZE a daemon thread heartbeats the loop and
+        # counts stalls — the dynamic twin of the REPRO-ASYNC static rule.
+        self._watchdog = sanitize.new_loop_watchdog(asyncio.get_running_loop())
         return self
 
     def request_stop(self) -> None:
@@ -130,6 +135,9 @@ class VerificationService:
     async def shutdown(self) -> dict:
         """Stop accepting, drain jobs, close the listener and (when owned)
         the engine."""
+        if self._watchdog is not None:
+            self._watchdog.stop()
+            self._watchdog = None
         if self._server is not None:
             self._server.close()
         summary = await self.drain.begin_drain(self.drain_grace)

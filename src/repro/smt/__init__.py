@@ -10,9 +10,9 @@ sessions (:class:`SolveSession`) and parallel task splitting.
 """
 
 from repro.smt.cnf import CNF
-from repro.smt.solver import SATSolver, SolverResult
 from repro.smt.encoder import FormulaEncoder
 from repro.smt.interface import SMTCheck, SolveSession, check_formula, check_valid
+from repro.smt.solver import SATSolver, SolverResult
 
 __all__ = [
     "CNF",

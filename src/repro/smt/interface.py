@@ -21,6 +21,7 @@ import hashlib
 import time
 from dataclasses import dataclass, field
 
+from repro import sanitize
 from repro.classical.expr import BoolExpr, IntConst, IntExpr, Not
 from repro.smt.encoder import FormulaEncoder
 from repro.smt.solver import SATSolver, SolveControl
@@ -97,6 +98,9 @@ class SolveSession:
                  max_conflicts: int | None = None):
         self.encoder = encoder or FormulaEncoder()
         self.max_conflicts = max_conflicts
+        # Armed only under REPRO_SANITIZE: detects two threads driving this
+        # session at once (the race lane affinity must rule out).
+        self._entry_guard = sanitize.new_entry_guard("SolveSession")
         self._solver: SATSolver | None = None
         self._synced_clauses = 0
         self._synced_vars = 0
@@ -173,6 +177,7 @@ class SolveSession:
             self._synced_clauses += 1
         return self._solver
 
+    @sanitize.entry_guarded
     def check(
         self,
         assumptions: dict[str, bool] | None = None,
@@ -249,6 +254,7 @@ class SolveSession:
             return []
         return self._solver.learnt_clauses_meta(max_var)
 
+    @sanitize.entry_guarded
     def absorb_learnt(self, clauses) -> int:
         """Re-attach serialized learnt clauses; returns how many were kept.
 

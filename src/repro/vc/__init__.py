@@ -1,9 +1,9 @@
 """Verification-condition generation and reduction (Section 5)."""
 
-from repro.vc.symbolic import SymbolicPrecondition, DerivedAtom, symbolic_wp
-from repro.vc.reduction import reduce_to_classical, ReductionError
-from repro.vc.semantic import semantic_entailment
 from repro.vc.pipeline import verify_triple
+from repro.vc.reduction import ReductionError, reduce_to_classical
+from repro.vc.semantic import semantic_entailment
+from repro.vc.symbolic import DerivedAtom, SymbolicPrecondition, symbolic_wp
 
 __all__ = [
     "SymbolicPrecondition",

@@ -34,7 +34,6 @@ from repro.lang.ast import (
     Unitary,
 )
 from repro.pauli.expr import PauliExpr
-from repro.pauli.pauli import PauliOperator
 
 __all__ = ["DerivedAtom", "SymbolicPrecondition", "symbolic_wp"]
 

@@ -1,12 +1,12 @@
 """Veri-QEC: the automated QEC verifier (Sections 6 and 7)."""
 
-from repro.verifier.report import VerificationReport
+from repro.verifier.constraints import discreteness_constraint, locality_constraint
 from repro.verifier.encodings import (
+    ErrorModel,
     accurate_correction_formula,
     precise_detection_formula,
-    ErrorModel,
 )
-from repro.verifier.constraints import locality_constraint, discreteness_constraint
+from repro.verifier.report import VerificationReport
 from repro.verifier.veriqec import VeriQEC
 
 __all__ = [

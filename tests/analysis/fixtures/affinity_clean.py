@@ -1,0 +1,11 @@
+"""Clean twin of affinity_bad: goes through the engine's mediated API."""
+
+from repro.api.engine import Engine
+
+
+def proper_check(task):
+    engine = Engine()
+    try:
+        return engine.run(task)
+    finally:
+        engine.close()

@@ -1,0 +1,11 @@
+"""Seeded REPRO-ASYNC violations: blocking calls in coroutine bodies."""
+
+import sqlite3
+import time
+
+
+async def handle_request(path):
+    time.sleep(0.1)  # BAD: blocks the event loop
+    conn = sqlite3.connect(path)  # BAD: synchronous sqlite on the loop
+    with open(path) as handle:  # BAD: blocking file I/O
+        return handle.read(), conn

@@ -1,0 +1,19 @@
+"""Clean twin of async_bad: awaits and executor offloading only."""
+
+import asyncio
+import sqlite3
+import time
+
+
+def _read_blocking(path):
+    # Sync helper: runs on the executor, never on the loop.
+    time.sleep(0.1)
+    conn = sqlite3.connect(path)
+    with open(path) as handle:
+        return handle.read(), conn
+
+
+async def handle_request(path):
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, _read_blocking, path)

@@ -1,0 +1,40 @@
+"""Seeded REPRO-EVENT violations: dataclasses drifting from the table.
+
+* ``ProbeEvent.extra`` is serialized but unknown to the schema;
+* the schema declares ``ghost`` which no field produces;
+* ``OrphanEvent`` has no ``EVENT_SCHEMAS`` entry at all.
+"""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass
+class Event:
+    job_id: str = ""
+    seq: int = -1
+
+    TYPE: ClassVar[str] = "Event"
+
+
+@dataclass
+class ProbeEvent(Event):
+    bound: int = 0
+    extra: str = ""  # BAD: not in EVENT_SCHEMAS["ProbeEvent"]
+
+    TYPE: ClassVar[str] = "ProbeEvent"
+
+
+@dataclass
+class OrphanEvent(Event):  # BAD: no EVENT_SCHEMAS entry
+    reason: str = ""
+
+    TYPE: ClassVar[str] = "OrphanEvent"
+
+
+EVENT_SCHEMAS = {
+    "ProbeEvent": {
+        "bound": ((int,), True),
+        "ghost": ((str,), False),  # BAD: no field produces this
+    },
+}

@@ -1,0 +1,28 @@
+"""Clean twin of events_bad: fields and schema agree in both directions."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass
+class Event:
+    job_id: str = ""
+    seq: int = -1
+
+    TYPE: ClassVar[str] = "Event"
+
+
+@dataclass
+class ProbeEvent(Event):
+    bound: int = 0
+    extra: str = ""
+
+    TYPE: ClassVar[str] = "ProbeEvent"
+
+
+EVENT_SCHEMAS = {
+    "ProbeEvent": {
+        "bound": ((int,), True),
+        "extra": ((str,), True),
+    },
+}

@@ -1,0 +1,48 @@
+"""Seeded REPRO-STATS violations: a counter dropped at three layers.
+
+``new_counter`` exists on ``SolverResult`` but is missing from the
+``SMTCheck`` snapshot, the ``SolverStats`` event, the session stats dict
+and the emit site — each hop yields one finding.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverResult:
+    satisfiable: bool = False
+    conflicts: int = 0
+    decisions: int = 0
+    new_counter: int = 0
+
+
+@dataclass
+class SMTCheck:
+    status: str = "unsat"
+    conflicts: int = 0
+    decisions: int = 0
+    # BAD: new_counter missing
+
+
+@dataclass
+class SolverStats:
+    conflicts: int = 0
+    decisions: int = 0
+    # BAD: new_counter missing
+
+
+class SolveSession:
+    def stats(self):
+        return {
+            "conflicts": 0,
+            "decisions": 0,
+            # BAD: "new_counter" key missing
+        }
+
+
+def emit_site(check, emit):
+    emit(SolverStats(
+        conflicts=check.conflicts,
+        decisions=check.decisions,
+        # BAD: new_counter keyword missing
+    ))

@@ -1,0 +1,43 @@
+"""Clean twin of stats_bad: the counter is threaded through every layer."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SolverResult:
+    satisfiable: bool = False
+    conflicts: int = 0
+    decisions: int = 0
+    new_counter: int = 0
+
+
+@dataclass
+class SMTCheck:
+    status: str = "unsat"
+    conflicts: int = 0
+    decisions: int = 0
+    new_counter: int = 0
+
+
+@dataclass
+class SolverStats:
+    conflicts: int = 0
+    decisions: int = 0
+    new_counter: int = 0
+
+
+class SolveSession:
+    def stats(self):
+        return {
+            "conflicts": 0,
+            "decisions": 0,
+            "new_counter": 0,
+        }
+
+
+def emit_site(check, emit):
+    emit(SolverStats(
+        conflicts=check.conflicts,
+        decisions=check.decisions,
+        new_counter=check.new_counter,
+    ))

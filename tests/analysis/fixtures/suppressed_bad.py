@@ -1,0 +1,14 @@
+"""A REPRO-LOCK violation waived by a suppression comment — analyzes clean."""
+
+import threading
+
+
+class PoolManager:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self._sessions = {}
+        self._busy = {}
+
+    def reset_before_sharing(self):
+        # Sound: called from __init__-time setup before any thread sees us.
+        self._sessions.clear()  # repro: allow[REPRO-LOCK] pre-publication setup
