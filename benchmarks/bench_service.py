@@ -140,7 +140,24 @@ class ServiceUnderTest:
         return self.service.port
 
 
-def run_load(clients: int, jobs_per_client: int) -> dict:
+#: The ``--faults armed`` plan: one rule per injection point, each parked
+#: behind an unreachable ``after`` threshold — every hook is live (the plan
+#: lookup and hit accounting run on each call) but nothing ever fires.
+IDLE_FAULT_PLAN = {
+    "faults": [
+        {"point": point, "after": 10**9}
+        for point in (
+            "store.read",
+            "store.write",
+            "lane.crash",
+            "socket.reset",
+            "loop.stall",
+        )
+    ]
+}
+
+
+def run_load(clients: int, jobs_per_client: int, fault_plan=None) -> dict:
     """One full load run; returns the measured section of the report."""
     from repro.api.events import validate_stream
     from repro.service.client import ServiceClient, ServiceError
@@ -152,7 +169,7 @@ def run_load(clients: int, jobs_per_client: int) -> dict:
     errors: list[str] = []
     lock = threading.Lock()
 
-    with ServiceUnderTest() as under_test:
+    with ServiceUnderTest(fault_plan=fault_plan) as under_test:
         port = under_test.port
 
         def client_thread(index: int) -> None:
@@ -337,6 +354,64 @@ def check_dispatch_baseline(
     return problems
 
 
+def fault_hook_column(report: dict, args) -> dict:
+    """The ``--faults`` column: what do the injection hooks cost when idle?
+
+    The default run above already measured the shipped configuration —
+    hooks present but disarmed (every ``fire()`` site is a ``None`` check).
+    Its overhead is reported against the committed pre-hook baseline,
+    calibration-normalized.  ``--faults armed`` additionally re-runs the
+    load under a live plan whose rules are parked behind an unreachable
+    ``after`` threshold, pricing the hook accounting itself.
+    """
+    from repro import faults
+
+    column: dict = {"mode": args.faults, "disarmed": {
+        "jobs_per_second": report["load"]["jobs_per_second"],
+        "job_latency_p50": report["load"]["job_latency_p50"],
+    }}
+    if args.faults == "armed":
+        try:
+            armed = run_load(
+                report["load"]["clients"],
+                report["load"]["jobs_per_client"],
+                fault_plan=IDLE_FAULT_PLAN,
+            )
+        finally:
+            faults.disarm()
+        column["armed_idle"] = {
+            "jobs_per_second": armed["jobs_per_second"],
+            "job_latency_p50": armed["job_latency_p50"],
+            "armed_overhead_percent": 100.0
+            * (1.0 - armed["jobs_per_second"] / report["load"]["jobs_per_second"])
+            if report["load"]["jobs_per_second"] > 0
+            else 0.0,
+        }
+    baseline_path = args.check_baseline or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "baselines", "service.json"
+    )
+    if os.path.exists(baseline_path):
+        with open(baseline_path, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        # Normalized so a slower/faster machine cancels out: jobs/sec scales
+        # inversely with machine slowness, so multiply by calibration time.
+        base_jps = (
+            baseline["load"]["jobs_per_second"] * baseline["calibration_seconds"]
+        )
+        here_jps = (
+            report["load"]["jobs_per_second"] * report["calibration_seconds"]
+        )
+        column["baseline"] = {
+            "path": baseline_path,
+            "normalized_jobs_per_second": base_jps,
+            "disarmed_normalized_jobs_per_second": here_jps,
+            "disarmed_overhead_percent": 100.0 * (1.0 - here_jps / base_jps)
+            if base_jps > 0
+            else 0.0,
+        }
+    return column
+
+
 def check_baseline(report: dict, baseline_path: str, tolerance: float) -> list[str]:
     """Calibration-normalized latency/throughput gate vs a committed run."""
     with open(baseline_path, "r", encoding="utf-8") as handle:
@@ -383,6 +458,13 @@ def main(argv=None) -> int:
     parser.add_argument("--min-speedup", type=float, default=1.5,
                         help="required sharded/serial jobs-per-second ratio "
                              "in --mixed-registry (default 1.5)")
+    parser.add_argument("--faults", choices=["off", "armed"], default=None,
+                        help="add the fault-hook overhead column: 'off' "
+                             "measures the shipped disarmed-hook path and "
+                             "reports its normalized jobs/sec overhead vs "
+                             "the committed baseline; 'armed' additionally "
+                             "serves under a live plan whose rules never "
+                             "fire (hook accounting, no injections)")
     parser.add_argument("--output", default="BENCH_service.json",
                         help="where to write the JSON report")
     parser.add_argument("--check-baseline", default=None, metavar="PATH",
@@ -408,6 +490,8 @@ def main(argv=None) -> int:
         "load": run_load(clients, jobs_per_client),
     }
     load = report["load"]
+    if args.faults is not None:
+        report["fault_hooks"] = fault_hook_column(report, args)
     print(
         f"{load['jobs_completed']}/{load['jobs_expected']} jobs in "
         f"{load['busy_seconds']:.2f}s  "
@@ -419,6 +503,19 @@ def main(argv=None) -> int:
         f"{len(load['stream_errors'])} stream errors, "
         f"{load['rejected_429']} rejections"
     )
+    if args.faults is not None:
+        hooks = report["fault_hooks"]
+        if "baseline" in hooks:
+            print(
+                f"fault hooks (disarmed) overhead vs baseline: "
+                f"{hooks['baseline']['disarmed_overhead_percent']:+.1f}% jobs/s"
+            )
+        if "armed_idle" in hooks:
+            print(
+                f"fault hooks (armed, idle plan): "
+                f"{hooks['armed_idle']['jobs_per_second']:.1f} jobs/s "
+                f"({hooks['armed_idle']['armed_overhead_percent']:+.1f}%)"
+            )
 
     problems: list[str] = []
     if load["stream_errors"]:

@@ -10,6 +10,14 @@
 5. SIGTERM the server and require a graceful drain: exit code 0 and a
    ``drained`` line reporting no orphaned jobs.
 
+With ``--fault-plan`` the script runs the chaos smoke instead: the same
+sweep is driven twice — once clean, once against a server armed with a
+seeded fault plan (a lane kill, three store write failures, one
+event-stream socket reset) — through a retrying client.  The faulted run
+must produce a verdict map byte-identical to the clean run, the server must
+still drain to exit 0 with no orphans, and the fault log (``FAULT_LOG``,
+default ``fault-log.ndjson``) must record every point striking.
+
 Then the resume smoke: a server with ``--clause-store`` is SIGTERMed
 mid-distance-walk (zero drain grace, so the in-flight job is cancelled,
 leaving its checkpoint behind), a fresh server over the same store
@@ -153,6 +161,140 @@ def resume_smoke() -> int:
     return 0
 
 
+#: The chaos sweep: three task kinds, two code families — small enough for
+#: CI, wide enough to exercise store writes (the distance walk checkpoints)
+#: and multi-event streams.
+CHAOS_SWEEP = [
+    {"kind": "correction", "code": "steane"},
+    {"kind": "correction", "code": "five-qubit"},
+    {"kind": "distance", "code": "surface-3"},
+    {"kind": "detection", "code": "steane", "trial_distance": 3},
+]
+
+#: The seeded plan the chaos server is armed with.
+CHAOS_FAULTS = [
+    {"point": "lane.crash", "times": 1},
+    {"point": "store.write", "times": 3},
+    {"point": "socket.reset", "times": 1},
+]
+
+
+def _verdict(result: dict) -> dict:
+    view = {key: result.get(key) for key in ("task", "subject", "verified")}
+    view["counterexample"] = result.get("counterexample")
+    details = result.get("details") or {}
+    if "distance" in details:
+        view["distance"] = details["distance"]
+    return view
+
+
+def _chaos_sweep(client) -> dict:
+    """Run the sweep serially; resubmit (fresh job) on lane crashes."""
+    verdicts = {}
+    for spec in CHAOS_SWEEP:
+        key = json.dumps(spec, sort_keys=True)
+        for _attempt in range(3):
+            job = client.submit(dict(spec))
+            terminal = None
+            for event in client.events(job["id"]):
+                terminal = event
+            if (
+                terminal["event"] == "JobFailed"
+                and terminal.get("reason") == "lane_crash"
+            ):
+                continue  # infrastructure died under the job: run it again
+            assert terminal["event"] == "JobCompleted", terminal
+            break
+        else:
+            raise AssertionError(f"{key} failed on every attempt")
+        verdicts[key] = _verdict(client.job(job["id"])["result"])
+    return verdicts
+
+
+def _drain(server: subprocess.Popen) -> tuple[int, dict | None]:
+    """SIGTERM the server; return (exit code, last drained line)."""
+    server.send_signal(signal.SIGTERM)
+    out, _err = server.communicate(timeout=60)
+    drained = [
+        json.loads(line)
+        for line in out.splitlines()
+        if line.startswith("{") and '"drained"' in line
+    ]
+    return server.returncode, (drained[-1] if drained else None)
+
+
+def chaos_smoke() -> int:
+    """A faulted sweep must equal a clean one, and the drain must stay clean."""
+    import os
+
+    from repro.service.client import ServiceClient
+
+    log_path = pathlib.Path(os.environ.get("FAULT_LOG", "fault-log.ndjson"))
+    log_path.unlink(missing_ok=True)
+
+    server, port = _start_server()
+    try:
+        clean_verdicts = _chaos_sweep(
+            ServiceClient("127.0.0.1", port, api_key="ci-chaos", retries=3)
+        )
+        code, drained = _drain(server)
+        if code != 0 or not drained or drained.get("orphaned"):
+            print(f"FAIL: clean server drain: exit {code}, {drained}", file=sys.stderr)
+            return 1
+    finally:
+        if server.poll() is None:
+            server.kill()
+    print(f"clean sweep done: {len(clean_verdicts)} verdicts")
+
+    plan_path = tempfile.mktemp(suffix=".json")
+    with open(plan_path, "w", encoding="utf-8") as handle:
+        json.dump({"seed": 11, "log": str(log_path), "faults": CHAOS_FAULTS}, handle)
+    store_dir = tempfile.mkdtemp(prefix="smoke-chaos-store-")
+    server, port = _start_server(
+        "--fault-plan", plan_path, "--clause-store", store_dir
+    )
+    try:
+        fault_verdicts = _chaos_sweep(
+            ServiceClient("127.0.0.1", port, api_key="ci-chaos", retries=3)
+        )
+        code, drained = _drain(server)
+    finally:
+        if server.poll() is None:
+            server.kill()
+
+    failures = []
+    if code != 0:
+        failures.append(f"chaos server exited {code}")
+    if not drained or drained.get("orphaned"):
+        failures.append(f"chaos drain left orphans: {drained}")
+    if json.dumps(fault_verdicts, sort_keys=True) != json.dumps(
+        clean_verdicts, sort_keys=True
+    ):
+        failures.append(
+            "verdict maps diverged:\n"
+            f"  clean: {json.dumps(clean_verdicts, sort_keys=True)}\n"
+            f"  chaos: {json.dumps(fault_verdicts, sort_keys=True)}"
+        )
+    if not log_path.is_file():
+        failures.append(f"no fault log at {log_path}")
+    else:
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        struck = {record["point"] for record in records}
+        expected = {fault["point"] for fault in CHAOS_FAULTS}
+        if struck != expected:
+            failures.append(f"fault points struck {struck}, expected {expected}")
+    if failures:
+        print("FAIL:", *failures, sep="\n  ", file=sys.stderr)
+        return 1
+    print(
+        f"chaos smoke passed: {len(records)} faults struck "
+        f"({', '.join(sorted(struck))}), verdicts identical, drain clean"
+    )
+    return 0
+
+
 def main() -> int:
     from repro.service.client import ServiceClient
 
@@ -233,5 +375,7 @@ def main() -> int:
 
 
 if __name__ == "__main__":
+    if "--fault-plan" in sys.argv[1:]:
+        raise SystemExit(chaos_smoke())
     rc = main()
     raise SystemExit(rc if rc else resume_smoke())

@@ -3,6 +3,7 @@
 from repro.analysis.rules.affinity import SessionAffinityRule
 from repro.analysis.rules.asyncblock import BlockingInAsyncRule
 from repro.analysis.rules.eventschema import EventSchemaRule
+from repro.analysis.rules.exceptions import SilentExceptRule
 from repro.analysis.rules.locks import LockDisciplineRule
 from repro.analysis.rules.statschain import StatsChainRule
 
@@ -12,6 +13,7 @@ __all__ = [
     "EventSchemaRule",
     "LockDisciplineRule",
     "SessionAffinityRule",
+    "SilentExceptRule",
     "StatsChainRule",
 ]
 
@@ -21,4 +23,5 @@ DEFAULT_RULES = (
     BlockingInAsyncRule(),
     StatsChainRule(),
     EventSchemaRule(),
+    SilentExceptRule(),
 )

@@ -1,0 +1,101 @@
+"""REPRO-EXC — broad exception handlers that swallow failures silently.
+
+The resilience layers (service, store, job API) are exactly the places
+where a silently-swallowed exception turns into an undebuggable hang: a
+lane that dies without a log line, a store failure that never trips the
+circuit breaker, a drain that waits forever on a job nobody failed.  In
+those packages a ``except Exception`` / bare ``except`` handler must do
+at least one visible thing with the failure:
+
+* re-raise (``raise`` anywhere in the handler body), or
+* log it (a ``.debug/.info/.warning/.error/.exception/.critical/.log``
+  call), or
+* count it (an augmented assignment — the ``storage_errors += 1`` /
+  ``lane_crashes += 1`` idiom the stats surfaces report).
+
+Handlers for *specific* exception types are not flagged — naming the
+type is already a statement about what can happen there.  Deliberate
+swallows (finalizer teardown, best-effort cleanup) carry a
+``# repro: allow[REPRO-EXC] - why`` annotation.
+
+Scope: ``repro/service/``, ``repro/store/`` and ``repro/api/`` inside
+the package; files outside the package (analyzer fixtures, scripts) are
+always checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, SourceFile
+
+__all__ = ["SilentExceptRule"]
+
+#: broad types whose handlers must be visibly handled.
+BROAD_TYPES = frozenset({"Exception", "BaseException"})
+
+#: logger-style method names whose call counts as "logged it".
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "error", "exception", "critical", "log"}
+)
+
+#: package paths the rule polices.  Everything else inside ``repro/`` is
+#: out of scope (analysis, smt, ...); everything outside the package —
+#: fixtures and scripts — is checked unconditionally.
+SCOPED_PATHS = ("repro/service/", "repro/store/", "repro/api/")
+
+
+def _is_broad(annotation: ast.expr | None) -> bool:
+    """True when the handler catches everything (bare / Exception / ...)."""
+    if annotation is None:  # bare except
+        return True
+    if isinstance(annotation, ast.Name):
+        return annotation.id in BROAD_TYPES
+    if isinstance(annotation, ast.Tuple):
+        return any(_is_broad(element) for element in annotation.elts)
+    return False
+
+
+def _is_log_call(node: ast.Call) -> bool:
+    func = node.func
+    return isinstance(func, ast.Attribute) and func.attr in LOG_METHODS
+
+
+def _handled_visibly(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(ast.Module(body=handler.body, type_ignores=[])):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.AugAssign):
+            return True
+        if isinstance(node, ast.Call) and _is_log_call(node):
+            return True
+    return False
+
+
+class SilentExceptRule(Rule):
+    rule_id = "REPRO-EXC"
+    description = (
+        "broad except handler in service/store/api that neither re-raises, "
+        "logs, nor counts the failure"
+    )
+
+    def check_file(self, source: SourceFile) -> Iterator[Finding]:
+        posix = source.posix
+        if "repro/" in posix and not any(p in posix for p in SCOPED_PATHS):
+            return
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            if _handled_visibly(node):
+                continue
+            caught = "bare except" if node.type is None else "except Exception"
+            yield source.finding(
+                self.rule_id,
+                node,
+                f"{caught} swallows the failure: re-raise, log, or count "
+                "it (or annotate a deliberate swallow with "
+                "'# repro: allow[REPRO-EXC] - why')",
+            )

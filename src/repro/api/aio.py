@@ -68,7 +68,8 @@ class AsyncJob:
                     return
                 try:
                     future.set_result(finished.result(timeout=0))
-                except BaseException as error:  # noqa: BLE001 - relay verbatim
+                # repro: allow[REPRO-EXC] - relayed verbatim into the future
+                except BaseException as error:  # noqa: BLE001
                     future.set_exception(error)
 
             loop.call_soon_threadsafe(_set)

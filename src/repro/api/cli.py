@@ -184,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="durable clause-store directory shared across restarts (and "
         "replicas); enables warm-started sessions and resumable distance walks",
     )
+    serve.add_argument(
+        "--fault-plan",
+        metavar="SPEC",
+        default=None,
+        help="arm deterministic fault injection: inline JSON or a path to a "
+        "plan file (see repro.faults; REPRO_FAULT_PLAN works too)",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     return parser
@@ -216,6 +223,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             drain_grace=args.drain_grace,
             lanes=args.lanes,
             clause_store=args.clause_store,
+            fault_plan=args.fault_plan,
         )
         await service.start()
         # The "listening" line is the readiness protocol: supervisors (and

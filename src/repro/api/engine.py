@@ -16,6 +16,7 @@ the ``verify_triple`` pipeline and the ``python -m repro`` CLI:
 from __future__ import annotations
 
 import hashlib
+import json
 import multiprocessing
 import threading
 import time
@@ -23,7 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Callable, Iterable, Sequence
 
-from repro import sanitize
+from repro import faults, sanitize
 from repro.api.backends import Backend, ParallelBackend, SerialBackend, coerce_backend
 from repro.api.events import DistanceProbe, SolverStats, SubtaskStarted, TaskCompiled
 from repro.api.jobs import Job, ShardedJobExecutor
@@ -130,7 +131,14 @@ class Engine:
         lanes: int = 4,
         family_warm_start: bool = True,
         clause_store: str | None = None,
+        fault_plan=None,
     ):
+        # Arm fault injection before any resource (store, executor, pools)
+        # is built, so their faults.hook() calls see the installed plan.
+        # ``fault_plan`` accepts a FaultPlan, a dict spec, inline JSON or a
+        # file path — same formats as the REPRO_FAULT_PLAN environment hook.
+        if fault_plan is not None:
+            faults.install(fault_plan)
         self.backend: Backend = coerce_backend(backend)
         self.cache_size = cache_size
         self.session_cache_size = session_cache_size
@@ -963,6 +971,13 @@ class Engine:
         is ``"reuse"`` whenever a clause store is attached (the reordering
         exists to feed it) and ``"fifo"`` otherwise, preserving historical
         behaviour for store-less engines.
+
+        With a clause store attached, multi-task sweeps are additionally
+        *checkpointed*: a manifest keyed by the sweep's task list records
+        each completed result, so a killed or drained replica's sweep
+        resumes on the next call with only the incomplete tasks re-run
+        (resumed results carry ``details["sweep_resumed"] = True``).  The
+        manifest is deleted once the sweep completes.
         """
         batch = list(tasks)
         chosen = coerce_backend(backend) if backend is not None else self.backend
@@ -972,18 +987,37 @@ class Engine:
         order = list(range(len(batch)))
         if schedule == "reuse" and len(batch) > 1:
             order.sort(key=lambda index: _reuse_sort_key(batch[index]))
+        manifest_key: str | None = None
+        completed: dict[int, Result] = {}
+        if store is not None and len(batch) > 1:
+            manifest_key = _sweep_manifest_key(batch, order)
+            completed = _restore_sweep_manifest(
+                store.checkpoint_load(manifest_key), len(batch)
+            )
+        remaining = [index for index in order if index not in completed]
+        results: list[Result | None] = [None] * len(batch)
+        for index, result in completed.items():
+            results[index] = result
         if processes and processes > 1 and len(batch) > 1:
             store_dir = store.directory if store is not None else None
-            payloads = [(batch[index], _worker_backend(chosen), store_dir) for index in order]
-            with multiprocessing.Pool(processes=processes) as pool:
-                mapped = pool.map(_run_payload, payloads)
-            results: list[Result | None] = [None] * len(batch)
-            for index, result in zip(order, mapped):
-                results[index] = result
+            payloads = [(batch[index], _worker_backend(chosen), store_dir) for index in remaining]
+            if payloads:
+                with multiprocessing.Pool(processes=processes) as pool:
+                    mapped = pool.map(_run_payload, payloads)
+                for index, result in zip(remaining, mapped):
+                    results[index] = result
+            if manifest_key is not None:
+                store.checkpoint_delete(manifest_key)
             return results  # type: ignore[return-value]
-        results = [None] * len(batch)
-        for index in order:
+        for index in remaining:
             results[index] = self.run(batch[index], backend=chosen)
+            if manifest_key is not None:
+                completed[index] = results[index]
+                store.checkpoint_save(
+                    manifest_key, _sweep_manifest_payload(len(batch), completed)
+                )
+        if manifest_key is not None:
+            store.checkpoint_delete(manifest_key)
         return results  # type: ignore[return-value]
 
 
@@ -991,6 +1025,57 @@ def _worker_backend(chosen: Backend) -> Backend:
     if isinstance(chosen, ParallelBackend):
         return replace(chosen, num_workers=1)
     return chosen
+
+
+def _sweep_manifest_key(batch: list, order: list[int]) -> str:
+    """The checkpoint key for one sweep: a hash over the *scheduled* task
+    sequence, so the same task list under the same schedule resumes and any
+    change to either runs cold (task reprs are deterministic dataclasses)."""
+    digest = hashlib.sha256()
+    for index in order:
+        digest.update(repr(batch[index]).encode())
+        digest.update(b"\x1f")
+    return f"sweep:{digest.hexdigest()}"
+
+
+def _sweep_manifest_payload(total: int, completed: "dict[int, Result]") -> dict:
+    # default=str keeps exotic details values from aborting the sweep with a
+    # serialization error: the manifest is a resume hint, not the result of
+    # record, so lossy stringification there is acceptable.
+    results = {
+        str(index): json.loads(result.to_json()) for index, result in completed.items()
+    }
+    return {"version": 1, "total": total, "results": results}
+
+
+def _restore_sweep_manifest(state: dict | None, total: int) -> "dict[int, Result]":
+    """Completed results from a prior partial sweep, or ``{}``.
+
+    Same discipline as distance-walk checkpoints: the store checksums the
+    blob, this validates the semantics — wrong version/total or a malformed
+    entry discards the whole manifest, costing only the resume shortcut.
+    """
+    if not isinstance(state, dict) or state.get("version") != 1:
+        return {}
+    if state.get("total") != total or not isinstance(state.get("results"), dict):
+        return {}
+    completed: dict[int, Result] = {}
+    for key, payload in state["results"].items():
+        try:
+            index = int(key)
+        except (TypeError, ValueError):
+            return {}
+        if not 0 <= index < total or not isinstance(payload, dict):
+            return {}
+        try:
+            result = Result.from_dict(payload)
+        except TypeError:
+            return {}
+        if not isinstance(result.details, dict):
+            result.details = {}
+        result.details["sweep_resumed"] = True
+        completed[index] = result
+    return completed
 
 
 # Execution-order key for the reuse-aware sweep schedule: group by family

@@ -238,12 +238,26 @@ class JobCancelled(Event):
 
 @dataclass
 class JobFailed(Event):
-    """Terminal: the job raised; ``error`` is the stringified exception."""
+    """Terminal: the job raised; ``error`` is the stringified exception.
+
+    ``reason`` classifies infrastructure failures — ``"lane_crash"`` when
+    the lane supervisor failed the job because its dispatcher thread died
+    (the task itself may be fine; clients may retry it under a fresh
+    idempotency key).  Empty for ordinary execution errors, and omitted
+    from the serialized form so pre-existing streams are byte-identical.
+    """
 
     error: str = ""
+    reason: str = ""
 
     TYPE: ClassVar[str] = "JobFailed"
     TERMINAL: ClassVar[bool] = True
+
+    def to_dict(self) -> dict:
+        payload = super().to_dict()
+        if not payload.get("reason"):
+            payload.pop("reason", None)
+        return payload
 
 
 EVENT_TYPES: dict[str, type[Event]] = {
@@ -315,6 +329,7 @@ EVENT_SCHEMAS: dict[str, dict[str, tuple[tuple[type, ...], bool]]] = {
     },
     "JobFailed": {
         "error": ((str,), True),
+        "reason": ((str,), False),
     },
 }
 

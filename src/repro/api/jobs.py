@@ -33,12 +33,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import logging
 import queue
 import threading
 import time
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Iterator
 
+from repro import faults
 from repro.api.events import (
     Event,
     JobCancelled,
@@ -60,6 +62,15 @@ __all__ = [
     "JobStatus",
     "ShardedJobExecutor",
 ]
+
+
+log = logging.getLogger("repro.jobs")
+
+#: Deterministic precedence for racing cancel reasons: an explicit user
+#: cancel outranks a deadline/budget stop, which outranks a drain.  Whatever
+#: order a ``DELETE /jobs/<id>`` and a SIGTERM drain reach the same job in,
+#: the terminal event carries the same reason.
+_REASON_PRECEDENCE = {"shutdown": 1, "deadline": 2, "budget": 2, "cancelled": 3}
 
 
 class JobStatus(str, Enum):
@@ -153,6 +164,9 @@ class Job:
                 try:
                     subscriber(event)
                 except Exception:
+                    log.warning(
+                        "dropping broken subscriber on job %s", self.id, exc_info=True
+                    )
                     try:
                         self._subscribers.remove(subscriber)
                     except ValueError:
@@ -177,6 +191,11 @@ class Job:
                 try:
                     callback(event)
                 except Exception:
+                    log.warning(
+                        "subscriber broke during replay on job %s",
+                        self.id,
+                        exc_info=True,
+                    )
                     return
             if not self.status.terminal:
                 self._subscribers.append(callback)
@@ -244,12 +263,18 @@ class Job:
 
         ``reason`` labels the eventual terminal event (``"cancelled"`` for a
         user cancel, ``"shutdown"`` for a drain); deadline and budget stops
-        keep their own reasons.
+        keep their own reasons.  When several requests race the same job,
+        the highest-precedence reason wins (see ``_REASON_PRECEDENCE``)
+        regardless of arrival order, so a drain racing a client cancel
+        deterministically reports ``"cancelled"``.
         """
         with self._lock:
             if self.status.terminal:
                 return False
-            self._requested_reason = reason
+            if not self._cancel.is_set() or _REASON_PRECEDENCE.get(
+                reason, 2
+            ) > _REASON_PRECEDENCE.get(self._requested_reason, 2):
+                self._requested_reason = reason
             self._cancel.set()
             return True
 
@@ -305,7 +330,7 @@ class Job:
             except Exception:
                 # A broken consumer must not unwind the dispatcher; the
                 # terminal state is already published via _done.
-                pass
+                log.warning("done-callback raised on job %s", self.id, exc_info=True)
 
     def _finish_completed(self, result: "Result") -> None:
         self._result = result
@@ -328,9 +353,12 @@ class Job:
         self._cancel_reason = reason
         self._finish(JobStatus.CANCELLED, JobCancelled(reason=reason))
 
-    def _finish_failed(self, error: BaseException) -> None:
+    def _finish_failed(self, error: BaseException, reason: str = "") -> None:
         self._error = error
-        self._finish(JobStatus.FAILED, JobFailed(error=f"{type(error).__name__}: {error}"))
+        self._finish(
+            JobStatus.FAILED,
+            JobFailed(error=f"{type(error).__name__}: {error}", reason=reason),
+        )
 
     def control(self) -> SolveControl:
         """The solve control carrying this job's deadline and cancel flag."""
@@ -410,6 +438,7 @@ class JobExecutor:
                 self._current = job
             try:
                 self._run_job(job)
+            # repro: allow[REPRO-EXC] - failure published via JobFailed
             except Exception as error:  # noqa: BLE001 - dispatcher must survive
                 # _run_job already maps execution errors to JobFailed; this
                 # guards the transition plumbing itself so one broken job
@@ -439,6 +468,7 @@ class JobExecutor:
             # be re-selected; the session itself stays live and reusable.
             self.engine.release_task(job.task)
             job._finish_cancelled(interrupt.reason)
+        # repro: allow[REPRO-EXC] - failure published via JobFailed
         except Exception as error:  # noqa: BLE001 - job boundary
             job._finish_failed(error)
         else:
@@ -503,6 +533,9 @@ class ShardedJobExecutor:
         # that wins must have its job pushed before the drain sweeps.
         self._lock = threading.Lock()
         self._shutdown = False
+        self._fault = faults.hook("lane")
+        #: lane threads the supervisor replaced after a crash (stats).
+        self.lane_crashes = 0
 
     # ------------------------------------------------------------------
     def lane_for(self, task) -> int:
@@ -547,7 +580,7 @@ class ShardedJobExecutor:
             with lane.condition:
                 if lane.thread is None or not lane.thread.is_alive():
                     lane.thread = threading.Thread(
-                        target=self._loop,
+                        target=self._lane_main,
                         args=(lane,),
                         name=f"repro-lane-{lane.id}",
                         daemon=True,
@@ -570,6 +603,63 @@ class ShardedJobExecutor:
         return depths
 
     # ------------------------------------------------------------------
+    def _lane_main(self, lane: _Lane) -> None:
+        """Lane thread entry point: run the dispatch loop under supervision.
+
+        ``_loop`` only exits via a ``BaseException`` (the per-job
+        ``except Exception`` guard already maps ordinary task errors to
+        ``JobFailed`` without killing the thread), so anything that reaches
+        here is a lane *crash* — an injected ``InjectedLaneCrash``, a broken
+        transition, interpreter shutdown — and must not silently strand the
+        lane's queue.
+        """
+        try:
+            self._loop(lane)
+        # repro: allow[REPRO-EXC] - handed to the supervisor, which logs+counts
+        except BaseException as error:  # noqa: BLE001 - supervised crash path
+            self._supervise_crash(lane, error)
+
+    def _supervise_crash(self, lane: _Lane, error: BaseException) -> None:
+        """Contain a dead lane thread so its shard keeps making progress.
+
+        The in-flight job fails with a typed ``JobFailed(reason="lane_crash")``
+        (the task itself may be fine — clients distinguish infrastructure
+        death from task errors and may resubmit under a fresh idempotency
+        key); everything the dead thread may have poisoned is discarded —
+        the job's code context is quarantined rather than saved warm — and a
+        fresh thread is started on the untouched pending heap, so queued
+        jobs rerun without resubmission.
+        """
+        job = lane.current
+        lane.current = None
+        self.lane_crashes += 1
+        log.error(
+            "lane %d crashed (%s: %s); supervisor restarting it",
+            lane.id,
+            type(error).__name__,
+            error,
+        )
+        if job is not None:
+            if not job.status.terminal:
+                job._finish_failed(
+                    RuntimeError(
+                        f"lane {lane.id} crashed mid-job: "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                    reason="lane_crash",
+                )
+            try:
+                self.engine.resources.quarantine_task(job.task)
+            except Exception as discard_error:  # noqa: BLE001 - best effort
+                log.warning("context quarantine failed: %s", discard_error)
+        if not self._shutdown:
+            with lane.condition:
+                # This (dying) thread is still alive while the supervisor
+                # runs, so start()'s is_alive() check would refuse to replace
+                # it; detach it first.
+                lane.thread = None
+            self.start(lane.id)
+
     def _loop(self, lane: _Lane) -> None:
         while True:
             with lane.condition:
@@ -581,10 +671,13 @@ class ShardedJobExecutor:
                 lane.current = job
             try:
                 self._run_job(job, lane)
+            # repro: allow[REPRO-EXC] - failure published via JobFailed
             except Exception as error:  # noqa: BLE001 - lane must survive
                 job._finish_failed(error)
-            finally:
-                lane.current = None
+            # Deliberately not a finally: on a BaseException (lane crash)
+            # ``lane.current`` must stay set so the supervisor can fail the
+            # in-flight job; both non-crash paths clear it here.
+            lane.current = None
 
     def _run_job(self, job: Job, lane: _Lane) -> None:
         control = job.control()
@@ -593,6 +686,10 @@ class ShardedJobExecutor:
             job._finish_cancelled(reason)
             return
         job._mark_running()
+        if self._fault is not None and self._fault.fire("crash", job.id) is not None:
+            # Before engine._execute, so the dying thread holds no per-lane
+            # engine lock (an RLock held by a dead thread never releases).
+            raise faults.InjectedLaneCrash(f"injected crash on lane {lane.id}")
 
         def emit(event):
             # Stamp solver-phase events with the lane that ran them; the
@@ -623,6 +720,7 @@ class ShardedJobExecutor:
             self.engine.release_task(job.task)
             account()
             job._finish_cancelled(interrupt.reason)
+        # repro: allow[REPRO-EXC] - failure published via JobFailed
         except Exception as error:  # noqa: BLE001 - job boundary
             account()
             job._finish_failed(error)

@@ -528,7 +528,7 @@ def _close_split_sessions(sessions: "OrderedDict") -> None:
     for session in list(sessions.values()):
         try:
             session.close()
-        except Exception:
+        except Exception:  # repro: allow[REPRO-EXC] - finalizer teardown
             pass
     sessions.clear()
 
@@ -685,6 +685,9 @@ class ResourceManager:
         self._task_sessions: OrderedDict[object, SolveSession] = OrderedDict()
         self._lock = threading.RLock()
         self._executor = None
+        #: contexts discarded unsaved after a lane crash (see
+        #: :meth:`quarantine_task`); surfaced in stats when nonzero.
+        self.quarantined = 0
         self.num_shards = 1
         self.configure_shards(1)
 
@@ -878,6 +881,32 @@ class ResourceManager:
             return False
         return context.retire_task(task)
 
+    def quarantine_task(self, task) -> bool:
+        """Discard a (possibly poisoned) task's solver state *unsaved*.
+
+        The lane supervisor calls this after a lane thread died mid-job: the
+        context's session may hold a half-applied transaction, so unlike LRU
+        eviction it is dropped without ``save_warm`` — persisting it could
+        poison the warm store too.  A fresh context is rebuilt lazily on the
+        shard's next job for the same code.  Returns whether anything was
+        dropped.
+        """
+        code_key = getattr(task, "code", None)
+        with self._lock:
+            if code_key is None:
+                try:
+                    dropped = self._task_sessions.pop(task, None) is not None
+                except TypeError:
+                    return False
+            else:
+                try:
+                    dropped = self._contexts.pop(code_key, None) is not None
+                except TypeError:
+                    return False
+            if dropped:
+                self.quarantined += 1
+            return dropped
+
     # ------------------------------------------------------------------
     def enable_warm_cache(self, directory: str) -> SessionCache:
         with self._lock:
@@ -1020,6 +1049,8 @@ class ResourceManager:
         if family_probes:
             stats["family_absorbed"] = family_absorbed
             stats["family_probes"] = family_probes
+        if self.quarantined:
+            stats["quarantined_contexts"] = self.quarantined
         if self.warm_cache is not None:
             stats["warm_hits"] = self.warm_cache.hits
             stats["warm_misses"] = self.warm_cache.misses

@@ -103,6 +103,11 @@ class Router:
 
     def __init__(self, service: "VerificationService"):
         self.service = service
+        # X-Idempotency-Key → job id.  A POST /jobs retried after a lost
+        # response returns the original job instead of double-running the
+        # task.  Retention matches the drain coordinator's full job registry
+        # (the lookup substrate): keys live for the replica's lifetime.
+        self._idempotency: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     async def handle(self, request: Request) -> Response:
@@ -127,6 +132,27 @@ class Router:
     # ------------------------------------------------------------------
     def submit(self, request: Request) -> Response:
         service = self.service
+        idempotency_key = request.headers.get("x-idempotency-key", "")
+        if idempotency_key:
+            known = self._idempotency.get(idempotency_key)
+            job = service.drain.get(known) if known is not None else None
+            if job is not None:
+                # Replay, before admission and before the drain gate: the
+                # first attempt already paid both, and a retry racing a
+                # drain must still find the job it created.
+                return Response(
+                    201,
+                    {
+                        "id": job.id,
+                        "status": job.status.value,
+                        "priority": job.priority,
+                        "deadline": job.deadline,
+                        "task_kind": getattr(type(job.task), "kind", ""),
+                        "events": f"/jobs/{job.id}/events",
+                        "deduplicated": True,
+                    },
+                    log={"job_id": job.id, "job_lane": job.lane, "deduplicated": True},
+                )
         if service.drain.draining:
             raise HttpError(503, "draining: not accepting new jobs")
         payload = request.json()
@@ -168,6 +194,8 @@ class Router:
             service.admission.release(api_key)
             raise
         service.drain.track(job)
+        if idempotency_key:
+            self._idempotency[idempotency_key] = job.id
         job.add_done_callback(lambda _job: service.admission.release(api_key))
         log = {"job_id": job.id, "job_lane": job.lane}
         if stream:
@@ -222,6 +250,7 @@ class Router:
                 job.result(timeout=0)
             except JobCancelledError:  # pragma: no cover - cancelled is handled above
                 pass
+            # repro: allow[REPRO-EXC] - error reported in the descriptor
             except Exception as error:  # noqa: BLE001 - reporting, not handling
                 descriptor["error"] = f"{type(error).__name__}: {error}"
         return Response(200, descriptor)

@@ -30,7 +30,7 @@ import logging
 import signal
 import time
 
-from repro import sanitize
+from repro import faults, sanitize
 from repro.api.engine import Engine
 from repro.service.admission import AdmissionController
 from repro.service.drain import DrainCoordinator
@@ -87,6 +87,11 @@ class VerificationService:
         self._server: asyncio.AbstractServer | None = None
         self._stop = asyncio.Event()
         self._watchdog: "sanitize.LoopWatchdog | None" = None
+        # Bound after the engine above: an Engine(fault_plan=...) built by
+        # **engine_kwargs has already armed the plan by now, so the socket
+        # and loop injection points see it too.
+        self._fault = faults.hook("socket")
+        self._loop_fault = faults.hook("loop")
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -133,15 +138,20 @@ class VerificationService:
                 loop.remove_signal_handler(sig)
 
     async def shutdown(self) -> dict:
-        """Stop accepting, drain jobs, close the listener and (when owned)
-        the engine."""
+        """Drain jobs, then close the listener and (when owned) the engine.
+
+        The listener stays open through the grace window: the drain gate
+        503s new submissions the moment draining starts, but status polls,
+        event streams and — critically — a ``DELETE`` racing the shutdown
+        must still be able to reach their jobs (see ``repro.service.drain``'s
+        contract: read-only routes keep working through the drain).
+        """
         if self._watchdog is not None:
             self._watchdog.stop()
             self._watchdog = None
-        if self._server is not None:
-            self._server.close()
         summary = await self.drain.begin_drain(self.drain_grace)
         if self._server is not None:
+            self._server.close()
             await self._server.wait_closed()
         if self._owns_engine:
             await asyncio.get_running_loop().run_in_executor(None, self.engine.close)
@@ -185,6 +195,11 @@ class VerificationService:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> bool:
         """One request/response cycle; True = keep the connection open."""
+        if self._loop_fault is not None:
+            # A delay-mode ``loop.stall`` rule sleeps inside fire(), blocking
+            # the event loop — the dynamic twin of what the sanitize
+            # watchdog's stall counter measures.
+            self._loop_fault.fire("stall")
         started = time.monotonic()
         request: Request | None = None
         response: Response | None = None
@@ -325,6 +340,18 @@ class VerificationService:
             writer.write(self._head(response.status, headers, keep_alive))
             await writer.drain()
             async for chunk in response.stream:
+                if self._fault is not None:
+                    if self._fault.fire("reset") is not None:
+                        # Hard RST mid-stream: the client's read fails with
+                        # ConnectionResetError, exactly like a dropped NAT
+                        # mapping or a crashed peer.
+                        writer.transport.abort()
+                        raise ConnectionResetError("injected socket reset")
+                    if self._fault.fire("truncate") is not None:
+                        # FIN without the final 0-length chunk: the client
+                        # sees EOF mid-chunked-stream (IncompleteRead).
+                        writer.write_eof()
+                        raise ConnectionResetError("injected stream truncation")
                 writer.write(f"{len(chunk):x}\r\n".encode() + chunk + b"\r\n")
                 await writer.drain()
                 sent += len(chunk)
@@ -339,7 +366,7 @@ class VerificationService:
             if stream_close is not None:
                 try:
                     await stream_close()
-                except Exception:  # pragma: no cover - generator teardown
+                except Exception:  # repro: allow[REPRO-EXC] - generator teardown
                     pass
         return response.status, sent
 

@@ -26,11 +26,13 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
 import threading
 import time
 import weakref
 from dataclasses import dataclass, field
 
+from repro import faults
 from repro.classical.expr import BoolExpr, IntExpr
 from repro.smt.interface import SMTCheck, SolveSession
 from repro.smt.solver import SolveControl, SolverInterrupted
@@ -160,6 +162,7 @@ class IncrementalSplitSession:
         self._guard_names: set[str] = set()
         self._pool = None
         self._cancel_event = None
+        self._fault = faults.hook("pool")
         # Warm cache: pool workers absorb serialized learnt clauses in their
         # init payload; the sequential path warm-starts its own session the
         # same way the per-code contexts do.
@@ -347,6 +350,16 @@ class IncrementalSplitSession:
 
     def _check_pool_once(self, select, control=None) -> SMTCheck:
         pool = self._ensure_pool()
+        if self._fault is not None and self._fault.fire("kill") is not None:
+            # Parent-side injection: SIGKILL every live worker so the pool
+            # dies exactly as an OOM-killed one would (detected below as
+            # _PoolDiedError → rebuilt and retried once by _check_pool).
+            # Firing counters live in this process, so the rebuilt pool
+            # cannot re-trip the same rule the way a worker-side counter —
+            # reset by the fork — would.
+            for worker in getattr(pool, "_pool", None) or ():
+                if worker.is_alive():
+                    os.kill(worker.pid, signal.SIGKILL)
         self._cancel_event.clear()
         # Chunk the subtasks so the guard specs (which embed whole weight
         # expressions) are pickled once per chunk, not once per subtask; a

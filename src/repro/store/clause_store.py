@@ -29,6 +29,15 @@ Design (ROADMAP item 4 — durable shared verification state):
 * **Checkpoints.**  Small checksummed JSON blobs keyed by a semantic task
   hash persist a distance walk's bracket so a killed job resumes instead of
   restarting (engine side: ``Engine._run_distance``).
+
+* **Circuit breaker.**  Graceful degradation alone still pays a sqlite
+  connect-and-fail (10s busy timeout included) on *every* call against a
+  sick disk.  After ``breaker_threshold`` consecutive storage failures the
+  breaker *opens*: calls short-circuit to the degraded path without touching
+  sqlite.  After ``breaker_cooldown`` seconds one call is let through as a
+  *half-open* recovery probe — success closes the breaker, failure re-opens
+  it for another cooldown.  Transitions flow through the stats chain
+  (``breaker_state`` / ``breaker_opened`` / ``breaker_short_circuited``).
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ import os
 import sqlite3
 import threading
 import time
+
+from repro import faults
 
 __all__ = ["STORE_FILENAME", "ClauseStore", "has_store", "load_clauses", "merge_clauses"]
 
@@ -103,11 +114,24 @@ class ClauseStore:
     ``storage_errors``, never raised into a solve.
     """
 
-    def __init__(self, directory: str, max_clauses: int = 200_000, max_named: int = 20_000):
+    def __init__(
+        self,
+        directory: str,
+        max_clauses: int = 200_000,
+        max_named: int = 20_000,
+        *,
+        breaker_threshold: int = 5,
+        breaker_cooldown: float = 30.0,
+        clock=time.monotonic,
+    ):
         self.directory = str(directory)
         self.path = os.path.join(self.directory, STORE_FILENAME)
         self.max_clauses = max_clauses
         self.max_named = max_named
+        #: consecutive storage failures that open the circuit breaker
+        self.breaker_threshold = max(1, int(breaker_threshold))
+        #: seconds the breaker stays open before a half-open recovery probe
+        self.breaker_cooldown = float(breaker_cooldown)
         self.hits = 0
         self.misses = 0
         self.stored = 0
@@ -119,17 +143,73 @@ class ClauseStore:
         self.checkpoint_hits = 0
         self.checkpoint_misses = 0
         self.checkpoints_saved = 0
+        self.breaker_opened = 0
+        self.breaker_short_circuited = 0
+        self._clock = clock
+        self._breaker_state = "closed"
+        self._breaker_failures = 0
+        self._breaker_opened_at = 0.0
         self._local = threading.local()
         self._pid = os.getpid()
         self._broken = False
+        self._fault = faults.hook("store")
         os.makedirs(self.directory, exist_ok=True)
         self._init_schema()
+
+    # ------------------------------------------------------------------
+    # Circuit breaker (consecutive failures → open → half-open probes)
+    # ------------------------------------------------------------------
+    def _breaker_allows(self) -> bool:
+        """Whether sqlite may be touched right now.
+
+        Open + cooldown still running → short-circuit (the call degrades
+        exactly like a broken store, without paying the sqlite attempt);
+        cooldown elapsed → transition to half-open and admit the call as a
+        recovery probe.
+        """
+        if self._breaker_state == "closed":
+            return True
+        if self._breaker_state == "open":
+            if self._clock() - self._breaker_opened_at < self.breaker_cooldown:
+                self.breaker_short_circuited += 1
+                return False
+            self._breaker_state = "half-open"
+        return True
+
+    def _storage_failure(self) -> None:
+        """Count a storage error and advance the breaker state machine."""
+        self.storage_errors += 1
+        self._breaker_failures += 1
+        if self._breaker_state == "half-open" or (
+            self._breaker_state == "closed"
+            and self._breaker_failures >= self.breaker_threshold
+        ):
+            self._breaker_state = "open"
+            self._breaker_opened_at = self._clock()
+            self.breaker_opened += 1
+
+    def _storage_ok(self) -> None:
+        """A sqlite operation succeeded: close the breaker, reset the streak."""
+        if self._breaker_failures or self._breaker_state != "closed":
+            self._breaker_failures = 0
+            self._breaker_state = "closed"
+
+    def _check_fault(self, op: str, detail: str = "") -> None:
+        """Raise an injected ``sqlite3.OperationalError`` when the armed
+        fault plan fires ``store.<op>`` (delay-mode rules sleep inside
+        ``fire``, modeling a slow disk).  Called inside the operation's
+        try block so injected faults flow through the exact degradation
+        path a real sqlite error would."""
+        if self._fault is not None and self._fault.fire(op, detail) is not None:
+            raise sqlite3.OperationalError(f"injected store fault ({op})")
 
     # ------------------------------------------------------------------
     # Connection management
     # ------------------------------------------------------------------
     def _connect(self) -> sqlite3.Connection | None:
         if self._broken:
+            return None
+        if not self._breaker_allows():
             return None
         if os.getpid() != self._pid:
             # Forked child: the inherited connection (and thread-local slot)
@@ -144,7 +224,7 @@ class ClauseStore:
                 conn.execute("PRAGMA synchronous=NORMAL")
                 conn.execute("PRAGMA busy_timeout=10000")
             except sqlite3.Error:
-                self.storage_errors += 1
+                self._storage_failure()
                 return None
             self._local.conn = conn
         return conn
@@ -158,7 +238,7 @@ class ClauseStore:
                         conn.executescript(_SCHEMA)
                     return
                 except sqlite3.Error:
-                    self.storage_errors += 1
+                    self._storage_failure()
                     self._local = threading.local()
             if attempt == 0:
                 # Whatever sits at the path is not a usable database (torn
@@ -194,14 +274,16 @@ class ClauseStore:
             self.misses += 1
             return None
         try:
+            self._check_fault("read", fingerprint)
             rows = conn.execute(
                 "SELECT clause, checksum FROM clauses WHERE fingerprint = ?",
                 (fingerprint,),
             ).fetchall()
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
             self.misses += 1
             return None
+        self._storage_ok()
         if not rows:
             self.misses += 1
             return None
@@ -231,7 +313,7 @@ class ClauseStore:
                         (time.time(), fingerprint),
                     )
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
         self.corrupt_dropped += len(bad)
         if not clauses:
             self.misses += 1
@@ -283,6 +365,7 @@ class ClauseStore:
         if not clause_rows and not named_rows:
             return
         try:
+            self._check_fault("write", fingerprint)
             with conn:
                 if clause_rows:
                     conn.executemany(
@@ -300,10 +383,11 @@ class ClauseStore:
                         "lbd = MIN(lbd, excluded.lbd), updated = excluded.updated",
                         named_rows,
                     )
+            self._storage_ok()
             self.stored += len(clause_rows)
             self._evict(conn)
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
 
     def _evict(self, conn: sqlite3.Connection) -> None:
         """Trim both clause tables to budget: worst LBD first, then oldest."""
@@ -328,7 +412,7 @@ class ClauseStore:
                     )
                     self.evictions += excess
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
 
     # ------------------------------------------------------------------
     # Family-aware secondary index
@@ -347,14 +431,16 @@ class ClauseStore:
         if not family or conn is None:
             return []
         try:
+            self._check_fault("read", f"family:{family}")
             rows = conn.execute(
                 "SELECT DISTINCT clause FROM named_clauses "
                 "WHERE family = ? AND fingerprint != ? ORDER BY lbd ASC, updated DESC LIMIT ?",
                 (family, exclude_fingerprint, limit),
             ).fetchall()
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
             return []
+        self._storage_ok()
         candidates = []
         for (text,) in rows:
             try:
@@ -379,6 +465,7 @@ class ClauseStore:
             return
         text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         try:
+            self._check_fault("write", key)
             with conn:
                 conn.execute(
                     "INSERT INTO checkpoints (key, payload, checksum, updated) VALUES (?, ?, ?, ?) "
@@ -386,9 +473,10 @@ class ClauseStore:
                     "checksum = excluded.checksum, updated = excluded.updated",
                     (key, text, _row_checksum(key, text), time.time()),
                 )
+            self._storage_ok()
             self.checkpoints_saved += 1
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
 
     def checkpoint_load(self, key: str) -> dict | None:
         conn = self._connect()
@@ -396,13 +484,15 @@ class ClauseStore:
             self.checkpoint_misses += 1
             return None
         try:
+            self._check_fault("read", key)
             row = conn.execute(
                 "SELECT payload, checksum FROM checkpoints WHERE key = ?", (key,)
             ).fetchone()
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
             self.checkpoint_misses += 1
             return None
+        self._storage_ok()
         if row is None:
             self.checkpoint_misses += 1
             return None
@@ -429,7 +519,7 @@ class ClauseStore:
             with conn:
                 conn.execute("DELETE FROM checkpoints WHERE key = ?", (key,))
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -442,7 +532,7 @@ class ClauseStore:
             (count,) = conn.execute("SELECT COUNT(*) FROM clauses").fetchone()
             return int(count)
         except sqlite3.Error:
-            self.storage_errors += 1
+            self._storage_failure()
             return 0
 
     def stats(self) -> dict:
@@ -461,10 +551,16 @@ class ClauseStore:
             "checkpoint_hits",
             "checkpoint_misses",
             "checkpoints_saved",
+            "breaker_opened",
+            "breaker_short_circuited",
         ):
             value = getattr(self, key)
             if value:
                 stats[key] = value
+        if self.breaker_opened:
+            # Once the breaker has ever tripped, keep reporting its live
+            # state so an operator (or the chaos test) can watch it re-close.
+            stats["breaker_state"] = self._breaker_state
         return stats
 
 

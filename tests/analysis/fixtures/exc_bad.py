@@ -1,0 +1,26 @@
+"""Seeded REPRO-EXC violations: broad handlers that swallow silently."""
+
+import logging
+
+log = logging.getLogger("fixture")
+
+
+def bare_swallow(conn):
+    try:
+        conn.close()
+    except:  # noqa: E722  BAD: bare except, nothing visible happens
+        pass
+
+
+def broad_swallow(payload):
+    try:
+        return payload.decode()
+    except Exception:  # BAD: swallowed, caller sees None with no trace
+        return None
+
+
+def tuple_swallow(task):
+    try:
+        task.run()
+    except (ValueError, Exception):  # BAD: the tuple still catches everything
+        task.result = "unknown"

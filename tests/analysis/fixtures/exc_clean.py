@@ -1,0 +1,40 @@
+"""Clean twin: broad handlers that re-raise, log, count, or are waived."""
+
+import logging
+
+log = logging.getLogger("fixture")
+
+
+class Worker:
+    def __init__(self):
+        self.errors = 0
+
+    def counted(self, task):
+        try:
+            task.run()
+        except Exception:  # counted: surfaces in stats
+            self.errors += 1
+
+    def logged(self, task):
+        try:
+            task.run()
+        except Exception:
+            log.warning("task failed", exc_info=True)
+
+    def reraised(self, task):
+        try:
+            task.run()
+        except Exception as error:
+            raise RuntimeError("task failed") from error
+
+    def specific(self, conn):
+        try:
+            conn.close()
+        except OSError:  # specific type: not a broad handler
+            pass
+
+    def waived(self, conn):
+        try:
+            conn.close()
+        except Exception:  # repro: allow[REPRO-EXC] - teardown best effort
+            pass

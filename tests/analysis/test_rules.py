@@ -17,6 +17,7 @@ CASES = [
     ("async_bad.py", "async_clean.py", "REPRO-ASYNC", 3),
     ("stats_bad.py", "stats_clean.py", "REPRO-STATS", 4),
     ("events_bad.py", "events_clean.py", "REPRO-EVENT", 3),
+    ("exc_bad.py", "exc_clean.py", "REPRO-EXC", 3),
 ]
 
 
@@ -43,13 +44,13 @@ def test_bad_fixtures_analyzed_together_keep_their_rules():
 
 
 def test_suppression_comment_waives_the_finding():
-    assert analyze("suppressed_bad.py") == []
+    assert analyze("suppressed_ok.py") == []
 
 
 def test_suppression_is_rule_specific():
-    text = (FIXTURES / "suppressed_bad.py").read_text()
+    text = (FIXTURES / "suppressed_ok.py").read_text()
     wrong_rule = text.replace("allow[REPRO-LOCK]", "allow[REPRO-ASYNC]")
-    source = SourceFile(FIXTURES / "suppressed_bad.py", text=wrong_rule)
+    source = SourceFile(FIXTURES / "suppressed_ok.py", text=wrong_rule)
     findings = Analyzer().analyze_files([source])
     assert [f.rule_id for f in findings] == ["REPRO-LOCK"]
 

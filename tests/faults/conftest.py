@@ -1,0 +1,11 @@
+"""Fault-injection tests arm process-global plans; always disarm after."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def disarm_faults():
+    yield
+    faults.disarm()

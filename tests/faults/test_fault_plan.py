@@ -1,0 +1,144 @@
+"""Unit tests for the fault plan itself: parsing, scheduling, determinism."""
+
+import json
+import time
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultRule
+
+
+class TestParsing:
+    def test_parse_dict_inline_json_and_file(self, tmp_path):
+        spec = {"seed": 3, "faults": [{"point": "store.write", "times": 2}]}
+        for variant in (
+            spec,
+            json.dumps(spec),
+            self._spec_file(tmp_path, spec),
+        ):
+            plan = FaultPlan.parse(variant)
+            assert plan.seed == 3
+            assert [r.point for r in plan.rules] == ["store.write"]
+            assert plan.rules[0].times == 2
+
+    @staticmethod
+    def _spec_file(tmp_path, spec):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_parse_passes_existing_plan_through(self):
+        plan = FaultPlan([{"point": "lane.crash"}])
+        assert FaultPlan.parse(plan) is plan
+
+    def test_parse_rejects_non_object(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            FaultPlan.parse(str(path))
+
+    def test_rule_requires_scoped_point(self):
+        with pytest.raises(ValueError):
+            FaultRule("store")
+
+    def test_rule_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            FaultRule("store.read", mode="explode")
+
+    def test_mode_inferred_from_delay(self):
+        assert FaultRule("loop.stall", delay=0.5).mode == "delay"
+        assert FaultRule("store.read").mode == "error"
+
+
+class TestScheduling:
+    def test_after_and_times_window_the_firings(self):
+        plan = FaultPlan([{"point": "store.write", "after": 2, "times": 2}])
+        outcomes = [plan.fire("store.write") is not None for _ in range(6)]
+        assert outcomes == [False, False, True, True, False, False]
+
+    def test_match_filters_and_does_not_consume_hits(self):
+        plan = FaultPlan([{"point": "store.read", "match": "steane"}])
+        assert plan.fire("store.read", "surface-5") is None
+        assert plan.rules[0].hits == 0  # non-matching hits are not counted
+        assert plan.fire("store.read", "fp:steane:1") is not None
+
+    def test_unrelated_points_never_fire(self):
+        plan = FaultPlan([{"point": "store.write"}])
+        assert plan.fire("store.read") is None
+        assert plan.fire("lane.crash") is None
+
+    def test_probability_is_deterministic_for_a_seed(self):
+        def pattern(seed):
+            plan = FaultPlan(
+                [{"point": "pool.kill", "times": 100, "probability": 0.5}],
+                seed=seed,
+            )
+            return [plan.fire("pool.kill") is not None for _ in range(20)]
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)  # different seed, different schedule
+
+    def test_delay_mode_sleeps_without_erroring(self):
+        plan = FaultPlan([{"point": "loop.stall", "delay": 0.02}])
+        start = time.monotonic()
+        assert plan.fire("loop.stall") is None
+        assert time.monotonic() - start >= 0.02
+
+    def test_firings_are_recorded_and_logged(self, tmp_path):
+        log = tmp_path / "faults.ndjson"
+        plan = FaultPlan(
+            [{"point": "socket.reset", "times": 2}], log_path=str(log)
+        )
+        plan.fire("socket.reset", "stream-1")
+        plan.fire("socket.reset", "stream-2")
+        plan.fire("socket.reset", "stream-3")  # exhausted, not recorded
+        assert [f["detail"] for f in plan.fired] == ["stream-1", "stream-2"]
+        records = [json.loads(line) for line in log.read_text().splitlines()]
+        assert [r["seq"] for r in records] == [0, 1]
+        assert all(r["point"] == "socket.reset" for r in records)
+
+    def test_stats_reports_per_rule_counters(self):
+        plan = FaultPlan([{"point": "store.write", "times": 1}], seed=5)
+        plan.fire("store.write")
+        plan.fire("store.write")
+        stats = plan.stats()
+        assert stats["seed"] == 5
+        assert stats["fired"] == 1
+        assert stats["rules"][0]["hits"] == 2
+        assert stats["rules"][0]["fired"] == 1
+
+
+class TestArming:
+    def test_hook_is_none_when_disarmed(self):
+        faults.disarm()
+        assert not faults.enabled()
+        assert faults.hook("store") is None
+
+    def test_hook_is_scoped_to_targeted_prefixes(self):
+        faults.install({"faults": [{"point": "store.write"}]})
+        assert faults.enabled()
+        assert faults.hook("store") is not None
+        assert faults.hook("lane") is None  # plan does not target lanes
+
+    def test_hook_fire_prefixes_the_scope(self):
+        plan = faults.install({"faults": [{"point": "socket.reset"}]})
+        hook = faults.hook("socket")
+        assert hook.fire("truncate") is None
+        assert hook.fire("reset") is not None
+        assert plan.fired[0]["point"] == "socket.reset"
+
+    def test_install_accepts_plan_objects_idempotently(self):
+        plan = FaultPlan([{"point": "lane.crash"}])
+        assert faults.install(plan) is plan
+        assert faults.active() is plan
+
+    def test_env_spec_arms_a_plan(self, monkeypatch):
+        monkeypatch.setenv(
+            faults.ENV_PLAN, json.dumps({"faults": [{"point": "loop.stall"}]})
+        )
+        plan = faults._plan_from_env()
+        assert plan is not None
+        assert plan.rules[0].point == "loop.stall"
+        monkeypatch.setenv(faults.ENV_PLAN, "")
+        assert faults._plan_from_env() is None

@@ -1,0 +1,236 @@
+"""Unit tests for the client's retry loop — no sockets, stubbed transport.
+
+The contract under test: 429/503 honour ``Retry-After`` (clamped to the
+backoff cap), transport errors retry only idempotent calls (GET/DELETE, or
+a POST carrying an ``X-Idempotency-Key``), the jitter sequence is
+deterministic per ``retry_seed``, and :meth:`ServiceClient.submit` attaches
+a generated key exactly when the client would retry.
+"""
+
+import time
+
+import pytest
+
+from repro.service import ServiceClient, ServiceError
+
+
+def _client(**kwargs) -> ServiceClient:
+    kwargs.setdefault("retries", 3)
+    kwargs.setdefault("backoff", 0.1)
+    kwargs.setdefault("backoff_cap", 1.0)
+    return ServiceClient("127.0.0.1", 1, **kwargs)
+
+
+class Transport:
+    """Scripted ``_request_once``: pops one outcome per call."""
+
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.calls = []
+
+    def __call__(self, method, path, body=None, headers=None):
+        self.calls.append((method, path, headers))
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+@pytest.fixture
+def sleeps(monkeypatch):
+    recorded = []
+    monkeypatch.setattr(time, "sleep", recorded.append)
+    return recorded
+
+
+def _throttle(after=None):
+    headers = {} if after is None else {"retry-after": str(after)}
+    return ServiceError(429, {"error": "throttled"}, headers)
+
+
+class TestBackoffDelay:
+    def test_same_seed_same_sequence(self):
+        first = [_client(retry_seed=9)._backoff_delay(n) for n in range(5)]
+        second = [_client(retry_seed=9)._backoff_delay(n) for n in range(5)]
+        assert first == second
+
+    def test_different_seeds_decorrelate(self):
+        a = [_client(retry_seed=1)._backoff_delay(n) for n in range(5)]
+        b = [_client(retry_seed=2)._backoff_delay(n) for n in range(5)]
+        assert a != b
+
+    def test_delay_is_exponential_jittered_and_capped(self):
+        client = _client(backoff=0.1, backoff_cap=1.0)
+        for attempt in range(8):
+            base = min(1.0, 0.1 * (2 ** attempt))
+            delay = client._backoff_delay(attempt)
+            assert base / 2 <= delay <= base
+        assert client._backoff_delay(20) <= 1.0
+
+
+class TestStatusRetries:
+    def test_429_honours_retry_after(self, sleeps):
+        client = _client()
+        client._request_once = Transport(
+            [_throttle(0.5), _throttle(0.25), {"ok": True}]
+        )
+        assert client.request("GET", "/stats") == {"ok": True}
+        assert sleeps == [0.5, 0.25]
+
+    def test_retry_after_is_clamped_to_the_cap(self, sleeps):
+        client = _client(backoff_cap=1.0)
+        client._request_once = Transport([_throttle(100), {"ok": True}])
+        client.request("GET", "/stats")
+        assert sleeps == [1.0]
+
+    def test_missing_retry_after_uses_jittered_backoff(self, sleeps):
+        client = _client(retry_seed=4)
+        client._request_once = Transport([_throttle(), {"ok": True}])
+        client.request("GET", "/stats")
+        assert sleeps == [_client(retry_seed=4)._backoff_delay(0)]
+
+    def test_503_is_retried_but_400_is_not(self, sleeps):
+        client = _client()
+        client._request_once = Transport(
+            [ServiceError(503, {"error": "draining"}, {}), {"ok": True}]
+        )
+        assert client.request("GET", "/stats") == {"ok": True}
+
+        client._request_once = Transport([ServiceError(400, {"error": "bad"}, {})])
+        with pytest.raises(ServiceError) as exc:
+            client.request("GET", "/stats")
+        assert exc.value.status == 400
+        assert len(sleeps) == 1  # only the 503 slept; the 400 raised at once
+
+    def test_retries_zero_preserves_fail_fast(self, sleeps):
+        client = _client(retries=0)
+        client._request_once = Transport([_throttle(0.5)])
+        with pytest.raises(ServiceError):
+            client.request("GET", "/stats")
+        assert sleeps == []
+
+    def test_budget_exhaustion_reraises_the_last_error(self, sleeps):
+        client = _client(retries=2)
+        client._request_once = Transport([_throttle(0.1)] * 3)
+        with pytest.raises(ServiceError):
+            client.request("GET", "/stats")
+        assert sleeps == [0.1, 0.1]
+
+
+class TestTransportRetries:
+    def test_get_and_delete_are_retried(self, sleeps):
+        for method in ("GET", "DELETE"):
+            client = _client()
+            client._request_once = Transport(
+                [ConnectionResetError(), {"ok": True}]
+            )
+            assert client.request(method, "/jobs/j1") == {"ok": True}
+
+    def test_plain_post_is_never_retried_on_transport_error(self, sleeps):
+        # The job may have been created before the response was lost; a
+        # blind resubmit would double-run it.
+        client = _client()
+        client._request_once = Transport([ConnectionResetError()])
+        with pytest.raises(ConnectionResetError):
+            client.request("POST", "/jobs", {"task": {}})
+        assert sleeps == []
+
+    def test_post_with_idempotency_key_is_retried(self, sleeps):
+        client = _client()
+        transport = Transport([ConnectionResetError(), {"id": "job-1"}])
+        client._request_once = transport
+        payload = client.request(
+            "POST", "/jobs", {"task": {}}, headers={"X-Idempotency-Key": "k1"}
+        )
+        assert payload == {"id": "job-1"}
+        assert len(transport.calls) == 2
+
+
+class TestSubmitIdempotencyKey:
+    def _submitted_headers(self, client, **submit_kwargs):
+        transport = Transport([{"id": "job-1"}])
+        client._request_once = transport
+        client.submit({"kind": "correction", "code": "steane"}, **submit_kwargs)
+        return transport.calls[0][2]
+
+    def test_retrying_client_generates_a_key(self):
+        headers = self._submitted_headers(_client(retries=2))
+        assert headers and len(headers["X-Idempotency-Key"]) == 32
+
+    def test_fail_fast_client_sends_no_key(self):
+        assert self._submitted_headers(_client(retries=0)) is None
+
+    def test_explicit_key_is_passed_through_even_without_retries(self):
+        headers = self._submitted_headers(
+            _client(retries=0), idempotency_key="mine"
+        )
+        assert headers == {"X-Idempotency-Key": "mine"}
+
+
+class EventStreams:
+    """Scripted ``_event_lines_once``: one scripted connection per call."""
+
+    def __init__(self, connections):
+        self.connections = list(connections)
+        self.opened = 0
+
+    def __call__(self, job_id):
+        self.opened += 1
+        for item in self.connections.pop(0):
+            if isinstance(item, Exception):
+                raise item
+            yield item
+
+
+def _line(seq, event="Progress"):
+    return f'{{"event": "{event}", "seq": {seq}}}'.encode()
+
+
+class TestEventsReconnect:
+    def test_reconnect_resumes_and_dedupes_by_seq(self, sleeps):
+        client = _client(retries=3)
+        client._event_lines_once = EventStreams(
+            [
+                [_line(0), _line(1), ConnectionResetError()],
+                # The server replays from the start; the client must skip
+                # the prefix it already delivered.
+                [_line(0), _line(1), _line(2), _line(3, "JobCompleted")],
+            ]
+        )
+        events = list(client.events("job-1"))
+        assert [e["seq"] for e in events] == [0, 1, 2, 3]
+        assert events[-1]["event"] == "JobCompleted"
+        assert client._event_lines_once.opened == 2
+
+    def test_clean_eof_without_terminal_is_a_transport_error(self, sleeps):
+        # A reset before the first chunk reads as an empty 200 body; the
+        # stream contract (ends with a terminal event) exposes the break.
+        client = _client(retries=1)
+        client._event_lines_once = EventStreams(
+            [[], [_line(0), _line(1, "JobCancelled")]]
+        )
+        events = list(client.events("job-1"))
+        assert [e["event"] for e in events] == ["Progress", "JobCancelled"]
+
+    def test_reconnect_budget_defaults_to_retries(self):
+        client = _client(retries=0)
+        client._event_lines_once = EventStreams([[ConnectionResetError()]])
+        with pytest.raises(ConnectionResetError):
+            list(client.events("job-1"))
+
+    def test_reconnects_override_is_exhaustible(self, sleeps):
+        client = _client(retries=5)
+        client._event_lines_once = EventStreams(
+            [[ConnectionResetError()], [ConnectionResetError()]]
+        )
+        with pytest.raises(ConnectionResetError):
+            list(client.events("job-1", reconnects=1))
+        assert client._event_lines_once.opened == 2
+
+    def test_terminal_event_stops_the_stream(self):
+        client = _client()
+        client._event_lines_once = EventStreams(
+            [[_line(0), _line(1, "JobFailed"), _line(2)]]
+        )
+        events = list(client.events("job-1"))
+        assert [e["seq"] for e in events] == [0, 1]  # nothing after terminal
